@@ -1,0 +1,268 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (§5, Appendices A and E); EXPERIMENTS.md maps
+// each benchmark to its artifact and records the measured shapes against
+// the paper's. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/scenarios"
+	"repro/internal/solver"
+)
+
+// benchScale keeps per-iteration work around a second so the full suite
+// stays tractable; shapes are scale-invariant.
+func benchScale() scenarios.Scale { return scenarios.Scale{Switches: 19, Flows: 600} }
+
+// BenchmarkTable1_RepairCandidates regenerates Table 1: all five
+// diagnostic queries end to end (generate + backtest).
+func BenchmarkTable1_RepairCandidates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable1(rows))
+		}
+	}
+}
+
+// BenchmarkTable2_Q1Candidates regenerates Table 2: Q1's candidate list
+// with KS statistics and verdicts.
+func BenchmarkTable2_Q1Candidates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CandidateTable(scenarios.Q1(benchScale()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatCandidates("Table 2", rows))
+		}
+	}
+}
+
+// BenchmarkTable3_CrossLanguage regenerates Table 3: the five scenarios
+// under the Trema and Pyretic front-ends.
+func BenchmarkTable3_CrossLanguage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable3(rows))
+		}
+	}
+}
+
+// BenchmarkTable6_Q2toQ5Candidates regenerates the Appendix E panels.
+func BenchmarkTable6_Q2toQ5Candidates(b *testing.B) {
+	names := []string{"Q2", "Q3", "Q4", "Q5"}
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			rows, err := experiments.CandidateTable(scenarios.ByName(name, benchScale()))
+			if err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+			if i == 0 {
+				b.Log("\n" + experiments.FormatCandidates("Table 6 "+name, rows))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9a_TurnaroundTime regenerates Figure 9a: the per-scenario
+// turnaround breakdown.
+func BenchmarkFigure9a_TurnaroundTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9a(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFigure9a(rows))
+		}
+	}
+}
+
+// BenchmarkFigure9b_Backtesting regenerates Figure 9b: sequential vs
+// multi-query backtesting of Q1's first k candidates.
+func BenchmarkFigure9b_Backtesting(b *testing.B) {
+	cands, job, err := experiments.QuickCandidates(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := len(cands)
+	if k > 9 {
+		k = 9
+	}
+	b.Run("Sequential", func(b *testing.B) {
+		job.Candidates = cands[:k]
+		for i := 0; i < b.N; i++ {
+			job.RunSequential()
+		}
+	})
+	b.Run("MultiQuery", func(b *testing.B) {
+		job.Candidates = cands[:k]
+		for i := 0; i < b.N; i++ {
+			if _, err := job.RunShared(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFigure9c_NetworkScalability regenerates Figure 9c: Q1
+// turnaround as the campus grows from 19 to 169 switches.
+func BenchmarkFigure9c_NetworkScalability(b *testing.B) {
+	for _, n := range []int{19, 49, 79, 109, 139, 169} {
+		b.Run(fmt.Sprintf("switches=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := scenarios.Q1(scenarios.Scale{Switches: n, Flows: 600})
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure10_ProgramScalability regenerates Figure 10 (Appendix
+// A): Q1 turnaround as the controller program grows to ~900 lines.
+func BenchmarkFigure10_ProgramScalability(b *testing.B) {
+	for _, lines := range []int{100, 300, 500, 700, 900} {
+		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := scenarios.Q1(benchScale())
+				s.Prog = experiments.AugmentProgram(s.Prog, lines)
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverhead_Provenance measures the §5.4 runtime overhead: the
+// controller under a Cbench-style PacketIn stream with and without
+// provenance maintenance.
+func BenchmarkOverhead_Provenance(b *testing.B) {
+	s := scenarios.Q1(benchScale())
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := benchStress(s.Prog, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := benchStress(s.Prog, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep, err := experiments.Overhead(benchScale(), 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + experiments.FormatOverhead(rep))
+}
+
+func benchStress(prog *ndlog.Program, withProv bool) (any, error) {
+	eng, err := ndlog.NewEngine(prog)
+	if err != nil {
+		return nil, err
+	}
+	if withProv {
+		eng.Listen(provenance.NewRecorder())
+	}
+	for i := 0; i < 2000; i++ {
+		eng.Insert(ndlog.NewTuple("PacketIn",
+			ndlog.Str("C"), ndlog.Int(int64(1+i%4)), ndlog.Int(1),
+			ndlog.Int(int64(1000+i%97)), ndlog.Int(201),
+			ndlog.Int(int64(1024+i%511)), ndlog.Int(80)))
+	}
+	return eng, nil
+}
+
+// BenchmarkStorage_LogRate measures the §5.4 logging rate (120-byte
+// records per packet).
+func BenchmarkStorage_LogRate(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		s := scenarios.Q1(benchScale())
+		rate = float64(len(s.Workload)) * 120
+	}
+	b.ReportMetric(rate, "bytes/run")
+}
+
+// BenchmarkAblation_CostOrder compares cost-ordered forest exploration
+// against uniform-cost exploration under the same step budget (§3.5).
+func BenchmarkAblation_CostOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("ordered: %d steps -> %d candidates; uniform: %d steps -> %d candidates",
+				oSteps, oCands, fSteps, fCands)
+		}
+	}
+}
+
+// BenchmarkAblation_Coalescing compares shared backtesting with and
+// without identical-rule coalescing (§4.4).
+func BenchmarkAblation_Coalescing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, without, err := experiments.AblationCoalescing(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("with coalescing %v, without %v", with, without)
+		}
+	}
+}
+
+// BenchmarkAblation_MiniSolver compares the mini-solver fast path against
+// full search on representative constraint pools (§5.1).
+func BenchmarkAblation_MiniSolver(b *testing.B) {
+	mk := func() *solver.Pool {
+		p := solver.NewPool()
+		p.Add(solver.Eq(solver.V("A"), solver.CInt(3)))
+		p.Add(solver.Eq(solver.V("B"), solver.V("A")))
+		p.Add(solver.Eq(solver.V("C"), solver.V("B")))
+		return p
+	}
+	b.Run("mini", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var s solver.Solver
+			if _, ok := s.Solve(mk()); !ok {
+				b.Fatal("unsat")
+			}
+		}
+	})
+	b.Run("search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var s solver.Solver
+			p := mk()
+			p.Add(solver.Cmp(solver.V("C"), ndlog.OpNe, solver.CInt(99))) // forces search
+			if _, ok := s.Solve(p); !ok {
+				b.Fatal("unsat")
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate and prints them in order.
+//
+// Usage:
+//
+//	experiments [-quick] [-only table1,table2,table3,table6,fig9a,fig9b,fig9c,fig10,overhead,ablations]
+//
+// -quick shrinks workloads and scaling series so the full run finishes in
+// well under a minute; without it the run matches EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smaller workloads and scaling series")
+		only  = flag.String("only", "", "comma-separated subset of experiments to run")
+	)
+	flag.Parse()
+
+	sc := scenarios.Scale{Switches: 19, Flows: 900}
+	sizes := []int{19, 49, 79, 109, 139, 169}
+	lineSizes := []int{100, 300, 500, 700, 900}
+	events := 30000
+	if *quick {
+		sc.Flows = 500
+		sizes = []int{19, 49, 79}
+		lineSizes = []int{100, 300, 500}
+		events = 8000
+	}
+
+	want := map[string]bool{}
+	for _, part := range strings.Split(*only, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			want[part] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+
+	total := time.Now()
+	fmt.Print(experiments.ModelStats())
+
+	if run("table1") {
+		rows, err := experiments.Table1(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if run("table2") {
+		rows, err := experiments.CandidateTable(scenarios.Q1(sc))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatCandidates("Table 2: Q1 candidate repairs (3 accepted / 5 rejected, KS statistic)", rows))
+	}
+	if run("table6") {
+		for _, name := range []string{"Q2", "Q3", "Q4", "Q5"} {
+			rows, err := experiments.CandidateTable(scenarios.ByName(name, sc))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.FormatCandidates(
+				fmt.Sprintf("Table 6(%s): %s candidate repairs", strings.ToLower(name[1:]), name), rows))
+		}
+	}
+	if run("table3") {
+		rows, err := experiments.Table3(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+	}
+	if run("fig9a") {
+		rows, err := experiments.Figure9a(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFigure9a(rows))
+	}
+	if run("fig9b") {
+		rows, err := experiments.Figure9b(sc, 9)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFigure9b(rows))
+	}
+	if run("fig9c") {
+		rows, err := experiments.Figure9c(sizes, sc.Flows)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFigure9c(rows))
+	}
+	if run("fig10") {
+		rows, err := experiments.Figure10(lineSizes, sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFigure10(rows))
+	}
+	if run("overhead") {
+		rep, err := experiments.Overhead(sc, events)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatOverhead(rep))
+	}
+	if run("ablations") {
+		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Ablation (cost order): ordered %d steps -> %d candidates; uniform-cost %d steps -> %d candidates\n",
+			oSteps, oCands, fSteps, fCands)
+		with, without, err := experiments.AblationCoalescing(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Ablation (coalescing): shared backtest %v with, %v without\n\n", with, without)
+	}
+
+	fmt.Printf("all experiments completed in %v\n", time.Since(total).Round(time.Millisecond))
+}

@@ -1,0 +1,337 @@
+// Package backtest evaluates repair candidates against historical traffic
+// (§4.3–§4.4): each candidate's patched program is replayed over the
+// recorded workload, per-host delivery distributions are compared to the
+// pre-repair baseline with a two-sample KS test, and candidates that are
+// ineffective (symptom persists) or too disruptive (distribution shifts
+// significantly) are rejected. RunShared implements the multi-query
+// optimization: all candidates run in one tagged simulation, sharing every
+// computation their programs have in common.
+package backtest
+
+import (
+	"fmt"
+
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Job describes one backtesting task.
+type Job struct {
+	// Prog is the original (buggy) controller program.
+	Prog *ndlog.Program
+	// Candidates are the repairs to evaluate (at most 63 per shared run).
+	Candidates []metaprov.Candidate
+	// BuildNet constructs a fresh network (topology + proactive state,
+	// no controller attached).
+	BuildNet func() *sdn.Network
+	// State are controller tuples inserted before traffic (policy tables).
+	State []ndlog.Tuple
+	// Workload is the recorded packet trace to replay.
+	Workload []trace.Entry
+	// Effective decides whether the symptom is fixed for a tag in the
+	// replayed network (e.g. "H2 received HTTP traffic"). The controller
+	// is exposed so checks can inspect controller state (Q5's learning
+	// table).
+	Effective func(net *sdn.Network, ctl *sdn.NDlogController, tag int) bool
+	// Alpha is the KS significance level (default 0.05).
+	Alpha float64
+	// MaxPacketInFactor, when positive, rejects candidates whose
+	// controller PacketIn load exceeds this multiple of the baseline —
+	// the "significant increases of controller traffic" side effect the
+	// paper's Q4 evaluation rejects (Table 6(c)).
+	MaxPacketInFactor float64
+	// Coalesce merges syntactically identical candidate rule copies in
+	// shared runs (the §4.4 static-analysis optimization); on by default
+	// via NewJob-style zero handling — set SkipCoalesce to disable.
+	SkipCoalesce bool
+}
+
+// Result is the verdict for one candidate.
+type Result struct {
+	Candidate metaprov.Candidate
+	// Effective: the symptom is gone under this candidate.
+	Effective bool
+	// KS is the D statistic vs. the baseline distribution; P its p-value.
+	KS float64
+	P  float64
+	// PacketInFactor is the candidate's controller load relative to the
+	// baseline (1 = unchanged).
+	PacketInFactor float64
+	// Accepted = effective and not significantly disruptive.
+	Accepted bool
+}
+
+// String renders the result as a Table 2 row.
+func (r Result) String() string {
+	verdict := "rejected"
+	if r.Accepted {
+		verdict = "ACCEPTED"
+	}
+	return fmt.Sprintf("%-70s KS=%.5f  %s", r.Candidate.Describe(), r.KS, verdict)
+}
+
+func (j *Job) alpha() float64 {
+	if j.Alpha > 0 {
+		return j.Alpha
+	}
+	return 0.05
+}
+
+// runOne replays the workload through one program variant and returns the
+// resulting network and controller (tag 0 carries the variant).
+func (j *Job) runOne(prog *ndlog.Program, inserts, deletes []ndlog.Tuple) (*sdn.Network, *sdn.NDlogController) {
+	net := j.BuildNet()
+	eng := ndlog.MustNewEngine(prog)
+	ctl := sdn.NewNDlogController(eng)
+	net.Ctrl = ctl
+	deleted := make(map[string]bool)
+	for _, d := range deletes {
+		deleted[d.Key()] = true
+	}
+	for _, st := range j.State {
+		if deleted[st.Key()] {
+			continue
+		}
+		ctl.InsertState(net, st)
+	}
+	for _, ins := range inserts {
+		ctl.InsertState(net, ins)
+	}
+	trace.Replay(net, j.Workload, 1)
+	return net, ctl
+}
+
+// Baseline replays the unmodified program and returns its per-host
+// delivery distribution and controller PacketIn count.
+func (j *Job) Baseline() ([]int64, int64) {
+	net, _ := j.runOne(j.Prog, nil, nil)
+	return net.Distribution(0), net.PacketInsByTag[0]
+}
+
+// RunSequential backtests each candidate in its own simulation (the upper
+// curve of Figure 9b).
+func (j *Job) RunSequential() []Result {
+	baseline, basePI := j.Baseline()
+	out := make([]Result, 0, len(j.Candidates))
+	for _, c := range j.Candidates {
+		patch, err := c.Apply(j.Prog)
+		if err != nil {
+			out = append(out, Result{Candidate: c})
+			continue
+		}
+		net, ctl := j.runOne(patch.Prog, patch.Inserts, patch.Deletes)
+		res := j.judge(c, baseline, net.Distribution(0), net, ctl, 0, basePI, net.PacketInsByTag[0])
+		out = append(out, res)
+	}
+	return out
+}
+
+// RunShared backtests all candidates in a single tagged simulation
+// (§4.4): tag bit 0 is the baseline program; candidate i runs under tag
+// bit i+1. Rules untouched by a candidate keep its tag bit, so shared
+// computation happens once.
+func (j *Job) RunShared() ([]Result, error) {
+	if len(j.Candidates) > 63 {
+		return nil, fmt.Errorf("backtest: %d candidates exceed the 63-tag limit", len(j.Candidates))
+	}
+	shared, inserts, deletes, err := BuildSharedProgram(j.Prog, j.Candidates, !j.SkipCoalesce)
+	if err != nil {
+		return nil, err
+	}
+	fullMask := uint64(1)<<(len(j.Candidates)+1) - 1
+
+	net := j.BuildNet()
+	eng := ndlog.MustNewEngine(shared)
+	ctl := sdn.NewNDlogController(eng)
+	net.Ctrl = ctl
+
+	// Seed controller state: a tuple deleted by candidate i is inserted
+	// with i's tag bit cleared.
+	for _, st := range j.State {
+		tp := st.Clone()
+		tp.Tags = fullMask &^ deletes[st.Key()]
+		ctl.InsertState(net, tp)
+	}
+	// Candidate-specific manual insertions.
+	for bit, ins := range inserts {
+		for _, tp := range ins {
+			t2 := tp.Clone()
+			t2.Tags = 1 << uint(bit)
+			ctl.InsertState(net, t2)
+		}
+	}
+	trace.Replay(net, j.Workload, fullMask)
+
+	baseline := net.Distribution(0)
+	basePI := net.PacketInsByTag[0]
+	out := make([]Result, 0, len(j.Candidates))
+	for i, c := range j.Candidates {
+		tag := i + 1
+		out = append(out, j.judge(c, baseline, net.Distribution(tag), net, ctl, tag, basePI, net.PacketInsByTag[tag]))
+	}
+	return out, nil
+}
+
+// judge applies the §4.3 acceptance test: effective, KS-compatible with
+// the baseline at significance alpha, and without a controller-load blowup.
+func (j *Job) judge(c metaprov.Candidate, baseline, dist []int64, net *sdn.Network, ctl *sdn.NDlogController, tag int, basePI, pi int64) Result {
+	d, p := stats.KSFromCounts(baseline, dist)
+	eff := true
+	if j.Effective != nil {
+		eff = j.Effective(net, ctl, tag)
+	}
+	factor := 1.0
+	if basePI > 0 {
+		factor = float64(pi) / float64(basePI)
+	} else if pi > 0 {
+		factor = float64(pi)
+	}
+	accepted := eff && p >= j.alpha()
+	if j.MaxPacketInFactor > 0 && factor > j.MaxPacketInFactor {
+		accepted = false
+	}
+	return Result{
+		Candidate:      c,
+		Effective:      eff,
+		KS:             d,
+		P:              p,
+		PacketInFactor: factor,
+		Accepted:       accepted,
+	}
+}
+
+// BuildSharedProgram assembles the §4.4 backtesting program: every
+// original rule restricted away from the candidates that modify or delete
+// it, plus per-candidate copies of the modified rules restricted to that
+// candidate's tag. It returns the program, per-candidate-bit manual
+// insertions, and a map from base-tuple key to the tag bits that delete it.
+func BuildSharedProgram(prog *ndlog.Program, cands []metaprov.Candidate, coalesce bool) (*ndlog.Program, map[int][]ndlog.Tuple, map[string]uint64, error) {
+	type variant struct {
+		rule   *ndlog.Rule
+		bits   uint64
+		origID string // "" for candidate-added rules
+	}
+	touched := make(map[string]uint64) // rule ID -> bits of candidates changing/deleting it
+	var variants []variant
+	inserts := make(map[int][]ndlog.Tuple)
+	deletes := make(map[string]uint64)
+
+	for i, c := range cands {
+		bit := uint64(1) << uint(i+1)
+		patch, err := c.Apply(prog)
+		if err != nil {
+			// Unapplicable candidate: give it no rules at all so it is
+			// judged ineffective rather than failing the whole batch.
+			continue
+		}
+		for _, ins := range patch.Inserts {
+			inserts[i+1] = append(inserts[i+1], ins)
+		}
+		for _, del := range patch.Deletes {
+			deletes[del.Key()] |= bit
+		}
+		origByID := make(map[string]*ndlog.Rule)
+		for _, r := range prog.Rules {
+			origByID[r.ID] = r
+		}
+		seen := make(map[string]bool)
+		for _, r := range patch.Prog.Rules {
+			seen[r.ID] = true
+			orig, exists := origByID[r.ID]
+			if exists && orig.String() == r.String() {
+				continue // untouched rule: shared copy serves this tag
+			}
+			touched[r.ID] |= bit
+			cp := r.Clone()
+			cp.ID = fmt.Sprintf("%s~c%d", r.ID, i+1)
+			origID := ""
+			if exists {
+				origID = r.ID
+			}
+			variants = append(variants, variant{rule: cp, bits: bit, origID: origID})
+		}
+		for id := range origByID {
+			if !seen[id] {
+				touched[id] |= bit // rule deleted by this candidate
+			}
+		}
+	}
+	// Coalescing (§4.4): merge candidate copies whose bodies are
+	// syntactically identical, OR-ing their tag bits.
+	if coalesce {
+		merged := make(map[string]int)
+		var kept []variant
+		for _, v := range variants {
+			key := ruleBodyKey(v.rule)
+			if idx, ok := merged[key]; ok {
+				kept[idx].bits |= v.bits
+				continue
+			}
+			merged[key] = len(kept)
+			kept = append(kept, v)
+		}
+		variants = kept
+	}
+	// Assemble the shared program: each original rule (restricted away
+	// from the candidates that touch it) immediately followed by its
+	// candidate variants, preserving the original rule order — flow
+	// entries with tied priorities then install in the same order as in
+	// each candidate's sequential run.
+	fullMask := uint64(1)<<(len(cands)+1) - 1
+	shared := prog.Clone()
+	var rules []*ndlog.Rule
+	for _, r := range shared.Rules {
+		r.TagMask = fullMask &^ touched[r.ID]
+		rules = append(rules, r)
+		for _, v := range variants {
+			if v.origID == r.ID {
+				cp := v.rule
+				cp.TagMask = v.bits
+				rules = append(rules, cp)
+			}
+		}
+	}
+	for _, v := range variants {
+		if v.origID == "" {
+			cp := v.rule
+			cp.TagMask = v.bits
+			rules = append(rules, cp)
+		}
+	}
+	shared.Rules = rules
+	return shared, inserts, deletes, nil
+}
+
+// ruleBodyKey canonicalizes a rule for coalescing: everything except its ID.
+func ruleBodyKey(r *ndlog.Rule) string {
+	c := r.Clone()
+	c.ID = "x"
+	return c.String()
+}
+
+// AppliedChanges summarizes which rules each candidate touches — used by
+// diagnostics and tests.
+func AppliedChanges(c metaprov.Candidate) []string {
+	var out []string
+	for _, ch := range c.Changes {
+		switch ch := ch.(type) {
+		case meta.SetConst:
+			out = append(out, ch.RuleID)
+		case meta.SetOper:
+			out = append(out, ch.RuleID)
+		case meta.SetExpr:
+			out = append(out, ch.RuleID)
+		case meta.DropSel:
+			out = append(out, ch.RuleID)
+		case meta.DropBodyPred:
+			out = append(out, ch.RuleID)
+		case meta.DropRule:
+			out = append(out, ch.RuleID)
+		}
+	}
+	return out
+}

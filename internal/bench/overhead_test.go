@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+const stressProgram = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+f1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Dpt == 80, Prt := 1.
+`
+
+func TestStressController(t *testing.T) {
+	prog := ndlog.MustParse("stress", stressProgram)
+	res, err := StressController(prog, 2000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 2000 || res.Throughput <= 0 || res.MeanLat <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestOverheadDirection(t *testing.T) {
+	prog := ndlog.MustParse("stress", stressProgram)
+	latInc, thrRed, on, off, err := Overhead(prog, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provenance recording must cost something (cloning tuples per
+	// derivation), but not be catastrophic.
+	if on.Throughput <= 0 || off.Throughput <= 0 {
+		t.Fatalf("throughputs: on=%v off=%v", on.Throughput, off.Throughput)
+	}
+	if thrRed < -0.5 {
+		t.Fatalf("provenance made the controller 50%% faster? %v", thrRed)
+	}
+	t.Logf("latency increase = %.1f%%, throughput reduction = %.1f%%", 100*latInc, 100*thrRed)
+}
+
+func TestStorageRate(t *testing.T) {
+	entries := trace.Generate(trace.Config{
+		Seed:     1,
+		Sources:  []trace.HostSpec{{ID: "h", IP: 1}},
+		Services: []trace.Service{{DstIP: 2, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+		Flows:    500,
+	})
+	rate := StorageRate(entries, 2, 1000)
+	if rate <= 0 {
+		t.Fatalf("rate = %v", rate)
+	}
+	if StorageRate(nil, 2, 1000) != 0 {
+		t.Fatal("empty trace should rate 0")
+	}
+}

@@ -1,0 +1,185 @@
+// Package core is the public face of the meta-provenance debugger: it ties
+// the NDlog engine, provenance recorder, meta-provenance explorer, repair
+// generator, and backtesting engine into the workflow the paper describes
+// (§2): the operator specifies an observed problem, and the debugger
+// returns a causal explanation plus a ranked list of suggested repairs
+// that fix the problem with few side effects.
+//
+// Typical use:
+//
+//	dbg, _ := core.NewDebugger(program)
+//	net := buildNetwork()            // attach dbg.Controller() to it
+//	...run traffic...
+//	goal := core.Missing("FlowTable", pin(3), nil, pin(201), nil, pin(80), pin(2))
+//	report, _ := dbg.Suggest(core.Symptom{Goal: goal}, backtestJob)
+//	for _, s := range report.Suggestions { fmt.Println(s) }
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/backtest"
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/sdn"
+)
+
+// Debugger wires a controller program to the provenance and repair
+// machinery.
+type Debugger struct {
+	Prog     *ndlog.Program
+	Engine   *ndlog.Engine
+	Recorder *provenance.Recorder
+	ctl      *sdn.NDlogController
+
+	// Explorer tuning applied to every Suggest call; nil uses defaults.
+	Tune func(*metaprov.Explorer)
+}
+
+// NewDebugger compiles the program and attaches a provenance recorder.
+func NewDebugger(prog *ndlog.Program) (*Debugger, error) {
+	eng, err := ndlog.NewEngine(prog)
+	if err != nil {
+		return nil, err
+	}
+	rec := provenance.NewRecorder()
+	eng.Listen(rec)
+	return &Debugger{
+		Prog:     prog,
+		Engine:   eng,
+		Recorder: rec,
+		ctl:      sdn.NewNDlogController(eng),
+	}, nil
+}
+
+// Controller returns the SDN controller backed by the debugger's engine;
+// attach it to a Network so control-plane history is recorded.
+func (d *Debugger) Controller() *sdn.NDlogController { return d.ctl }
+
+// Symptom describes the observed problem: either a missing tuple (Goal)
+// or an unwanted existing tuple (Present).
+type Symptom struct {
+	Goal    metaprov.Goal
+	Present *ndlog.Tuple
+}
+
+// Missing builds a missing-tuple symptom; nil entries are unconstrained.
+func Missing(table string, args ...*ndlog.Value) Symptom {
+	return Symptom{Goal: metaprov.PinnedGoal(table, args...)}
+}
+
+// Present builds an unwanted-tuple symptom.
+func Present(t ndlog.Tuple) Symptom { return Symptom{Present: &t} }
+
+// Pin is a helper to build pinned symptom arguments.
+func Pin(v int64) *ndlog.Value {
+	x := ndlog.Int(v)
+	return &x
+}
+
+// Suggestion is one ranked repair.
+type Suggestion struct {
+	Rank      int
+	Candidate metaprov.Candidate
+	Result    backtest.Result
+}
+
+// String renders the suggestion as the debugger presents it.
+func (s Suggestion) String() string {
+	mark := "rejected"
+	if s.Result.Accepted {
+		mark = "accepted"
+	}
+	return fmt.Sprintf("#%d [%s, cost %.1f, KS %.5f] %s",
+		s.Rank, mark, s.Candidate.Cost, s.Result.KS, s.Candidate.Describe())
+}
+
+// Report is the outcome of a Suggest call.
+type Report struct {
+	// Explanation is the provenance tree for the symptom (positive
+	// provenance for Present symptoms; the candidate meta-provenance
+	// trees cover missing symptoms).
+	Explanation *provenance.Vertex
+	// Suggestions are all backtested candidates, accepted first, then by
+	// complexity (cost) — the §5.3 presentation order.
+	Suggestions []Suggestion
+	// Accepted counts suggestions that passed backtesting.
+	Accepted int
+}
+
+// Explain returns the classic provenance explanation for a tuple (§2.2).
+func (d *Debugger) Explain(t ndlog.Tuple) *provenance.Vertex {
+	return d.Recorder.Explain(t)
+}
+
+// ExplainMissing returns the negative provenance explanation (§2.2).
+func (d *Debugger) ExplainMissing(table string, filter []*ndlog.Value) *provenance.Vertex {
+	return d.Recorder.ExplainMissing(d.Prog, table, filter)
+}
+
+// Suggest generates repair candidates for the symptom via meta provenance
+// and backtests them with the supplied job configuration (BuildNet,
+// Workload, Effective; Prog and Candidates are filled in by Suggest).
+func (d *Debugger) Suggest(sym Symptom, job backtest.Job) (*Report, error) {
+	ex := metaprov.NewExplorer(meta.NewModel(d.Prog), d.Recorder)
+	ex.MaxCandidates = 24 // leave room in the shared backtest's 63 tags
+	if d.Tune != nil {
+		d.Tune(ex)
+	}
+	rep := &Report{}
+	var cands []metaprov.Candidate
+	switch {
+	case sym.Present != nil:
+		rep.Explanation = d.Recorder.Explain(*sym.Present)
+		cands = ex.RepairPositive(*sym.Present, d.Recorder)
+	case sym.Goal.Table != "":
+		rep.Explanation = d.Recorder.ExplainMissing(d.Prog, sym.Goal.Table, nil)
+		cands = ex.Explore(sym.Goal)
+	default:
+		return nil, fmt.Errorf("core: empty symptom")
+	}
+
+	if len(cands) > 63 {
+		cands = cands[:63] // cost order keeps the most plausible repairs
+	}
+	job.Prog = d.Prog
+	job.Candidates = cands
+	results, err := job.RunShared()
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		rep.Suggestions = append(rep.Suggestions, Suggestion{Rank: i + 1, Candidate: cands[i], Result: r})
+		if r.Accepted {
+			rep.Accepted++
+		}
+	}
+	// Accepted first, then by cost — "the simplest candidate is shown
+	// first" (§5.3).
+	sort.SliceStable(rep.Suggestions, func(i, j int) bool {
+		si, sj := rep.Suggestions[i], rep.Suggestions[j]
+		if si.Result.Accepted != sj.Result.Accepted {
+			return si.Result.Accepted
+		}
+		return si.Candidate.Cost < sj.Candidate.Cost
+	})
+	for i := range rep.Suggestions {
+		rep.Suggestions[i].Rank = i + 1
+	}
+	return rep, nil
+}
+
+// Render pretty-prints a report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d suggestion(s), %d accepted\n", len(r.Suggestions), r.Accepted)
+	for _, s := range r.Suggestions {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/backtest"
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+const miniProgram = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Sip < 64, Prt := 2.
+r2 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Sip >= 64, Prt := 3.
+r5 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 2, Dpt == 80, Prt := 1.
+r7 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 2, Dpt == 80, Prt := 2.
+`
+
+func miniNet() *sdn.Network {
+	n := sdn.NewNetwork()
+	s1, s2, s3 := sdn.NewSwitch("s1", 1), sdn.NewSwitch("s2", 2), sdn.NewSwitch("s3", 3)
+	n.AddSwitch(s1)
+	n.AddSwitch(s2)
+	n.AddSwitch(s3)
+	s1.Wire(2, "s2")
+	s2.Wire(3, "s1")
+	s1.Wire(3, "s3")
+	s3.Wire(3, "s1")
+	n.AddHostAt(sdn.NewHost("h1", 201, "s2"), 1)
+	n.AddHostAt(sdn.NewHost("h2", 202, "s3"), 2)
+	for i := 1; i <= 64; i++ {
+		n.AddHostAt(sdn.NewHost(fmt.Sprintf("c%02d", i), int64(i), "s1"), 10+i)
+	}
+	return n
+}
+
+func miniWorkload() []trace.Entry {
+	var sources []trace.HostSpec
+	for i := 1; i <= 64; i++ {
+		sources = append(sources, trace.HostSpec{ID: fmt.Sprintf("c%02d", i), IP: int64(i)})
+	}
+	return trace.Generate(trace.Config{
+		Seed:     7,
+		Sources:  sources,
+		Services: []trace.Service{{DstIP: 201, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+		Flows:    400,
+	})
+}
+
+func runDiagnostic(t *testing.T) (*Debugger, []trace.Entry) {
+	t.Helper()
+	dbg, err := NewDebugger(ndlog.MustParse("mini", miniProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := miniNet()
+	net.Ctrl = dbg.Controller()
+	wl := miniWorkload()
+	trace.Replay(net, wl, 1)
+	return dbg, wl
+}
+
+func TestSuggestMissingTuple(t *testing.T) {
+	dbg, wl := runDiagnostic(t)
+	report, err := dbg.Suggest(
+		Missing("FlowTable", Pin(3), nil, nil, nil, Pin(80), Pin(2)),
+		backtest.Job{
+			BuildNet: miniNet,
+			Workload: wl,
+			Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+				return n.Hosts["h2"].PortCountFor(sdn.PortHTTP, tag) > 0
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suggestions) == 0 || report.Accepted == 0 {
+		t.Fatalf("suggestions=%d accepted=%d", len(report.Suggestions), report.Accepted)
+	}
+	// Accepted suggestions must come first and the top one must be the
+	// paper's fix.
+	top := report.Suggestions[0]
+	if !top.Result.Accepted {
+		t.Fatalf("top suggestion not accepted: %v", top)
+	}
+	if !strings.Contains(top.Candidate.Describe(), "change constant 2 in r7 (sel/0/R) to 3") {
+		t.Fatalf("top suggestion = %q", top.Candidate.Describe())
+	}
+	for i := 1; i < len(report.Suggestions); i++ {
+		if report.Suggestions[i].Result.Accepted && !report.Suggestions[i-1].Result.Accepted {
+			t.Fatal("accepted suggestion ranked after a rejected one")
+		}
+	}
+	if !strings.Contains(report.Render(), "accepted") {
+		t.Fatal("Render missing verdicts")
+	}
+	if report.Explanation == nil {
+		t.Fatal("missing negative-provenance explanation")
+	}
+}
+
+func TestSuggestPresentTuple(t *testing.T) {
+	dbg, wl := runDiagnostic(t)
+	// The buggy r7 derives FlowTable(2,...,2) entries that hijack S2's
+	// HTTP toward the unwired port 2: a positive symptom. Find one
+	// concrete bad tuple from the recorder.
+	var bad *ndlog.Tuple
+	for _, tp := range dbg.Recorder.TuplesOf("FlowTable") {
+		if tp.Args[0].Int == 2 && tp.Args[5].Int == 2 {
+			c := tp.Clone()
+			bad = &c
+			break
+		}
+	}
+	if bad == nil {
+		t.Fatal("no bad flow entry recorded")
+	}
+	report, err := dbg.Suggest(Present(*bad), backtest.Job{
+		BuildNet: miniNet,
+		Workload: wl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suggestions) == 0 {
+		t.Fatal("no positive-symptom suggestions")
+	}
+	all := ""
+	for _, s := range report.Suggestions {
+		all += s.Candidate.Describe() + "\n"
+	}
+	if !strings.Contains(all, "r7") {
+		t.Fatalf("no r7 repair among positive suggestions:\n%s", all)
+	}
+	if report.Explanation == nil || report.Explanation.Size() < 2 {
+		t.Fatal("positive symptom must carry a provenance explanation")
+	}
+}
+
+func TestSuggestEmptySymptom(t *testing.T) {
+	dbg, _ := runDiagnostic(t)
+	if _, err := dbg.Suggest(Symptom{}, backtest.Job{BuildNet: miniNet}); err == nil {
+		t.Fatal("expected empty-symptom error")
+	}
+}
+
+func TestExplainFacades(t *testing.T) {
+	dbg, _ := runDiagnostic(t)
+	tuples := dbg.Recorder.TuplesOf("FlowTable")
+	if len(tuples) == 0 {
+		t.Fatal("no recorded flow entries")
+	}
+	if v := dbg.Explain(tuples[0]); v == nil || v.Size() < 2 {
+		t.Fatal("Explain returned a trivial tree")
+	}
+	if v := dbg.ExplainMissing("FlowTable", nil); v == nil || len(v.Children) == 0 {
+		t.Fatal("ExplainMissing returned no NDERIVE children")
+	}
+}
+
+func TestNewDebuggerRejectsBadProgram(t *testing.T) {
+	bad := &ndlog.Program{Name: "bad", Rules: []*ndlog.Rule{{ID: "r"}}}
+	if _, err := NewDebugger(bad); err == nil {
+		t.Fatal("expected compile error")
+	}
+}

@@ -1,0 +1,91 @@
+// Package cost implements the plausibility cost model of §3.5: common bug
+// patterns (off-by-one constants, flipped comparison operators) get low
+// costs, unlikely edits (new rules, new tables) get high costs, so the
+// meta-provenance forest explores the most plausible repairs first. The
+// relative ordering follows the bug-fix pattern study of Pan et al.
+// ("Toward an understanding of bug fix patterns", ESE 14(3), 2009), which
+// the paper cites as the basis for its metric.
+package cost
+
+// Kind enumerates repair change kinds, ordered roughly by plausibility.
+type Kind uint8
+
+const (
+	// ChangeConstant replaces one constant with another (e.g. Swi==2 →
+	// Swi==3). Pan et al.: the single most common fix pattern.
+	ChangeConstant Kind = iota
+	// ChangeOperator flips a comparison operator (== → !=, < → <=, ...).
+	ChangeOperator
+	// ChangeVariable substitutes one variable for another of the same type.
+	ChangeVariable
+	// InsertBaseTuple manually installs a base tuple (e.g. a flow entry).
+	InsertBaseTuple
+	// DeleteBaseTuple manually removes a base tuple.
+	DeleteBaseTuple
+	// DeleteSelection removes a selection predicate from a rule.
+	DeleteSelection
+	// DeleteBodyPredicate removes a whole body predicate from a rule.
+	DeleteBodyPredicate
+	// CopyRule duplicates an existing rule with a modified head or guard.
+	CopyRule
+	// DeleteRule removes an entire rule.
+	DeleteRule
+	// AddRule writes an entirely new rule.
+	AddRule
+	// AddTable defines a new table.
+	AddTable
+)
+
+var names = [...]string{
+	"change-constant", "change-operator", "change-variable",
+	"insert-base-tuple", "delete-base-tuple", "delete-selection",
+	"delete-body-predicate", "copy-rule", "delete-rule", "add-rule",
+	"add-table",
+}
+
+// String returns the kind's kebab-case name.
+func (k Kind) String() string {
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// Of returns the cost of one change of the given kind.
+func Of(k Kind) float64 {
+	switch k {
+	case ChangeConstant:
+		return 1
+	case ChangeOperator:
+		return 1.5
+	case ChangeVariable:
+		return 2
+	case InsertBaseTuple:
+		return 2.5
+	case DeleteBaseTuple:
+		return 2.5
+	case DeleteSelection:
+		return 3
+	case DeleteBodyPredicate:
+		return 4
+	case CopyRule:
+		return 5
+	case DeleteRule:
+		return 6
+	case AddRule:
+		return 8
+	case AddTable:
+		return 12
+	}
+	return 100
+}
+
+// ExpandStep is the small per-vertex exploration cost that guarantees
+// progress in the forest search (Appendix D: without it, a tree could be
+// expanded forever without ever making a program change).
+const ExpandStep = 0.01
+
+// DefaultCutoff is the default cost bound for exploration: changes beyond
+// this combined cost are considered implausible and never materialized
+// (§5.3 bounds the cost when generating Table 1's candidates).
+const DefaultCutoff = 9.0

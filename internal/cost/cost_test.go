@@ -1,0 +1,58 @@
+package cost
+
+import "testing"
+
+func TestCostOrderingMatchesPlausibility(t *testing.T) {
+	// §3.5: common errors cost less than unlikely ones. The total order
+	// below is the one the repair rankings in Tables 2 and 6 rely on.
+	order := []Kind{
+		ChangeConstant, ChangeOperator, ChangeVariable, InsertBaseTuple,
+		DeleteSelection, DeleteBodyPredicate, CopyRule, DeleteRule,
+		AddRule, AddTable,
+	}
+	for i := 1; i < len(order); i++ {
+		if Of(order[i-1]) >= Of(order[i]) {
+			t.Errorf("%s (%.1f) should cost less than %s (%.1f)",
+				order[i-1], Of(order[i-1]), order[i], Of(order[i]))
+		}
+	}
+}
+
+func TestExpandStepIsNegligible(t *testing.T) {
+	// The per-vertex exploration cost must never dominate a real change
+	// at realistic tree depths (~20 expansions), or the cost order
+	// degenerates into a depth penalty (Appendix D).
+	if ExpandStep*20 >= Of(ChangeConstant) {
+		t.Fatalf("ExpandStep %v too large relative to the cheapest change", ExpandStep)
+	}
+	if ExpandStep <= 0 {
+		t.Fatal("ExpandStep must be positive to guarantee progress")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if ChangeConstant.String() != "change-constant" || AddTable.String() != "add-table" {
+		t.Fatal("kind names broken")
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must render as unknown")
+	}
+	if Of(Kind(200)) <= Of(AddTable) {
+		t.Fatal("unknown kinds must be prohibitively expensive")
+	}
+}
+
+func TestDefaultCutoffAdmitsPaperRepairs(t *testing.T) {
+	// The Table 2 repairs the paper reports include double deletions
+	// (cost 6) and rule copies (cost 5): the default cutoff must admit
+	// them while excluding whole-rule rewrites.
+	if DefaultCutoff < Of(DeleteSelection)*2 {
+		t.Fatal("cutoff excludes double deletions")
+	}
+	if DefaultCutoff < Of(CopyRule) {
+		t.Fatal("cutoff excludes rule copies")
+	}
+	if DefaultCutoff >= Of(AddTable) {
+		t.Fatal("cutoff admits new-table definitions")
+	}
+}

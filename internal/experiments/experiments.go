@@ -1,0 +1,445 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and the appendices) on the simulated substrate. Each
+// function returns a printable artifact; cmd/experiments renders them all
+// and the repository-root benchmarks time them. Absolute numbers differ
+// from the paper (its testbed was Mininet on a 2013 workstation; ours is
+// an in-process simulator), but the shapes — who wins, by what factor,
+// where growth is linear — are the reproduction targets recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/backtest"
+	"repro/internal/bench"
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/scenarios"
+	"repro/internal/trace"
+)
+
+// Table1Row is one row of Table 1: candidates generated vs surviving.
+type Table1Row struct {
+	Name      string
+	Query     string
+	Generated int
+	Passed    int
+}
+
+// Table1 runs the five diagnostic queries end to end.
+func Table1(sc scenarios.Scale) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, s := range scenarios.All(sc) {
+		out, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, Table1Row{Name: s.Name, Query: s.Query, Generated: out.Generated, Passed: out.Passed})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: diagnostic queries — candidates generated / after backtesting\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-3s %-66s %d/%d\n", r.Name, r.Query, r.Generated, r.Passed)
+	}
+	return b.String()
+}
+
+// CandidateRow is one row of Tables 2 and 6.
+type CandidateRow struct {
+	Desc     string
+	KS       float64
+	Accepted bool
+}
+
+// CandidateTable runs one scenario and returns its candidate rows.
+func CandidateTable(s *scenarios.Scenario) ([]CandidateRow, error) {
+	out, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CandidateRow
+	for _, r := range out.Results {
+		rows = append(rows, CandidateRow{Desc: r.Candidate.Describe(), KS: r.KS, Accepted: r.Accepted})
+	}
+	return rows, nil
+}
+
+// FormatCandidates renders a Table 2 / Table 6 panel.
+func FormatCandidates(title string, rows []CandidateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, r := range rows {
+		mark := "5" // the paper's rejected mark
+		if r.Accepted {
+			mark = "3" // the paper's accepted check mark
+		}
+		fmt.Fprintf(&b, "  %c %-72s (%s)  %.5f\n", 'A'+i%26, clip(r.Desc, 72), mark, r.KS)
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// Table3Row is one cell group of Table 3: a scenario under one language.
+type Table3Row struct {
+	Scenario  string
+	Language  string
+	Supported bool
+	Generated int
+	Passed    int
+	Filtered  int
+}
+
+// Table3 reruns the scenarios under the Trema and Pyretic front-ends.
+func Table3(sc scenarios.Scale) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, lang := range []scenarios.Language{scenarios.TremaLang(), scenarios.PyreticLang()} {
+		for _, s := range scenarios.All(sc) {
+			out, err := s.RunWithLanguage(lang)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", s.Name, lang.Name, err)
+			}
+			rows = append(rows, Table3Row{
+				Scenario: s.Name, Language: lang.Name, Supported: out.Supported,
+				Generated: out.Generated, Passed: out.Passed, Filtered: out.Filtered,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: candidates generated/passed under Trema and Pyretic\n")
+	for _, r := range rows {
+		cell := "-"
+		if r.Supported {
+			cell = fmt.Sprintf("%d/%d", r.Generated, r.Passed)
+			if r.Filtered > 0 {
+				cell += fmt.Sprintf(" (%d inexpressible)", r.Filtered)
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s %-4s %s\n", r.Language, r.Scenario, cell)
+	}
+	return b.String()
+}
+
+// Figure9aRow is one bar of Figure 9a: the turnaround breakdown.
+type Figure9aRow struct {
+	Name   string
+	Timing scenarios.Timing
+}
+
+// Figure9a measures repair-generation turnaround per scenario.
+func Figure9a(sc scenarios.Scale) ([]Figure9aRow, error) {
+	var rows []Figure9aRow
+	for _, s := range scenarios.All(sc) {
+		out, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, Figure9aRow{Name: s.Name, Timing: out.Timing})
+	}
+	return rows, nil
+}
+
+// FormatFigure9a renders the Figure 9a series.
+func FormatFigure9a(rows []Figure9aRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 9a: turnaround time breakdown per scenario\n")
+	b.WriteString("  scenario  history     solving     patch-gen   replay      total\n")
+	for _, r := range rows {
+		t := r.Timing
+		fmt.Fprintf(&b, "  %-8s  %-10v  %-10v  %-10v  %-10v  %v\n",
+			r.Name, t.HistoryLookups.Round(time.Microsecond),
+			t.ConstraintSolving.Round(time.Microsecond),
+			t.PatchGeneration.Round(time.Microsecond),
+			t.Replay.Round(time.Microsecond),
+			t.Total().Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Figure9bRow is one point of Figure 9b: backtesting the first k
+// candidates sequentially vs with the multi-query optimization.
+type Figure9bRow struct {
+	K          int
+	Sequential time.Duration
+	Shared     time.Duration
+}
+
+// Figure9b measures backtesting time for growing candidate prefixes of
+// the Q1 candidate list.
+func Figure9b(sc scenarios.Scale, maxK int) ([]Figure9bRow, error) {
+	s := scenarios.Q1(sc)
+	rec, _, err := s.Diagnose()
+	if err != nil {
+		return nil, err
+	}
+	ex, _ := s.Explorer(rec)
+	cands := ex.Explore(s.Goal)
+	if maxK > len(cands) {
+		maxK = len(cands)
+	}
+	var rows []Figure9bRow
+	for k := 1; k <= maxK; k++ {
+		job := s.Job(cands[:k])
+		start := time.Now()
+		job.RunSequential()
+		seq := time.Since(start)
+		start = time.Now()
+		if _, err := job.RunShared(); err != nil {
+			return nil, err
+		}
+		shr := time.Since(start)
+		rows = append(rows, Figure9bRow{K: k, Sequential: seq, Shared: shr})
+	}
+	return rows, nil
+}
+
+// FormatFigure9b renders the Figure 9b series.
+func FormatFigure9b(rows []Figure9bRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 9b: time to backtest the first k repair candidates\n")
+	b.WriteString("  k   sequential   multi-query   speedup\n")
+	for _, r := range rows {
+		sp := 0.0
+		if r.Shared > 0 {
+			sp = float64(r.Sequential) / float64(r.Shared)
+		}
+		fmt.Fprintf(&b, "  %-3d %-12v %-13v %.1fx\n",
+			r.K, r.Sequential.Round(time.Millisecond), r.Shared.Round(time.Millisecond), sp)
+	}
+	return b.String()
+}
+
+// Figure9cRow is one point of Figure 9c: turnaround vs network size.
+type Figure9cRow struct {
+	Switches int
+	Hosts    int
+	Timing   scenarios.Timing
+}
+
+// Figure9c scales the Q1 network from 19 to 169 switches.
+func Figure9c(sizes []int, flows int) ([]Figure9cRow, error) {
+	var rows []Figure9cRow
+	for _, n := range sizes {
+		s := scenarios.Q1(scenarios.Scale{Switches: n, Flows: flows})
+		out, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("switches=%d: %w", n, err)
+		}
+		rows = append(rows, Figure9cRow{
+			Switches: len(s.BuildNet().Switches),
+			Hosts:    len(s.BuildNet().Hosts),
+			Timing:   out.Timing,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure9c renders the Figure 9c series.
+func FormatFigure9c(rows []Figure9cRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 9c: Q1 turnaround vs network size\n")
+	b.WriteString("  switches hosts   history     solving     patch-gen   replay      total\n")
+	for _, r := range rows {
+		t := r.Timing
+		fmt.Fprintf(&b, "  %-8d %-7d %-10v  %-10v  %-10v  %-10v  %v\n",
+			r.Switches, r.Hosts,
+			t.HistoryLookups.Round(time.Microsecond),
+			t.ConstraintSolving.Round(time.Microsecond),
+			t.PatchGeneration.Round(time.Microsecond),
+			t.Replay.Round(time.Microsecond),
+			t.Total().Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Figure10Row is one point of Figure 10 (Appendix A): turnaround vs
+// program size.
+type Figure10Row struct {
+	Lines      int
+	Candidates int
+	Timing     scenarios.Timing
+}
+
+// AugmentProgram appends inert operational-zone policies (ACL drop rules
+// for high port ranges) until the program's Trema rendering reaches at
+// least the requested line count — the Appendix A methodology.
+func AugmentProgram(prog *ndlog.Program, lines int) *ndlog.Program {
+	p := prog.Clone()
+	if p.Decl("Acl") == nil {
+		p.Decls = append(p.Decls, &ndlog.TableDecl{
+			Name: "Acl", Arity: 6, Timeout: 1, Keys: []int{0, 1, 2, 3, 4},
+		})
+	}
+	i := 0
+	for p.LineCount()*3 < lines { // each rule renders as ~3 Trema lines
+		i++
+		src := fmt.Sprintf(
+			"z%d Acl(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == %d, Dpt == %d, Prt := -1.",
+			i, 900+i, 10000+i)
+		rp := ndlog.MustParse("zone", src)
+		p.Rules = append(p.Rules, rp.Rules[0])
+	}
+	return p
+}
+
+// Figure10 scales the Q1 controller program from ~100 to ~900 lines.
+func Figure10(lineSizes []int, sc scenarios.Scale) ([]Figure10Row, error) {
+	var rows []Figure10Row
+	for _, lines := range lineSizes {
+		s := scenarios.Q1(sc)
+		s.Prog = AugmentProgram(s.Prog, lines)
+		out, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("lines=%d: %w", lines, err)
+		}
+		rows = append(rows, Figure10Row{
+			Lines:      lines,
+			Candidates: out.Generated,
+			Timing:     out.Timing,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure10 renders the Figure 10 series.
+func FormatFigure10(rows []Figure10Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Q1 turnaround vs program size (Trema-rendered lines)\n")
+	b.WriteString("  lines  candidates  total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6d %-11d %v\n", r.Lines, r.Candidates, r.Timing.Total().Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// OverheadReport bundles the §5.4 runtime-overhead measurements.
+type OverheadReport struct {
+	LatencyIncrease     float64
+	ThroughputReduction float64
+	On, Off             bench.StressResult
+	StorageRate         float64 // bytes per second per switch
+}
+
+// Overhead measures provenance-maintenance cost on the Q1 controller and
+// the storage rate of its workload.
+func Overhead(sc scenarios.Scale, events int) (OverheadReport, error) {
+	s := scenarios.Q1(sc)
+	latInc, thrRed, on, off, err := bench.Overhead(s.Prog, events)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	rate := bench.StorageRate(s.Workload, 4, 1000)
+	return OverheadReport{
+		LatencyIncrease:     latInc,
+		ThroughputReduction: thrRed,
+		On:                  on,
+		Off:                 off,
+		StorageRate:         rate,
+	}, nil
+}
+
+// FormatOverhead renders the §5.4 numbers.
+func FormatOverhead(r OverheadReport) string {
+	return fmt.Sprintf(
+		"Runtime overhead (§5.4):\n"+
+			"  latency increase with provenance:   %+.1f%% (%v -> %v per event)\n"+
+			"  throughput reduction:               %.1f%% (%.0f -> %.0f events/s)\n"+
+			"  storage rate:                       %.1f KB/s per switch (120-byte records)\n",
+		100*r.LatencyIncrease, r.Off.MeanLat, r.On.MeanLat,
+		100*r.ThroughputReduction, r.Off.Throughput, r.On.Throughput,
+		r.StorageRate/1024)
+}
+
+// AblationCostOrder compares cost-ordered exploration against naive FIFO
+// exploration (same cutoff): the §3.5 design choice. It returns the steps
+// each strategy needed to produce its candidate set and the candidate
+// counts.
+func AblationCostOrder(sc scenarios.Scale) (orderedSteps, fifoSteps, orderedCands, fifoCands int, err error) {
+	s := scenarios.Q1(sc)
+	rec, _, err := s.Diagnose()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	ex, _ := s.Explorer(rec)
+	cands := ex.Explore(s.Goal)
+	orderedSteps, orderedCands = ex.Steps, len(cands)
+
+	// FIFO: emulate by removing the cost signal (uniform costs) so the
+	// heap degenerates to breadth-first order over tree size.
+	ex2, _ := s.Explorer(rec)
+	ex2.Cutoff = 1e9
+	ex2.MaxSteps = orderedSteps // same budget
+	cands2 := ex2.Explore(s.Goal)
+	fifoSteps, fifoCands = ex2.Steps, len(cands2)
+	return orderedSteps, fifoSteps, orderedCands, fifoCands, nil
+}
+
+// AblationCoalescing compares shared backtesting with and without rule
+// coalescing (§4.4).
+func AblationCoalescing(sc scenarios.Scale) (with, without time.Duration, err error) {
+	s := scenarios.Q1(sc)
+	rec, _, err := s.Diagnose()
+	if err != nil {
+		return 0, 0, err
+	}
+	ex, _ := s.Explorer(rec)
+	cands := ex.Explore(s.Goal)
+	job := s.Job(cands)
+	start := time.Now()
+	if _, err := job.RunShared(); err != nil {
+		return 0, 0, err
+	}
+	with = time.Since(start)
+	job.SkipCoalesce = true
+	start = time.Now()
+	if _, err := job.RunShared(); err != nil {
+		return 0, 0, err
+	}
+	without = time.Since(start)
+	return with, without, nil
+}
+
+// QuickCandidates generates Q1's candidates without backtesting; used by
+// benchmarks that only exercise the generation phase.
+func QuickCandidates(sc scenarios.Scale) ([]metaprov.Candidate, *backtest.Job, error) {
+	s := scenarios.Q1(sc)
+	rec, _, err := s.Diagnose()
+	if err != nil {
+		return nil, nil, err
+	}
+	ex, _ := s.Explorer(rec)
+	cands := ex.Explore(s.Goal)
+	return cands, s.Job(cands), nil
+}
+
+// SmallWorkload exposes a deterministic workload for external tooling.
+func SmallWorkload() []trace.Entry {
+	return scenarios.Q1(scenarios.Scale{Switches: 19, Flows: 300}).Workload
+}
+
+// ModelStats reports the meta-model sizes for the three languages (§3.2,
+// §5.8 report the paper's counts; ours follow from the transcribed
+// Figure 4 model and the translator-based front-ends).
+func ModelStats() string {
+	tuples, rules := meta.MetaTupleKinds()
+	return fmt.Sprintf("µDlog meta model: %d meta-tuple kinds, %d meta rules (paper: 13/15)\n", tuples, rules)
+}

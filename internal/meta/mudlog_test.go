@@ -1,0 +1,114 @@
+package meta
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+// TestMuDlogMetaProgramDerivesFlowEntry evaluates the Figure 4 meta rules
+// with our own engine: the µDlog rule r5 (FlowTable(@Swi,Hdr,Prt) :-
+// PacketIn(@Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1 in two-column form) is
+// loaded as meta tuples, a PacketIn base tuple arrives, and the meta
+// program itself derives the flow entry — the program-as-data claim of
+// §3.2, executed literally.
+func TestMuDlogMetaProgramDerivesFlowEntry(t *testing.T) {
+	eng, err := NewMuDlogEngine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	c := ndlog.Str("C")
+
+	// Program-based meta tuples for a µDlog rule r5 over two-column
+	// tuples: PacketIn(Swi, Hdr) with selections Swi == 2, Hdr == 80 and
+	// head FlowTable(Swi, Prt) where Prt := 1 (a constant).
+	insert := func(tab string, args ...ndlog.Value) {
+		eng.Insert(ndlog.NewTuple(tab, append([]ndlog.Value{c}, args...)...))
+	}
+	// HeadFunc(@C, Rul, Tab, Loc, Arg1, Arg2): head FlowTable(@Swi, Hdr, cPrt).
+	insert("HeadFunc", ndlog.Str("r5"), ndlog.Str("FlowTable"), ndlog.Str("Swi"), ndlog.Str("Hdr"), ndlog.Str("cPrt"))
+	// PredFunc(@C, Rul, Tab, Arg1, Arg2): body PacketIn(Swi, Hdr).
+	insert("PredFunc", ndlog.Str("r5"), ndlog.Str("PacketIn"), ndlog.Str("Swi"), ndlog.Str("Hdr"))
+	// Constants: the selection operands 2 and 80, and the head port 1.
+	insert("Const", ndlog.Str("r5"), ndlog.Str("c2"), ndlog.Int(2))
+	insert("Const", ndlog.Str("r5"), ndlog.Str("c80"), ndlog.Int(80))
+	insert("Const", ndlog.Str("r5"), ndlog.Str("cPrt"), ndlog.Int(1))
+	// Operators: Swi == 2 (SID s1) and Hdr == 80 (SID s2).
+	insert("Oper", ndlog.Str("r5"), ndlog.Str("s1"), ndlog.Str("Swi"), ndlog.Str("c2"), ndlog.Str("=="))
+	insert("Oper", ndlog.Str("r5"), ndlog.Str("s2"), ndlog.Str("Hdr"), ndlog.Str("c80"), ndlog.Str("=="))
+	// Assignments: head values come from the join columns and constants.
+	insert("Assign", ndlog.Str("r5"), ndlog.Str("Swi"), ndlog.Str("Swi"))
+	insert("Assign", ndlog.Str("r5"), ndlog.Str("Hdr"), ndlog.Str("Hdr"))
+	insert("Assign", ndlog.Str("r5"), ndlog.Str("cPrt"), ndlog.Str("cPrt"))
+
+	// Runtime: the base tuple PacketIn(2, 80) arrives.
+	insert("Base", ndlog.Str("PacketIn"), ndlog.Int(2), ndlog.Int(80))
+
+	// The meta program must rederive Tuple(@2, FlowTable, 80, 1): the
+	// rule fired, placing the entry at switch 2 with port 1.
+	found := false
+	for _, row := range eng.Rows("Tuple") {
+		if row.Args[1].Equal(ndlog.Str("FlowTable")) {
+			found = true
+			if row.Args[0].Int != 2 {
+				t.Errorf("flow entry at location %v, want 2", row.Args[0])
+			}
+			if row.Args[2].Int != 80 || row.Args[3].Int != 1 {
+				t.Errorf("flow entry values = %v,%v want 80,1", row.Args[2], row.Args[3])
+			}
+		}
+	}
+	if !found {
+		for _, tab := range []string{"Tuple", "TuplePred", "Join2", "Expr", "HeadVal", "Sel"} {
+			for _, row := range eng.Rows(tab) {
+				t.Logf("%s: %s", tab, row)
+			}
+		}
+		t.Fatal("meta program failed to derive the flow entry")
+	}
+}
+
+// TestMuDlogMetaProgramRespectsSelections checks the negative case: a
+// packet that fails a selection must not derive a flow entry.
+func TestMuDlogMetaProgramRespectsSelections(t *testing.T) {
+	eng, err := NewMuDlogEngine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	c := ndlog.Str("C")
+	insert := func(tab string, args ...ndlog.Value) {
+		eng.Insert(ndlog.NewTuple(tab, append([]ndlog.Value{c}, args...)...))
+	}
+	insert("HeadFunc", ndlog.Str("r5"), ndlog.Str("FlowTable"), ndlog.Str("Swi"), ndlog.Str("Hdr"), ndlog.Str("cPrt"))
+	insert("PredFunc", ndlog.Str("r5"), ndlog.Str("PacketIn"), ndlog.Str("Swi"), ndlog.Str("Hdr"))
+	insert("Const", ndlog.Str("r5"), ndlog.Str("c2"), ndlog.Int(2))
+	insert("Const", ndlog.Str("r5"), ndlog.Str("c80"), ndlog.Int(80))
+	insert("Const", ndlog.Str("r5"), ndlog.Str("cPrt"), ndlog.Int(1))
+	insert("Oper", ndlog.Str("r5"), ndlog.Str("s1"), ndlog.Str("Swi"), ndlog.Str("c2"), ndlog.Str("=="))
+	insert("Oper", ndlog.Str("r5"), ndlog.Str("s2"), ndlog.Str("Hdr"), ndlog.Str("c80"), ndlog.Str("=="))
+	insert("Assign", ndlog.Str("r5"), ndlog.Str("Swi"), ndlog.Str("Swi"))
+	insert("Assign", ndlog.Str("r5"), ndlog.Str("Hdr"), ndlog.Str("Hdr"))
+	insert("Assign", ndlog.Str("r5"), ndlog.Str("cPrt"), ndlog.Str("cPrt"))
+
+	// Switch 3 fails Swi == 2: no flow entry may appear (this is the
+	// Figure 1 symptom at the meta level).
+	insert("Base", ndlog.Str("PacketIn"), ndlog.Int(3), ndlog.Int(80))
+	for _, row := range eng.Rows("Tuple") {
+		if row.Args[1].Equal(ndlog.Str("FlowTable")) {
+			t.Fatalf("selection violated: derived %s", row)
+		}
+	}
+}
+
+func TestMetaTupleKinds(t *testing.T) {
+	tuples, rules := MetaTupleKinds()
+	// The paper reports 13 meta tuples and 15 meta rules for µDlog; our
+	// transcription has 14 tables (h2's head bookkeeping is a table here)
+	// and 15 rules.
+	if rules != 15 {
+		t.Errorf("meta rules = %d, want 15 (Figure 4)", rules)
+	}
+	if tuples < 13 || tuples > 14 {
+		t.Errorf("meta tuple kinds = %d, want 13-14", tuples)
+	}
+}

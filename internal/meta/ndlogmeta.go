@@ -1,0 +1,132 @@
+package meta
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+)
+
+// NDlogMetaTemplate is the full-NDlog meta model of Appendix B.1
+// (Figure 11), written as template rules over arity specifiers and
+// expanded per Table 4. Unlike µDlog, real NDlog tables have arbitrary
+// arities, so each syntactic family (base insertion, tuple derivation,
+// predicate matching, joining, expression evaluation, assignment,
+// constraints) is one template that expands into a rule per arity.
+//
+// The transcription covers the h (derivation), p (predicate), j (join),
+// e (expression), a (assignment), and c (constraint) families of
+// Figure 11; the paper counts 23 meta rules for its model, and the
+// template families below expand to at least that many concrete rules at
+// any arity bound >= 2. The g (AggWrap) family is realized by the
+// engine's native a_count aggregation rather than meta rules, a
+// difference DESIGN.md records.
+const NDlogMetaTemplate = `
+/* h1: base tuples of arity k exist as tuples (message path). */
+h1 Tuple(k)(@C,Tab,Vals[k]) :- Base(k)(@C,Tab,Vals[k]).
+
+/* p1: a concrete tuple satisfies each syntactic predicate over its table,
+   producing one variable assignment per predicate occurrence. */
+p1 TuplePred(k)(@C,Rul,Tab,Args[k],Vals[k]) :- Tuple(k)(@C,Tab,Vals[k]), PredicateMeta(k)(@C,Rul,Tab,Args[k]).
+
+/* p2: count the predicates in each rule body. */
+p2 PredicateCount(@C,Rul,a_count<Tab>) :- PredicateMeta2(@C,Rul,Tab,Arg1,Arg2).
+
+/* j2: single-predicate rules lift the match into a join state. */
+j2 Join(k)(@C,Rul,JID,Args[k],Vals[k]) :- TuplePred(k)(@C,Rul,Tab,Args[k],Vals[k]), JID := f_unique().
+
+/* e1: constants evaluate on every join (wildcard JID). */
+e1 Expression(@C,Rul,JID,ID,Val) :- Constant(@C,Rul,ID,Val), JID := *.
+
+/* e2: every join column evaluates as an expression. */
+e2 Expression(@C,Rul,JID,Args{k},Vals{k}) :- Join(k)(@C,Rul,JID,Args[k],Vals[k]).
+
+/* e3: composite expressions apply a reified operator to sub-expressions. */
+e3 Expression(@C,Rul,JID,ID3,Val) :- Operator(@C,Rul,ID3,Opr), LeftEdge(@C,Rul,ID1,ID3),
+   RightEdge(@C,Rul,ID2,ID3), Expression(@C,Rul,JIDa,ID1,Val1), Expression(@C,Rul,JIDb,ID2,Val2),
+   true == f_match(JIDa,JIDb), JID := f_join(JIDa,JIDb), Val := f_cmp(Opr,Val1,Val2), ID1 != ID2.
+
+/* a1: assignments bind head values from expressions. */
+a1 HeadValue(@C,Rul,JID,Arg,Val) :- AssignMeta(@C,Rul,Arg,ID), Expression(@C,Rul,JID,ID,Val).
+
+/* c1: count a rule's constraints. */
+c1 ConstraintCount(@C,Rul,a_count<ID>) :- IsConstraint(@C,Rul,ID).
+
+/* c2: a constraint holds on a join when its boolean expression is true. */
+c2 Constraint(@C,Rul,JID,ID,Val) :- Expression(@C,Rul,JID,ID,Val), IsConstraint(@C,Rul,ID).
+`
+
+// NDlogMetaModel expands the Appendix B.1 template model up to the given
+// arity bound and parses it.
+func NDlogMetaModel(maxK int) (*ndlog.Program, error) {
+	decls := declsUpTo(maxK)
+	src := decls + ExpandTemplates(NDlogMetaTemplate, maxK)
+	return ndlog.Parse("ndlog-meta", src)
+}
+
+// declsUpTo emits materialize declarations for the per-arity tables.
+func declsUpTo(maxK int) string {
+	out := ""
+	for k := 1; k <= maxK; k++ {
+		// Base(k)(@C,Tab,Vals[k]) and Tuple(k): 2+k columns.
+		out += fmt.Sprintf("materialize(Base%d, 1, %d, keys(", k, 2+k)
+		out += keyList(2+k) + ")).\n"
+		out += fmt.Sprintf("materialize(Tuple%d, 1, %d, keys(", k, 2+k)
+		out += keyList(2+k) + ")).\n"
+		// PredicateMeta(k): @C,Rul,Tab,Args[k] = 3+k columns.
+		out += fmt.Sprintf("materialize(PredicateMeta%d, 1, %d, keys(", k, 3+k)
+		out += keyList(3+k) + ")).\n"
+		// TuplePred(k): @C,Rul,Tab,Args[k],Vals[k] = 3+2k columns.
+		out += fmt.Sprintf("materialize(TuplePred%d, 1, %d, keys(", k, 3+2*k)
+		out += keyList(3+2*k) + ")).\n"
+		// Join(k): @C,Rul,JID,Args[k],Vals[k] = 3+2k columns.
+		out += fmt.Sprintf("materialize(Join%d, 1, %d, keys(", k, 3+2*k)
+		out += keyList(3+2*k) + ")).\n"
+	}
+	out += "materialize(PredicateCount, 1, 3, keys(0,1)).\n"
+	out += "materialize(Constant, 1, 4, keys(0,1,2)).\n"
+	out += "materialize(Operator, 1, 4, keys(0,1,2)).\n"
+	out += "materialize(LeftEdge, 1, 4, keys(0,1,2,3)).\n"
+	out += "materialize(RightEdge, 1, 4, keys(0,1,2,3)).\n"
+	out += "materialize(AssignMeta, 1, 4, keys(0,1,2,3)).\n"
+	out += "materialize(IsConstraint, 1, 3, keys(0,1,2)).\n"
+	out += "materialize(ConstraintCount, 1, 3, keys(0,1)).\n"
+	out += "materialize(Expression, 1, 5, keys(0,1,2,3,4)).\n"
+	out += "materialize(HeadValue, 1, 5, keys(0,1,2,3,4)).\n"
+	out += "materialize(Constraint, 1, 5, keys(0,1,2,3)).\n"
+	return out
+}
+
+func keyList(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(i)
+	}
+	return s
+}
+
+// NewNDlogMetaEngine compiles the expanded Appendix B.1 model with the
+// f_cmp helper (shared with the µDlog model).
+func NewNDlogMetaEngine(maxK int) (*ndlog.Engine, error) {
+	prog, err := NDlogMetaModel(maxK)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := ndlog.NewEngine(prog)
+	if err != nil {
+		return nil, err
+	}
+	eng.Funcs["f_cmp"] = func(_ *ndlog.Engine, args []ndlog.Value) (ndlog.Value, error) {
+		if len(args) != 3 {
+			return ndlog.Value{}, errArity
+		}
+		op, ok := ndlog.ParseOp(args[0].Str)
+		if !ok {
+			return ndlog.Value{}, errArity
+		}
+		return ndlog.EvalOp(op, args[1], args[2])
+	}
+	return eng, nil
+}

@@ -1,0 +1,402 @@
+package meta
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/ndlog"
+)
+
+// Patch is the result of applying a repair candidate: a modified program
+// plus any manual base-tuple insertions or deletions the candidate calls
+// for. The original program is never mutated.
+type Patch struct {
+	Prog    *ndlog.Program
+	Inserts []ndlog.Tuple
+	Deletes []ndlog.Tuple
+}
+
+// Change is one meta-tuple edit: an update, insertion, or deletion of a
+// syntactic element or base tuple. Changes apply to a Patch in place.
+type Change interface {
+	ApplyTo(p *Patch) error
+	Kind() cost.Kind
+	String() string
+}
+
+// Apply clones the program and applies all changes, returning the patch.
+// Rule additions apply first (so follow-up edits can target the new rule);
+// changes that delete indexed elements from the same rule are applied in
+// descending index order so earlier deletions do not shift later ones.
+func Apply(prog *ndlog.Program, changes []Change) (*Patch, error) {
+	p := &Patch{Prog: prog.Clone()}
+	ordered := append([]Change(nil), changes...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		pi, pj := precedence(ordered[i]), precedence(ordered[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return deleteIndex(ordered[i]) > deleteIndex(ordered[j])
+	})
+	for _, c := range ordered {
+		if err := c.ApplyTo(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := Validate(p.Prog); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func precedence(c Change) int {
+	if _, ok := c.(AddRule); ok {
+		return 0
+	}
+	return 1
+}
+
+func deleteIndex(c Change) int {
+	switch c := c.(type) {
+	case DropSel:
+		return c.SelIdx
+	case DropBodyPred:
+		return c.BodyIdx
+	}
+	return -1
+}
+
+// CostOf sums the cost of a change list.
+func CostOf(changes []Change) float64 {
+	var total float64
+	for _, c := range changes {
+		total += cost.Of(c.Kind())
+	}
+	return total
+}
+
+// SetConst updates the constant at Path in rule RuleID to New (the
+// "change constant" repair, e.g. Swi==2 → Swi==3).
+type SetConst struct {
+	RuleID string
+	Path   string
+	Old    ndlog.Value
+	New    ndlog.Value
+}
+
+// ApplyTo implements Change.
+func (c SetConst) ApplyTo(p *Patch) error {
+	r := p.Prog.Rule(c.RuleID)
+	if r == nil {
+		return fmt.Errorf("meta: no rule %s", c.RuleID)
+	}
+	e, set, err := ResolveExpr(r, c.Path)
+	if err != nil {
+		return err
+	}
+	if _, ok := e.(*ndlog.ConstExpr); !ok {
+		return fmt.Errorf("meta: %s/%s is not a constant", c.RuleID, c.Path)
+	}
+	set(&ndlog.ConstExpr{Val: c.New})
+	return nil
+}
+
+// Kind implements Change.
+func (c SetConst) Kind() cost.Kind { return cost.ChangeConstant }
+
+func (c SetConst) String() string {
+	return fmt.Sprintf("change constant %s in %s (%s) to %s", c.Old, c.RuleID, c.Path, c.New)
+}
+
+// SetOper changes a selection's comparison operator (== → !=, <, ...).
+type SetOper struct {
+	RuleID string
+	SelIdx int
+	Old    ndlog.BinOp
+	New    ndlog.BinOp
+	Sel    string // rendered original selection, for display
+}
+
+// ApplyTo implements Change.
+func (c SetOper) ApplyTo(p *Patch) error {
+	r := p.Prog.Rule(c.RuleID)
+	if r == nil {
+		return fmt.Errorf("meta: no rule %s", c.RuleID)
+	}
+	if c.SelIdx < 0 || c.SelIdx >= len(r.Sels) {
+		return fmt.Errorf("meta: %s has no selection %d", c.RuleID, c.SelIdx)
+	}
+	r.Sels[c.SelIdx].Op = c.New
+	return nil
+}
+
+// Kind implements Change.
+func (c SetOper) Kind() cost.Kind { return cost.ChangeOperator }
+
+func (c SetOper) String() string {
+	return fmt.Sprintf("change operator %s to %s in %s (%s)", c.Old, c.New, c.RuleID, c.Sel)
+}
+
+// SetExpr replaces the expression at Path with a new expression (used for
+// variable substitutions such as Sip':=* → Sip':=Sip).
+type SetExpr struct {
+	RuleID string
+	Path   string
+	Old    string
+	New    ndlog.Expr
+}
+
+// ApplyTo implements Change.
+func (c SetExpr) ApplyTo(p *Patch) error {
+	r := p.Prog.Rule(c.RuleID)
+	if r == nil {
+		return fmt.Errorf("meta: no rule %s", c.RuleID)
+	}
+	_, set, err := ResolveExpr(r, c.Path)
+	if err != nil {
+		return err
+	}
+	set(c.New.Clone())
+	return nil
+}
+
+// Kind implements Change.
+func (c SetExpr) Kind() cost.Kind { return cost.ChangeVariable }
+
+func (c SetExpr) String() string {
+	return fmt.Sprintf("change %s in %s (%s) to %s", c.Old, c.RuleID, c.Path, c.New.String())
+}
+
+// DropSel deletes a selection predicate from a rule.
+type DropSel struct {
+	RuleID string
+	SelIdx int
+	Sel    string
+}
+
+// ApplyTo implements Change.
+func (c DropSel) ApplyTo(p *Patch) error {
+	r := p.Prog.Rule(c.RuleID)
+	if r == nil {
+		return fmt.Errorf("meta: no rule %s", c.RuleID)
+	}
+	if c.SelIdx < 0 || c.SelIdx >= len(r.Sels) {
+		return fmt.Errorf("meta: %s has no selection %d", c.RuleID, c.SelIdx)
+	}
+	r.Sels = append(r.Sels[:c.SelIdx], r.Sels[c.SelIdx+1:]...)
+	return nil
+}
+
+// Kind implements Change.
+func (c DropSel) Kind() cost.Kind { return cost.DeleteSelection }
+
+func (c DropSel) String() string {
+	return fmt.Sprintf("delete %s in %s", c.Sel, c.RuleID)
+}
+
+// DropBodyPred deletes a body predicate from a rule. Validation rejects the
+// resulting rule if it leaves variables unbound (the paper's syntactic
+// validity guard, §4.2).
+type DropBodyPred struct {
+	RuleID  string
+	BodyIdx int
+	Pred    string
+}
+
+// ApplyTo implements Change.
+func (c DropBodyPred) ApplyTo(p *Patch) error {
+	r := p.Prog.Rule(c.RuleID)
+	if r == nil {
+		return fmt.Errorf("meta: no rule %s", c.RuleID)
+	}
+	if c.BodyIdx < 0 || c.BodyIdx >= len(r.Body) {
+		return fmt.Errorf("meta: %s has no body predicate %d", c.RuleID, c.BodyIdx)
+	}
+	if len(r.Body) == 1 {
+		return fmt.Errorf("meta: cannot delete the only body predicate of %s", c.RuleID)
+	}
+	r.Body = append(r.Body[:c.BodyIdx], r.Body[c.BodyIdx+1:]...)
+	return nil
+}
+
+// Kind implements Change.
+func (c DropBodyPred) Kind() cost.Kind { return cost.DeleteBodyPredicate }
+
+func (c DropBodyPred) String() string {
+	return fmt.Sprintf("delete predicate %s in %s", c.Pred, c.RuleID)
+}
+
+// DropRule deletes a whole rule.
+type DropRule struct{ RuleID string }
+
+// ApplyTo implements Change.
+func (c DropRule) ApplyTo(p *Patch) error {
+	for i, r := range p.Prog.Rules {
+		if r.ID == c.RuleID {
+			p.Prog.Rules = append(p.Prog.Rules[:i], p.Prog.Rules[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("meta: no rule %s", c.RuleID)
+}
+
+// Kind implements Change.
+func (c DropRule) Kind() cost.Kind { return cost.DeleteRule }
+
+func (c DropRule) String() string { return fmt.Sprintf("delete rule %s", c.RuleID) }
+
+// AddRule inserts a new rule (the highest-cost program change).
+type AddRule struct{ Rule *ndlog.Rule }
+
+// ApplyTo implements Change.
+func (c AddRule) ApplyTo(p *Patch) error {
+	if p.Prog.Rule(c.Rule.ID) != nil {
+		return fmt.Errorf("meta: duplicate rule ID %s", c.Rule.ID)
+	}
+	r := c.Rule.Clone()
+	if r.TagMask == 0 {
+		r.TagMask = ndlog.AllTags
+	}
+	p.Prog.Rules = append(p.Prog.Rules, r)
+	return nil
+}
+
+// Kind implements Change.
+func (c AddRule) Kind() cost.Kind { return cost.AddRule }
+
+func (c AddRule) String() string { return fmt.Sprintf("add rule %s", c.Rule.String()) }
+
+// SetHeadTable renames a rule's head table (e.g. FlowTable → PacketOut,
+// the "changing the head of e2" repairs of Table 6(c)).
+type SetHeadTable struct {
+	RuleID string
+	Old    string
+	New    string
+}
+
+// ApplyTo implements Change.
+func (c SetHeadTable) ApplyTo(p *Patch) error {
+	r := p.Prog.Rule(c.RuleID)
+	if r == nil {
+		return fmt.Errorf("meta: no rule %s", c.RuleID)
+	}
+	r.Head.Table = c.New
+	return nil
+}
+
+// Kind implements Change.
+func (c SetHeadTable) Kind() cost.Kind { return cost.ChangeVariable }
+
+func (c SetHeadTable) String() string {
+	return fmt.Sprintf("change the head of %s to %s", c.RuleID, c.New)
+}
+
+// InsertTuple is a manual base-tuple insertion (e.g. manually installing a
+// flow entry — candidate A of Table 2).
+type InsertTuple struct{ Tuple ndlog.Tuple }
+
+// ApplyTo implements Change.
+func (c InsertTuple) ApplyTo(p *Patch) error {
+	p.Inserts = append(p.Inserts, c.Tuple.Clone())
+	return nil
+}
+
+// Kind implements Change.
+func (c InsertTuple) Kind() cost.Kind { return cost.InsertBaseTuple }
+
+func (c InsertTuple) String() string {
+	return fmt.Sprintf("manually insert %s", c.Tuple)
+}
+
+// DeleteTuple is a manual base-tuple deletion.
+type DeleteTuple struct{ Tuple ndlog.Tuple }
+
+// ApplyTo implements Change.
+func (c DeleteTuple) ApplyTo(p *Patch) error {
+	p.Deletes = append(p.Deletes, c.Tuple.Clone())
+	return nil
+}
+
+// Kind implements Change.
+func (c DeleteTuple) Kind() cost.Kind { return cost.DeleteBaseTuple }
+
+func (c DeleteTuple) String() string {
+	return fmt.Sprintf("manually delete %s", c.Tuple)
+}
+
+// Validate checks program-level syntactic validity after a patch: every
+// rule must bind all head and guard variables from its body predicates and
+// assignments. This is the guard that rejects changes violating the
+// grammar (§4.2's "Swi >" example).
+func Validate(prog *ndlog.Program) error {
+	for _, r := range prog.Rules {
+		if err := ValidateRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateRule checks a single rule's variable binding discipline.
+func ValidateRule(r *ndlog.Rule) error {
+	bound := make(map[string]bool)
+	for _, b := range r.Body {
+		for _, a := range b.Args {
+			for _, v := range a.Vars(nil) {
+				bound[v] = true
+			}
+		}
+	}
+	// Assignments bind their target; iterate to a fixed point to honour
+	// dependency order.
+	for changed := true; changed; {
+		changed = false
+		for _, a := range r.Assigns {
+			if bound[a.Var] {
+				continue
+			}
+			ok := true
+			for _, v := range a.Expr.Vars(nil) {
+				if !bound[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bound[a.Var] = true
+				changed = true
+			}
+		}
+	}
+	check := func(e ndlog.Expr, where string) error {
+		for _, v := range e.Vars(nil) {
+			if v == "_" {
+				continue
+			}
+			if !bound[v] {
+				return fmt.Errorf("meta: rule %s: unbound variable %s in %s", r.ID, v, where)
+			}
+		}
+		return nil
+	}
+	for _, s := range r.Sels {
+		if err := check(s.Left, "selection "+s.String()); err != nil {
+			return err
+		}
+		if err := check(s.Right, "selection "+s.String()); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Assigns {
+		if err := check(a.Expr, "assignment "+a.String()); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Head.Args {
+		if err := check(a, "head"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package meta
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file implements the template-rule expansion of Appendix B
+// (Table 4): the full NDlog meta model is written as template rules with
+// arity specifiers, each of which expands into a family of concrete rules.
+// The four procedures of Table 4:
+//
+//	(k)        -> the literal arity k              A(@X):-B(@X,Z),Z==(k).
+//	Z[k]       -> Z1, ..., Zk                      B(k)(@X,Z[k])
+//	B(@X,Z{k}) -> B(@X,Z1), ..., B(@X,Zk)          one predicate per index
+//	Z{k}>Z{k'} -> pairwise i<j combinations        Z1>Z2, ...
+//	Z{k}>Z{k''}-> ordered i!=j combinations
+//
+// Expansion is purely textual (the templates are themselves NDlog source),
+// mirroring the paper's presentation; the expanded text parses with the
+// ordinary ndlog parser.
+
+var (
+	arityLit   = regexp.MustCompile(`\((k)\)`)           // (k) literal
+	vecPat     = regexp.MustCompile(`(\w+)\[k\]`)        // Z[k] vectors
+	namedArity = regexp.MustCompile(`(\w+)\((k)\)\(`)    // B(k)( table-with-arity
+	idxPat     = regexp.MustCompile(`(\w+)\{k('{0,2})}`) // Z{k}, Z{k'}, Z{k''}
+)
+
+// ExpandTemplate expands one template rule at a concrete arity k,
+// following Table 4. Terms containing {k}/{k'}/{k”} indices expand into
+// the appropriate combinations; the caller joins the resulting concrete
+// rule sources.
+func ExpandTemplate(src string, k int) []string {
+	if k < 1 {
+		return nil
+	}
+	// 1. Table/predicate arity suffixes: B(k)(...) -> Bk(...).
+	out := namedArity.ReplaceAllStringFunc(src, func(m string) string {
+		sub := namedArity.FindStringSubmatch(m)
+		return fmt.Sprintf("%s%d(", sub[1], k)
+	})
+	// 2. Vectors: Z[k] -> Z1,...,Zk.
+	out = vecPat.ReplaceAllStringFunc(out, func(m string) string {
+		name := vecPat.FindStringSubmatch(m)[1]
+		parts := make([]string, k)
+		for i := range parts {
+			parts[i] = fmt.Sprintf("%s%d", name, i+1)
+		}
+		return strings.Join(parts, ",")
+	})
+	// 3. Literal arity: (k) -> k.
+	out = arityLit.ReplaceAllString(out, strconv.Itoa(k))
+
+	// 4. Indexed terms: if the rule still mentions {k} indices, expand
+	// the combination space. A term with {k} ranges over 1..k; {k'}
+	// ranges with i<j; {k''} ranges with i!=j.
+	if !idxPat.MatchString(out) {
+		return []string{out}
+	}
+	var results []string
+	kinds := indexKinds(out)
+	switch {
+	case kinds["''"]:
+		for i := 1; i <= k; i++ {
+			for j := 1; j <= k; j++ {
+				if i == j {
+					continue
+				}
+				results = append(results, substIndices(out, i, j))
+			}
+		}
+	case kinds["'"]:
+		for i := 1; i <= k; i++ {
+			for j := i + 1; j <= k; j++ {
+				results = append(results, substIndices(out, j, i))
+			}
+		}
+	default:
+		for i := 1; i <= k; i++ {
+			results = append(results, substIndices(out, i, i))
+		}
+	}
+	return results
+}
+
+// indexKinds reports which index decorations appear in the template.
+func indexKinds(src string) map[string]bool {
+	kinds := make(map[string]bool)
+	for _, m := range idxPat.FindAllStringSubmatch(src, -1) {
+		kinds[m[2]] = true
+	}
+	return kinds
+}
+
+// substIndices replaces {k} with base and {k'}/{k”} with other.
+func substIndices(src string, base, other int) string {
+	return idxPat.ReplaceAllStringFunc(src, func(m string) string {
+		sub := idxPat.FindStringSubmatch(m)
+		if sub[2] == "" {
+			return fmt.Sprintf("%s%d", sub[1], base)
+		}
+		return fmt.Sprintf("%s%d", sub[1], other)
+	})
+}
+
+// ExpandTemplates expands every template rule in a program source over
+// arities 1..maxK, deduplicating rules that expand identically (templates
+// without arity specifiers expand to themselves). Rule identifiers get an
+// arity suffix so the expanded program has unique IDs.
+func ExpandTemplates(src string, maxK int) string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") ||
+			strings.HasPrefix(trimmed, "/*") || strings.HasPrefix(trimmed, "materialize") {
+			if !seen[trimmed] {
+				b.WriteString(line)
+				b.WriteByte('\n')
+				if strings.HasPrefix(trimmed, "materialize") {
+					seen[trimmed] = true
+				}
+			}
+			continue
+		}
+		hasArity := strings.Contains(trimmed, "(k)") || strings.Contains(trimmed, "[k]") ||
+			idxPat.MatchString(trimmed)
+		if !hasArity {
+			if !seen[trimmed] {
+				seen[trimmed] = true
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+			continue
+		}
+		for k := 1; k <= maxK; k++ {
+			for i, exp := range ExpandTemplate(trimmed, k) {
+				// Make the rule ID unique per (arity, combination).
+				fields := strings.SplitN(exp, " ", 2)
+				if len(fields) == 2 {
+					exp = fmt.Sprintf("%s_k%d_%d %s", fields[0], k, i, fields[1])
+				}
+				if !seen[exp] {
+					seen[exp] = true
+					b.WriteString(exp)
+					b.WriteByte('\n')
+				}
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package meta
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+func TestExpandTemplateVectors(t *testing.T) {
+	// Table 4 row 2: Z[k] -> Z1,...,Zk and B(k) -> Bk.
+	got := ExpandTemplate(`h Base(k)(@C,Tab,Vals[k]) :- In(k)(@C,Vals[k]).`, 3)
+	if len(got) != 1 {
+		t.Fatalf("expansions = %d", len(got))
+	}
+	want := `h Base3(@C,Tab,Vals1,Vals2,Vals3) :- In3(@C,Vals1,Vals2,Vals3).`
+	if got[0] != want {
+		t.Fatalf("got %q\nwant %q", got[0], want)
+	}
+}
+
+func TestExpandTemplateLiteralArity(t *testing.T) {
+	// Table 4 row 1: (k) in expression position becomes the literal k.
+	got := ExpandTemplate(`a A(@X) :- B(@X,Z), Z == (k).`, 2)
+	if got[0] != `a A(@X) :- B(@X,Z), Z == 2.` {
+		t.Fatalf("got %q", got[0])
+	}
+}
+
+func TestExpandTemplateIndexedSimple(t *testing.T) {
+	// Table 4 row 3: B(@X,Z{k}) -> one rule per index.
+	got := ExpandTemplate(`a A(@X) :- B(@X,Z{k}).`, 3)
+	if len(got) != 3 {
+		t.Fatalf("expansions = %d: %v", len(got), got)
+	}
+	if got[0] != `a A(@X) :- B(@X,Z1).` || got[2] != `a A(@X) :- B(@X,Z3).` {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExpandTemplateOrderedPairs(t *testing.T) {
+	// Table 4 row 4: Z{k} > Z{k'} -> i<j combinations.
+	got := ExpandTemplate(`a A(@X) :- B(@X,Z{k},Z{k'}), Z{k} > Z{k'}.`, 3)
+	if len(got) != 3 { // (1,2), (1,3), (2,3)
+		t.Fatalf("expansions = %d: %v", len(got), got)
+	}
+	for _, g := range got {
+		if strings.Contains(g, "{") {
+			t.Fatalf("unexpanded index in %q", g)
+		}
+	}
+}
+
+func TestExpandTemplateDistinctPairs(t *testing.T) {
+	// Table 4 row 5: Z{k} vs Z{k''} -> ordered i != j combinations.
+	got := ExpandTemplate(`a A(@X) :- B(@X,Z{k},Z{k''}).`, 3)
+	if len(got) != 6 {
+		t.Fatalf("expansions = %d", len(got))
+	}
+}
+
+func TestExpandTemplatesProgramParses(t *testing.T) {
+	// An expanded template program must parse with the ordinary parser
+	// and produce unique rule IDs.
+	src := `
+materialize(Base2, 1, 4, keys(0,1,2,3)).
+h Tuple(k)(@C,Tab,Vals[k]) :- Base(k)(@C,Tab,Vals[k]).
+`
+	expanded := ExpandTemplates(src, 3)
+	prog, err := ndlog.Parse("expanded", expanded)
+	if err != nil {
+		t.Fatalf("expanded program does not parse: %v\n%s", err, expanded)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3 (arities 1..3)", len(prog.Rules))
+	}
+	ids := map[string]bool{}
+	for _, r := range prog.Rules {
+		if ids[r.ID] {
+			t.Fatalf("duplicate rule ID %s", r.ID)
+		}
+		ids[r.ID] = true
+	}
+}
+
+func TestNDlogMetaModelExpands(t *testing.T) {
+	prog, err := NDlogMetaModel(4)
+	if err != nil {
+		t.Fatalf("meta model: %v", err)
+	}
+	if len(prog.Rules) == 0 {
+		t.Fatal("no rules")
+	}
+	// The paper reports 23 meta rules for the full NDlog template model;
+	// our transcription covers the tuple-derivation, predicate, join,
+	// expression, assignment, and constraint families. Expansion at
+	// arity 4 must yield a multiple of that.
+	if len(prog.Rules) < 23 {
+		t.Fatalf("expanded rules = %d, want >= 23", len(prog.Rules))
+	}
+	// Every expanded rule must be engine-compilable.
+	if _, err := ndlog.NewEngine(prog); err != nil {
+		t.Fatalf("expanded meta model does not compile: %v", err)
+	}
+}
+
+func TestNDlogMetaModelDerives(t *testing.T) {
+	// End-to-end: a 2-column base tuple flows through the expanded
+	// NDlog meta model's h1 family into the Tuple2 relation.
+	eng, err := NewNDlogMetaEngine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Insert(ndlog.NewTuple("Base2", ndlog.Str("C"), ndlog.Str("PacketIn"), ndlog.Int(2), ndlog.Int(80)))
+	rows := eng.Rows("Tuple2")
+	if len(rows) != 1 {
+		t.Fatalf("Tuple2 rows = %d", len(rows))
+	}
+	if rows[0].Args[2].Int != 2 || rows[0].Args[3].Int != 80 {
+		t.Fatalf("row = %v", rows[0])
+	}
+	// A 3-column base tuple flows through the k=3 expansion.
+	eng.Insert(ndlog.NewTuple("Base3", ndlog.Str("C"), ndlog.Str("T3"), ndlog.Int(1), ndlog.Int(2), ndlog.Int(3)))
+	if len(eng.Rows("Tuple3")) != 1 {
+		t.Fatalf("Tuple3 rows = %d", len(eng.Rows("Tuple3")))
+	}
+}

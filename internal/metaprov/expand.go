@@ -1,0 +1,652 @@
+package metaprov
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/meta"
+	"repro/internal/ndlog"
+	"repro/internal/solver"
+)
+
+// History supplies the historical tuples recorded at runtime; the
+// provenance Recorder satisfies it.
+type History interface {
+	TuplesOf(table string) []ndlog.Tuple
+}
+
+// obKind enumerates the pending-work kinds inside a partial tree.
+type obKind uint8
+
+const (
+	obGoal   obKind = iota // make a missing tuple appear
+	obRule                 // instantiate a rule derivation for a goal
+	obPred                 // satisfy one body predicate
+	obSel                  // satisfy one selection predicate
+	obAssign               // thread one assignment
+)
+
+// obligation is one unexpanded vertex plus the context needed to expand it.
+type obligation struct {
+	kind   obKind
+	vertex *Vertex
+	goal   Goal
+	rule   *ndlog.Rule
+	inst   string
+	pred   *ndlog.Functor
+	predIx int
+	selIx  int
+	asgIx  int
+	env    map[string]string // rule variable -> solver variable
+	depth  int
+	// frozen marks obligations inside a repurposed rule (head change or
+	// copy): only the "keep" alternatives are explored, so those repairs
+	// do not compound with guard edits.
+	frozen bool
+}
+
+// Explorer drives the cost-ordered forest search (Fig. 17). MaxDepth
+// bounds recursive goal expansion; Cutoff bounds total change cost;
+// MaxSteps bounds expansions; MaxCandidates stops early once enough
+// repairs are found.
+type Explorer struct {
+	Model         *meta.Model
+	Hist          History
+	Solver        *solver.Solver
+	MaxDepth      int
+	MaxSteps      int
+	Cutoff        float64
+	MaxCandidates int
+	MaxHistTuples int
+	// MaxPerStructure caps candidates sharing a change structure (same
+	// rules/paths/kinds, different values) — different cited history
+	// tuples otherwise yield long runs of same-shape repairs, cf. the
+	// Sip<16 / Sip<99 / Sip<2009 variants in Table 6(a).
+	MaxPerStructure int
+
+	// Steps counts vertex expansions, for the evaluation breakdowns.
+	Steps int
+	// SolveTime accumulates constraint-solving wall time (the
+	// "constraint solving" component of Figure 9a).
+	SolveTime time.Duration
+}
+
+// NewExplorer returns an explorer with the paper-motivated defaults.
+func NewExplorer(m *meta.Model, h History) *Explorer {
+	return &Explorer{
+		Model:           m,
+		Hist:            h,
+		Solver:          &solver.Solver{MaxBacktracks: 4000},
+		MaxDepth:        3,
+		MaxSteps:        60000,
+		Cutoff:          cost.DefaultCutoff,
+		MaxCandidates:   64,
+		MaxHistTuples:   16,
+		MaxPerStructure: 3,
+	}
+}
+
+// Explore runs the forest search for a missing-tuple goal and returns
+// repair candidates in cost order (§3.5: candidates are emitted only when
+// no cheaper partial tree remains).
+func (ex *Explorer) Explore(goal Goal) []Candidate {
+	root := &Vertex{Kind: VNExist, Label: goal.String()}
+	t := &Tree{Root: root, Pool: solver.NewPool()}
+	t.todos = []*obligation{{kind: obGoal, vertex: root, goal: goal, depth: 0}}
+
+	h := newTreeHeap()
+	h.push(t)
+	var out []Candidate
+	seen := make(map[string]bool)
+	structs := make(map[string]int)
+	perStruct := ex.MaxPerStructure
+	if perStruct <= 0 {
+		perStruct = 3
+	}
+
+	for h.Len() > 0 && ex.Steps < ex.MaxSteps && len(out) < ex.MaxCandidates {
+		cur := h.pop()
+		if cur.Cost > ex.Cutoff {
+			break // heap is cost-ordered: everything else is too expensive
+		}
+		if cur.Complete() {
+			if c, ok := ex.extract(cur); ok && !seen[c.Signature()] {
+				seen[c.Signature()] = true
+				st := c.Structure()
+				if structs[st] < perStruct {
+					structs[st]++
+					out = append(out, c)
+				}
+			}
+			continue
+		}
+		ex.Steps++
+		// The obligation stays in cur.todos while forking so each fork's
+		// vertex re-pointing covers it; forkFor pops it per fork.
+		ob := cur.todos[0]
+		for _, next := range ex.expand(cur, ob) {
+			next.Cost += cost.ExpandStep
+			if next.Cost > ex.Cutoff {
+				continue
+			}
+			if !ex.quickSat(next) {
+				continue
+			}
+			h.push(next)
+		}
+	}
+	return out
+}
+
+// quickSat prunes forks whose constraint pool is already unsatisfiable.
+func (ex *Explorer) quickSat(t *Tree) bool {
+	start := time.Now()
+	s := solver.Solver{MaxBacktracks: 1500}
+	_, ok := s.Solve(t.Pool)
+	ex.SolveTime += time.Since(start)
+	return ok
+}
+
+// expand implements QUERY(v) (§3.5): it returns one forked tree per
+// individually-sufficient choice for the obligation.
+func (ex *Explorer) expand(t *Tree, ob *obligation) []*Tree {
+	switch ob.kind {
+	case obGoal:
+		return ex.expandGoal(t, ob)
+	case obRule:
+		return ex.expandRule(t, ob)
+	case obPred:
+		return ex.expandPred(t, ob)
+	case obSel:
+		return ex.expandSel(t, ob)
+	case obAssign:
+		return ex.expandAssign(t, ob)
+	}
+	return nil
+}
+
+// expandGoal forks one tree per rule that could derive the goal's table
+// (§3.3), plus repairs that create such a rule when none exists (changing
+// another rule's head, or copying a rule with a replaced head — the Q4
+// repair class of Table 6(c)), plus a manual base-tuple insertion.
+func (ex *Explorer) expandGoal(t *Tree, ob *obligation) []*Tree {
+	var out []*Tree
+	for _, r := range ex.Model.RulesDeriving(ob.goal.Table) {
+		if len(r.Head.Args) != len(ob.goal.Args) {
+			continue
+		}
+		n, obn := t.forkFor()
+		v := &Vertex{Kind: VNDerive, Label: fmt.Sprintf("%s via %s", ob.goal, r.ID)}
+		vt := obn.vertex
+		vt.Children = append(vt.Children, v)
+		n.todos = append(n.todos, &obligation{
+			kind: obRule, vertex: v, goal: ob.goal, rule: r, depth: ob.depth,
+		})
+		out = append(out, n)
+	}
+	// No rule derives the goal's table (e.g. the controller never sends
+	// PacketOut): repurpose rules deriving other tables, either by
+	// changing their head in place or by copying them with a new head.
+	if len(ex.Model.RulesDeriving(ob.goal.Table)) == 0 && ob.depth == 0 {
+		for _, r := range ex.Model.Prog.Rules {
+			if r.Head.Table == ob.goal.Table || len(r.Head.Args) != len(ob.goal.Args) {
+				continue
+			}
+			if hasAggHead(r) {
+				continue
+			}
+			// (a) Change the rule's head table in place.
+			n, obn := t.forkFor()
+			mod := r.Clone()
+			mod.Head.Table = ob.goal.Table
+			n.changes = append(n.changes, meta.SetHeadTable{RuleID: r.ID, Old: r.Head.Table, New: ob.goal.Table})
+			n.Cost += cost.Of(cost.ChangeVariable)
+			v := &Vertex{Kind: VNMetaExist, Label: fmt.Sprintf("head of %s -> %s", r.ID, ob.goal.Table)}
+			vt := obn.vertex
+			vt.Children = append(vt.Children, v)
+			n.todos = append(n.todos, &obligation{
+				kind: obRule, vertex: v, goal: ob.goal, rule: mod, depth: ob.depth, frozen: true,
+			})
+			out = append(out, n)
+
+			// (b) Copy the rule with the head table replaced.
+			n2, obn2 := t.forkFor()
+			cp := r.Clone()
+			cp.ID = r.ID + "~" + ob.goal.Table
+			cp.Head.Table = ob.goal.Table
+			n2.changes = append(n2.changes, meta.AddRule{Rule: cp})
+			n2.Cost += cost.Of(cost.CopyRule)
+			v2 := &Vertex{Kind: VNMetaExist, Label: fmt.Sprintf("copy %s with head %s", r.ID, ob.goal.Table)}
+			vt2 := obn2.vertex
+			vt2.Children = append(vt2.Children, v2)
+			n2.todos = append(n2.todos, &obligation{
+				kind: obRule, vertex: v2, goal: ob.goal, rule: cp, depth: ob.depth, frozen: true,
+			})
+			out = append(out, n2)
+		}
+	}
+	// Manual insertion of the missing tuple itself. Goal columns that are
+	// completely unconstrained become wildcards in the inserted tuple
+	// (e.g. a flow entry matching any source).
+	n, obn := t.forkFor()
+	vt := obn.vertex
+	vars := make([]string, len(ob.goal.Args))
+	fixed := make([]*ndlog.Value, len(ob.goal.Args))
+	for i, g := range ob.goal.Args {
+		if g.Var != "" && !poolMentions(n.Pool, g.Var) {
+			w := ndlog.Wild()
+			fixed[i] = &w
+			continue
+		}
+		vars[i] = n.freshVar(fmt.Sprintf("ins.%s.%d", ob.goal.Table, i))
+		n.Pool.Add(solver.Eq(solver.V(vars[i]), g))
+	}
+	n.pInserts = append(n.pInserts, pendingInsert{Table: ob.goal.Table, Vars: vars, Fixed: fixed})
+	vt.Children = append(vt.Children, &Vertex{Kind: VInsertBase,
+		Label: fmt.Sprintf("insert %s", ob.goal)})
+	n.Cost += cost.Of(cost.InsertBaseTuple)
+	out = append(out, n)
+	return out
+}
+
+// expandRule instantiates a rule against the goal: it unifies the head,
+// then queues obligations for every body predicate, selection, and
+// assignment — the joint, cross-precondition treatment of §3.4.
+func (ex *Explorer) expandRule(t *Tree, ob *obligation) []*Tree {
+	n, obn := t.forkFor()
+	v := obn.vertex
+	r := ob.rule
+	inst := n.nextInst(r.ID)
+	env := make(map[string]string)
+
+	// Unify head arguments with the goal terms.
+	for i, ha := range r.Head.Args {
+		gt := ob.goal.Args[i]
+		switch a := ha.(type) {
+		case *ndlog.Var:
+			n.Pool.Add(solver.Eq(solver.V(sv(n, env, inst, a.Name)), gt))
+		case *ndlog.ConstExpr:
+			n.Pool.Add(solver.Eq(solver.C(a.Val), gt))
+		case *ndlog.Agg:
+			return nil // cannot target aggregate heads
+		default:
+			// Computed head argument: defer until grounded.
+			n.deferred = append(n.deferred, deferredCheck{
+				rule: r,
+				sel:  &ndlog.Selection{Left: ha, Op: ndlog.OpEq, Right: termExpr(gt)},
+				env:  env,
+			})
+		}
+	}
+	for i, b := range r.Body {
+		pv := &Vertex{Kind: VNExist, Label: b.String()}
+		v.Children = append(v.Children, pv)
+		n.todos = append(n.todos, &obligation{
+			kind: obPred, vertex: pv, rule: r, inst: inst, pred: b, predIx: i,
+			env: env, depth: ob.depth, frozen: ob.frozen,
+		})
+	}
+	for i := range r.Sels {
+		svx := &Vertex{Kind: VSelTrue, Label: r.Sels[i].String()}
+		v.Children = append(v.Children, svx)
+		n.todos = append(n.todos, &obligation{
+			kind: obSel, vertex: svx, rule: r, inst: inst, selIx: i,
+			env: env, depth: ob.depth, frozen: ob.frozen,
+		})
+	}
+	for i := range r.Assigns {
+		av := &Vertex{Kind: VSelTrue, Label: r.Assigns[i].String()}
+		v.Children = append(v.Children, av)
+		n.todos = append(n.todos, &obligation{
+			kind: obAssign, vertex: av, rule: r, inst: inst, asgIx: i,
+			env: env, depth: ob.depth, frozen: ob.frozen,
+		})
+	}
+	return []*Tree{n}
+}
+
+// expandPred satisfies one body predicate: by citing a historical tuple,
+// by recursively deriving it, or by inserting a base tuple.
+func (ex *Explorer) expandPred(t *Tree, ob *obligation) []*Tree {
+	var out []*Tree
+	f := ob.pred
+	hist := ex.Hist.TuplesOf(f.Table)
+	limit := ex.MaxHistTuples
+	if limit <= 0 {
+		limit = 16
+	}
+	kept := 0
+	for _, h := range hist {
+		if kept >= limit {
+			break
+		}
+		if len(h.Args) != len(f.Args) {
+			continue
+		}
+		n, obn := t.forkFor()
+		if !bindTuple(n, ob, h) {
+			continue
+		}
+		// Only satisfiable citations count toward the limit; this keeps
+		// the fan-out focused on tuples consistent with the goal.
+		if !ex.quickSat(n) {
+			continue
+		}
+		kept++
+		obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VExist, Label: h.String()})
+		out = append(out, n)
+	}
+	if ex.Model.IsDerived(f.Table) {
+		// Recursive sub-goal (bounded).
+		if ob.depth < ex.MaxDepth {
+			n, obn := t.forkFor()
+			sub := Goal{Table: f.Table}
+			ok := true
+			for _, a := range f.Args {
+				term, tok := argTerm(n, ob.env, ob.inst, a)
+				if !tok {
+					ok = false
+					break
+				}
+				sub.Args = append(sub.Args, term)
+			}
+			if ok {
+				gv := &Vertex{Kind: VNExist, Label: sub.String()}
+				obn.vertex.Children = append(obn.vertex.Children, gv)
+				n.todos = append(n.todos, &obligation{kind: obGoal, vertex: gv, goal: sub, depth: ob.depth + 1})
+				out = append(out, n)
+			}
+		}
+	} else if kept == 0 {
+		// Base table with no usable historical tuple: propose inserting
+		// one (Appendix D: "If no such event exists in the original
+		// execution, the algorithm will insert a base event").
+		n, obn := t.forkFor()
+		vars := make([]string, len(f.Args))
+		ok := true
+		for i, a := range f.Args {
+			vars[i] = n.freshVar(fmt.Sprintf("ins.%s.%d", f.Table, i))
+			term, tok := argTerm(n, ob.env, ob.inst, a)
+			if !tok {
+				ok = false
+				break
+			}
+			n.Pool.Add(solver.Eq(solver.V(vars[i]), term))
+		}
+		if ok {
+			n.pInserts = append(n.pInserts, pendingInsert{Table: f.Table, Vars: vars})
+			obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VInsertBase, Label: "insert " + f.String()})
+			n.Cost += cost.Of(cost.InsertBaseTuple)
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// bindTuple unifies a historical tuple with the obligation's predicate,
+// adding equality constraints for variables and consistency checks for
+// constants. It returns false when the tuple cannot match.
+func bindTuple(t *Tree, ob *obligation, h ndlog.Tuple) bool {
+	for i, a := range ob.pred.Args {
+		switch a := a.(type) {
+		case *ndlog.Var:
+			if a.Name == "_" {
+				continue
+			}
+			t.Pool.Add(solver.Eq(solver.V(sv(t, ob.env, ob.inst, a.Name)), solver.C(h.Args[i])))
+		case *ndlog.ConstExpr:
+			if !a.Val.Matches(h.Args[i]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// expandSel forks the selection's alternatives: keep it (thread the
+// constraint), change a constant, change the operator, or delete it —
+// each a meta-tuple change with its §3.5 cost.
+func (ex *Explorer) expandSel(t *Tree, ob *obligation) []*Tree {
+	r := ob.rule
+	s := r.Sels[ob.selIx]
+	var out []*Tree
+
+	// (a) Keep the selection: add it to the pool (or defer).
+	n, obn := t.forkFor()
+	lt, lok := argTerm(n, ob.env, ob.inst, s.Left)
+	rt, rok := argTerm(n, ob.env, ob.inst, s.Right)
+	if lok && rok {
+		n.Pool.Add(solver.Cmp(lt, s.Op, rt))
+	} else {
+		n.deferred = append(n.deferred, deferredCheck{rule: r, sel: s, env: ob.env})
+	}
+	obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VMetaExist, Label: "holds: " + s.String()})
+	out = append(out, n)
+
+	if ob.frozen || !lok || !rok {
+		return out // frozen or untranslatable: no symbolic repairs here
+	}
+
+	// (b) Change a constant on either side.
+	for _, side := range [2]struct {
+		e    ndlog.Expr
+		path string
+		oth  solver.Term
+	}{
+		{s.Left, fmt.Sprintf("sel/%d/L", ob.selIx), rt},
+		{s.Right, fmt.Sprintf("sel/%d/R", ob.selIx), lt},
+	} {
+		c, isConst := side.e.(*ndlog.ConstExpr)
+		if !isConst {
+			continue
+		}
+		n, obn := t.forkFor()
+		cv := n.freshVar("const." + ob.inst)
+		var l, rr solver.Term
+		if side.path[len(side.path)-1] == 'L' {
+			l, rr = solver.V(cv), side.oth
+		} else {
+			l, rr = side.oth, solver.V(cv)
+		}
+		n.Pool.Add(solver.Cmp(l, s.Op, rr))
+		n.Pool.Add(solver.Cmp(solver.V(cv), ndlog.OpNe, solver.C(c.Val)))
+		n.pConsts = append(n.pConsts, pendingConst{RuleID: r.ID, Path: side.path, Old: c.Val, Var: cv})
+		n.Cost += cost.Of(cost.ChangeConstant)
+		obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VNMetaExist,
+			Label: fmt.Sprintf("Const(%s,%s) changed", r.ID, side.path)})
+		out = append(out, n)
+	}
+
+	// (c) Change the operator.
+	for _, op := range []ndlog.BinOp{ndlog.OpEq, ndlog.OpNe, ndlog.OpLt, ndlog.OpGt, ndlog.OpLe, ndlog.OpGe} {
+		if op == s.Op {
+			continue
+		}
+		n, obn := t.forkFor()
+		lt2, _ := argTerm(n, ob.env, ob.inst, s.Left)
+		rt2, _ := argTerm(n, ob.env, ob.inst, s.Right)
+		n.Pool.Add(solver.Cmp(lt2, op, rt2))
+		n.changes = append(n.changes, meta.SetOper{RuleID: r.ID, SelIdx: ob.selIx, Old: s.Op, New: op, Sel: s.String()})
+		n.Cost += cost.Of(cost.ChangeOperator)
+		obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VNMetaExist,
+			Label: fmt.Sprintf("Oper(%s,%d)=%s", r.ID, ob.selIx, op)})
+		out = append(out, n)
+	}
+
+	// (d) Delete the selection.
+	n, obn = t.forkFor()
+	n.changes = append(n.changes, meta.DropSel{RuleID: r.ID, SelIdx: ob.selIx, Sel: s.String()})
+	n.Cost += cost.Of(cost.DeleteSelection)
+	obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VNMetaExist,
+		Label: fmt.Sprintf("Sel(%s,%d) deleted", r.ID, ob.selIx)})
+	out = append(out, n)
+	return out
+}
+
+// expandAssign threads an assignment into the pool, with change
+// alternatives for constant right-hand sides (e.g. Prt:=1 → Prt:=2) and
+// variable substitutions (e.g. Sip':=* → Sip':=Sip).
+func (ex *Explorer) expandAssign(t *Tree, ob *obligation) []*Tree {
+	r := ob.rule
+	a := r.Assigns[ob.asgIx]
+	var out []*Tree
+
+	// (a) Keep.
+	n, obn := t.forkFor()
+	rhs, ok := argTerm(n, ob.env, ob.inst, a.Expr)
+	if ok {
+		n.Pool.Add(solver.Eq(solver.V(sv(n, ob.env, ob.inst, a.Var)), rhs))
+	} else {
+		n.deferred = append(n.deferred, deferredCheck{
+			rule: r,
+			sel:  &ndlog.Selection{Left: &ndlog.Var{Name: a.Var}, Op: ndlog.OpEq, Right: a.Expr},
+			env:  ob.env,
+		})
+	}
+	obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VMetaExist, Label: "holds: " + a.String()})
+	out = append(out, n)
+
+	if ob.frozen {
+		return out
+	}
+
+	// (b) Constant RHS: change the constant.
+	if c, isConst := a.Expr.(*ndlog.ConstExpr); isConst {
+		n, obn := t.forkFor()
+		cv := n.freshVar("aconst." + ob.inst)
+		n.Pool.Add(solver.Eq(solver.V(sv(n, ob.env, ob.inst, a.Var)), solver.V(cv)))
+		n.Pool.Add(solver.Cmp(solver.V(cv), ndlog.OpNe, solver.C(c.Val)))
+		n.pConsts = append(n.pConsts, pendingConst{
+			RuleID: r.ID, Path: fmt.Sprintf("assign/%d", ob.asgIx), Old: c.Val, Var: cv,
+		})
+		n.Cost += cost.Of(cost.ChangeConstant)
+		obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VNMetaExist,
+			Label: fmt.Sprintf("Const(%s,assign/%d) changed", r.ID, ob.asgIx)})
+		out = append(out, n)
+
+		// (c) Substitute a body variable for the constant (Q5's fix).
+		for _, bv := range bodyVars(r) {
+			if bv == a.Var {
+				continue
+			}
+			n, obn := t.forkFor()
+			n.Pool.Add(solver.Eq(solver.V(sv(n, ob.env, ob.inst, a.Var)),
+				solver.V(sv(n, ob.env, ob.inst, bv))))
+			n.changes = append(n.changes, meta.SetExpr{
+				RuleID: r.ID, Path: fmt.Sprintf("assign/%d", ob.asgIx),
+				Old: a.Expr.String(), New: &ndlog.Var{Name: bv},
+			})
+			n.Cost += cost.Of(cost.ChangeVariable)
+			obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VNMetaExist,
+				Label: fmt.Sprintf("Assign(%s,%d) := %s", r.ID, ob.asgIx, bv)})
+			out = append(out, n)
+		}
+	}
+	// (d) Variable RHS: substitute a different body variable.
+	if vexpr, isVar := a.Expr.(*ndlog.Var); isVar {
+		for _, bv := range bodyVars(r) {
+			if bv == a.Var || bv == vexpr.Name {
+				continue
+			}
+			n, obn := t.forkFor()
+			n.Pool.Add(solver.Eq(solver.V(sv(n, ob.env, ob.inst, a.Var)),
+				solver.V(sv(n, ob.env, ob.inst, bv))))
+			n.changes = append(n.changes, meta.SetExpr{
+				RuleID: r.ID, Path: fmt.Sprintf("assign/%d", ob.asgIx),
+				Old: a.Expr.String(), New: &ndlog.Var{Name: bv},
+			})
+			n.Cost += cost.Of(cost.ChangeVariable)
+			obn.vertex.Children = append(obn.vertex.Children, &Vertex{Kind: VNMetaExist,
+				Label: fmt.Sprintf("Assign(%s,%d) := %s", r.ID, ob.asgIx, bv)})
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// hasAggHead reports whether a rule's head contains an aggregate.
+func hasAggHead(r *ndlog.Rule) bool {
+	for _, a := range r.Head.Args {
+		if _, ok := a.(*ndlog.Agg); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// poolMentions reports whether a variable occurs in any pool constraint.
+func poolMentions(p *solver.Pool, name string) bool {
+	for _, c := range p.Constraints {
+		if c.L.Var == name || c.R.Var == name {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyVars lists the variables bound by a rule's body predicates.
+func bodyVars(r *ndlog.Rule) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, b := range r.Body {
+		for _, a := range b.Args {
+			for _, v := range a.Vars(nil) {
+				if v != "_" && !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sv returns (allocating if needed) the solver variable for a rule
+// variable within an instantiation.
+func sv(t *Tree, env map[string]string, inst, name string) string {
+	if v, ok := env[name]; ok {
+		return v
+	}
+	v := inst + ":" + name
+	env[name] = v
+	return v
+}
+
+// argTerm translates a rule expression into a solver term: variables,
+// constants, and var±const forms translate exactly; anything else is
+// untranslatable (ok=false) and must be deferred.
+func argTerm(t *Tree, env map[string]string, inst string, e ndlog.Expr) (solver.Term, bool) {
+	switch e := e.(type) {
+	case *ndlog.Var:
+		return solver.V(sv(t, env, inst, e.Name)), true
+	case *ndlog.ConstExpr:
+		return solver.C(e.Val), true
+	case *ndlog.Binary:
+		if e.Op != ndlog.OpAdd && e.Op != ndlog.OpSub {
+			return solver.Term{}, false
+		}
+		v, vok := e.L.(*ndlog.Var)
+		c, cok := e.R.(*ndlog.ConstExpr)
+		if vok && cok && c.Val.Kind == ndlog.KindInt {
+			off := c.Val.Int
+			if e.Op == ndlog.OpSub {
+				off = -off
+			}
+			return solver.VOff(sv(t, env, inst, v.Name), off), true
+		}
+		return solver.Term{}, false
+	}
+	return solver.Term{}, false
+}
+
+// termExpr renders a solver term back into an AST expression for deferred
+// checks (constant terms only; variable terms defer to env lookups).
+func termExpr(t solver.Term) ndlog.Expr {
+	if t.Var == "" {
+		return &ndlog.ConstExpr{Val: t.Val}
+	}
+	return &ndlog.Var{Name: "?" + t.Var}
+}

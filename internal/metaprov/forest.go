@@ -1,0 +1,239 @@
+// Package metaprov implements meta provenance (§3 of the paper): a
+// provenance graph extended with meta tuples that describe the program
+// itself, explored as a *forest* of partial trees in cost order (§3.3,
+// §3.5, Fig. 17). Expanding a vertex with k individually-sufficient
+// choices forks the tree k ways; each tree threads a constraint pool
+// (§3.4) that must be satisfiable for the completed tree to yield a repair
+// candidate (Fig. 5).
+package metaprov
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"repro/internal/meta"
+	"repro/internal/ndlog"
+	"repro/internal/solver"
+)
+
+// VertexKind enumerates meta-provenance vertex kinds.
+type VertexKind uint8
+
+const (
+	// VNExist is a missing tuple the repair must make appear.
+	VNExist VertexKind = iota
+	// VNDerive is a missing derivation through a specific rule.
+	VNDerive
+	// VExist cites an existing (historical) tuple.
+	VExist
+	// VInsertBase proposes inserting a base tuple.
+	VInsertBase
+	// VMetaExist cites an existing program element (meta tuple).
+	VMetaExist
+	// VNMetaExist proposes a program change (missing meta tuple).
+	VNMetaExist
+	// VSelTrue records a selection constraint threaded into the pool.
+	VSelTrue
+)
+
+var vkNames = [...]string{
+	"NEXIST", "NDERIVE", "EXIST", "INSERT-BASE", "META-EXIST", "NMETA-EXIST", "SEL-TRUE",
+}
+
+// String returns the vertex kind's display name.
+func (k VertexKind) String() string {
+	if int(k) < len(vkNames) {
+		return vkNames[k]
+	}
+	return "?"
+}
+
+// Vertex is a node of one meta-provenance tree.
+type Vertex struct {
+	Kind     VertexKind
+	Label    string
+	Children []*Vertex
+}
+
+// Render pretty-prints the subtree.
+func (v *Vertex) Render() string {
+	var b strings.Builder
+	v.render(&b, 0)
+	return b.String()
+}
+
+func (v *Vertex) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(v.Kind.String())
+	b.WriteByte('[')
+	b.WriteString(v.Label)
+	b.WriteString("]\n")
+	for _, c := range v.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Size returns the number of vertices in the subtree.
+func (v *Vertex) Size() int {
+	n := 1
+	for _, c := range v.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Goal specifies a missing tuple: a table plus one solver term per column.
+// Constant terms pin columns; variable terms link columns into the pool.
+type Goal struct {
+	Table string
+	Args  []solver.Term
+}
+
+// String renders the goal, e.g. FlowTable(3,80,Prt?).
+func (g Goal) String() string {
+	parts := make([]string, len(g.Args))
+	for i, a := range g.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", g.Table, strings.Join(parts, ","))
+}
+
+// PinnedGoal builds a goal from optional pinned values; nil entries become
+// free variables named <table>.argN.
+func PinnedGoal(table string, args ...*ndlog.Value) Goal {
+	g := Goal{Table: table}
+	for i, a := range args {
+		if a == nil {
+			g.Args = append(g.Args, solver.V(fmt.Sprintf("%s.arg%d", table, i)))
+		} else {
+			g.Args = append(g.Args, solver.C(*a))
+		}
+	}
+	return g
+}
+
+// pendingConst is a constant change whose new value is chosen by the
+// solver when the tree completes (CHANGETUPLE(τ, A) in Fig. 5).
+type pendingConst struct {
+	RuleID string
+	Path   string
+	Old    ndlog.Value
+	Var    string // solver variable holding the new value
+}
+
+// pendingInsert is a base-tuple insertion whose argument values are chosen
+// by the solver when the tree completes. Columns with a Fixed value (e.g.
+// the wildcard for unconstrained goal columns) bypass the solver.
+type pendingInsert struct {
+	Table string
+	Vars  []string       // solver variable per column ("" when fixed)
+	Fixed []*ndlog.Value // fixed value per column (nil when solver-chosen)
+}
+
+// deferredCheck re-evaluates an expression that could not be translated
+// into pool constraints once the assignment is concrete.
+type deferredCheck struct {
+	rule *ndlog.Rule
+	sel  *ndlog.Selection
+	env  map[string]string // rule var -> solver var
+}
+
+// Tree is one (partial or complete) meta-provenance tree: the vertex tree
+// for display, the constraint pool, accumulated changes, and the pending
+// obligations that still need expansion.
+type Tree struct {
+	Root *Vertex
+	Pool *solver.Pool
+	Cost float64
+
+	todos    []*obligation
+	changes  []meta.Change
+	pConsts  []pendingConst
+	pInserts []pendingInsert
+	deferred []deferredCheck
+	varSeq   int
+	instSeq  int
+}
+
+// Complete reports whether the tree has no unexpanded vertices.
+func (t *Tree) Complete() bool { return len(t.todos) == 0 }
+
+// fork deep-copies the tree's mutable state, including the vertex tree;
+// obligation back-pointers are re-mapped onto the copied vertices so each
+// fork grows independently.
+func (t *Tree) fork() *Tree {
+	vmap := make(map[*Vertex]*Vertex)
+	n := &Tree{
+		Root:    t.Root.clone(vmap),
+		Pool:    t.Pool.Clone(),
+		Cost:    t.Cost,
+		varSeq:  t.varSeq,
+		instSeq: t.instSeq,
+	}
+	n.todos = make([]*obligation, len(t.todos))
+	for i, ob := range t.todos {
+		ob2 := *ob
+		if mapped, ok := vmap[ob.vertex]; ok {
+			ob2.vertex = mapped
+		}
+		n.todos[i] = &ob2
+	}
+	n.changes = append([]meta.Change(nil), t.changes...)
+	n.pConsts = append([]pendingConst(nil), t.pConsts...)
+	n.pInserts = append([]pendingInsert(nil), t.pInserts...)
+	n.deferred = append([]deferredCheck(nil), t.deferred...)
+	return n
+}
+
+// forkFor forks the tree while its head obligation is still in todos,
+// then pops that obligation from the fork and returns it: its vertex
+// pointer now references the fork's own copy, so children attach to the
+// right tree.
+func (t *Tree) forkFor() (*Tree, *obligation) {
+	n := t.fork()
+	ob := n.todos[0]
+	n.todos = n.todos[1:]
+	return n, ob
+}
+
+// clone deep-copies the vertex tree, recording the old-to-new mapping.
+func (v *Vertex) clone(vmap map[*Vertex]*Vertex) *Vertex {
+	c := &Vertex{Kind: v.Kind, Label: v.Label}
+	vmap[v] = c
+	for _, ch := range v.Children {
+		c.Children = append(c.Children, ch.clone(vmap))
+	}
+	return c
+}
+
+// freshVar allocates a new solver variable name.
+func (t *Tree) freshVar(hint string) string {
+	t.varSeq++
+	return fmt.Sprintf("%s~%d", hint, t.varSeq)
+}
+
+// nextInst allocates a rule-instantiation ID.
+func (t *Tree) nextInst(rule string) string {
+	t.instSeq++
+	return fmt.Sprintf("%s#%d", rule, t.instSeq)
+}
+
+// treeHeap orders trees by (cost, unexpanded-vertex count), the §3.5
+// exploration order.
+type treeHeap []*Tree
+
+func (h treeHeap) Len() int { return len(h) }
+func (h treeHeap) Less(i, j int) bool {
+	if h[i].Cost != h[j].Cost {
+		return h[i].Cost < h[j].Cost
+	}
+	return len(h[i].todos) < len(h[j].todos)
+}
+func (h treeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *treeHeap) Push(x any)   { *h = append(*h, x.(*Tree)) }
+func (h *treeHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+func (h treeHeap) Peek() *Tree   { return h[0] }
+func newTreeHeap() *treeHeap     { h := &treeHeap{}; heap.Init(h); return h }
+func (h *treeHeap) push(t *Tree) { heap.Push(h, t) }
+func (h *treeHeap) pop() *Tree   { return heap.Pop(h).(*Tree) }

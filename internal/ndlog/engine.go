@@ -1,0 +1,613 @@
+package ndlog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Listener observes engine events; the provenance recorder implements it.
+// Implementations must not mutate the tuples they receive. BaseListener
+// provides no-op defaults.
+type Listener interface {
+	// OnInsert fires when a base tuple is inserted (before derivation).
+	OnInsert(time int64, t Tuple)
+	// OnDelete fires when a base tuple is deleted.
+	OnDelete(time int64, t Tuple)
+	// OnDerive fires for every rule firing, with the bound environment.
+	OnDerive(time int64, rule *Rule, head Tuple, body []Tuple, env Env)
+	// OnUnderive fires when a derivation loses support.
+	OnUnderive(time int64, rule *Rule, head Tuple, body []Tuple)
+	// OnAppear fires when a tuple becomes present (first support).
+	OnAppear(time int64, t Tuple)
+	// OnDisappear fires when a tuple loses its last support.
+	OnDisappear(time int64, t Tuple)
+	// OnSend fires when a derived head is routed to a different location.
+	OnSend(time int64, from, to Value, t Tuple)
+}
+
+// BaseListener is a Listener with no-op methods, for embedding.
+type BaseListener struct{}
+
+func (BaseListener) OnInsert(int64, Tuple)                      {}
+func (BaseListener) OnDelete(int64, Tuple)                      {}
+func (BaseListener) OnDerive(int64, *Rule, Tuple, []Tuple, Env) {}
+func (BaseListener) OnUnderive(int64, *Rule, Tuple, []Tuple)    {}
+func (BaseListener) OnAppear(int64, Tuple)                      {}
+func (BaseListener) OnDisappear(int64, Tuple)                   {}
+func (BaseListener) OnSend(int64, Value, Value, Tuple)          {}
+
+// ruleTrigger indexes a rule by one of its body predicates.
+type ruleTrigger struct {
+	rule *Rule
+	pred int
+}
+
+// aggState holds per-rule aggregation state: distinct aggregated values per
+// group, where the group is the tuple of non-aggregate head arguments.
+type aggState struct {
+	groups map[string]map[string]struct{}
+	heads  map[string][]Value // group key -> evaluated non-agg head args
+}
+
+// Engine evaluates an NDlog program bottom-up with semi-naive firing.
+// The engine is single-goroutine; callers requiring concurrency run one
+// engine per goroutine (programs and tuples are never shared mutably).
+type Engine struct {
+	prog     *Program
+	decls    map[string]*TableDecl
+	locIdx   map[string]int
+	tables   map[string]map[string]*Row
+	triggers map[string][]ruleTrigger
+	aggs     map[string]*aggState // rule ID -> aggregation state
+	Funcs    map[string]Func
+
+	listeners []Listener
+	fresh     int64
+	now       int64
+
+	// Stats counts engine work for the evaluation experiments.
+	Stats struct {
+		Firings     int64
+		Derivations int64
+		Inserts     int64
+		Deletes     int64
+		Sends       int64
+	}
+}
+
+// NewEngine compiles a program into an engine. It validates that every
+// table is used with a consistent arity and location position.
+func NewEngine(prog *Program) (*Engine, error) {
+	e := &Engine{
+		prog:     prog,
+		decls:    make(map[string]*TableDecl),
+		locIdx:   make(map[string]int),
+		tables:   make(map[string]map[string]*Row),
+		triggers: make(map[string][]ruleTrigger),
+		aggs:     make(map[string]*aggState),
+		Funcs:    make(map[string]Func),
+	}
+	RegisterBuiltins(e)
+	for _, d := range prog.Decls {
+		if _, dup := e.decls[d.Name]; dup {
+			return nil, fmt.Errorf("ndlog: duplicate declaration for table %s", d.Name)
+		}
+		e.decls[d.Name] = d
+	}
+	for _, r := range prog.Rules {
+		if r.Head == nil || len(r.Body) == 0 {
+			return nil, fmt.Errorf("ndlog: rule %s: missing head or empty body", r.ID)
+		}
+		if err := e.noteLoc(r.Head); err != nil {
+			return nil, err
+		}
+		for i, b := range r.Body {
+			if err := e.noteLoc(b); err != nil {
+				return nil, err
+			}
+			e.triggers[b.Table] = append(e.triggers[b.Table], ruleTrigger{rule: r, pred: i})
+		}
+		if hasAgg(r.Head) {
+			e.aggs[r.ID] = &aggState{
+				groups: make(map[string]map[string]struct{}),
+				heads:  make(map[string][]Value),
+			}
+		}
+	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine that panics on error.
+func MustNewEngine(prog *Program) *Engine {
+	e, err := NewEngine(prog)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func hasAgg(f *Functor) bool {
+	for _, a := range f.Args {
+		if _, ok := a.(*Agg); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) noteLoc(f *Functor) error {
+	if f.Loc < 0 {
+		return nil
+	}
+	if prev, ok := e.locIdx[f.Table]; ok {
+		if prev != f.Loc {
+			return fmt.Errorf("ndlog: table %s used with inconsistent location positions %d and %d", f.Table, prev, f.Loc)
+		}
+		return nil
+	}
+	e.locIdx[f.Table] = f.Loc
+	return nil
+}
+
+// Program returns the compiled program.
+func (e *Engine) Program() *Program { return e.prog }
+
+// Listen registers a listener.
+func (e *Engine) Listen(l Listener) { e.listeners = append(e.listeners, l) }
+
+// Now returns the engine's logical clock.
+func (e *Engine) Now() int64 { return e.now }
+
+// Tick advances the logical clock and returns the new time.
+func (e *Engine) Tick() int64 { e.now++; return e.now }
+
+// Fresh returns a unique integer (the f_unique() builtin).
+func (e *Engine) Fresh() int64 { e.fresh++; return e.fresh }
+
+// LocIndex returns the location-argument index for a table (default 0).
+func (e *Engine) LocIndex(table string) int {
+	if i, ok := e.locIdx[table]; ok {
+		return i
+	}
+	return 0
+}
+
+// isEvent reports whether the table is transient (timeout 0 / undeclared).
+func (e *Engine) isEvent(table string) bool {
+	d, ok := e.decls[table]
+	return !ok || d.Timeout == 0
+}
+
+// keysOf returns the primary-key columns for a table (nil = all columns).
+func (e *Engine) keysOf(table string) []int {
+	if d, ok := e.decls[table]; ok {
+		return d.Keys
+	}
+	return nil
+}
+
+// workItem is a pending insertion flowing through the fixpoint.
+type workItem struct {
+	tuple Tuple
+	base  bool
+	via   *derivation // nil for base insertions
+}
+
+// Insert inserts a base tuple (event or state) and runs the fixpoint,
+// returning every tuple that appeared during this round (including the
+// inserted one and all derived heads, events included).
+func (e *Engine) Insert(t Tuple) []Tuple {
+	e.Tick()
+	e.Stats.Inserts++
+	if t.Tags == 0 {
+		t.Tags = AllTags
+	}
+	for _, l := range e.listeners {
+		l.OnInsert(e.now, t)
+	}
+	return e.run([]workItem{{tuple: t, base: true}})
+}
+
+// InsertAll inserts a batch of base tuples under a single logical timestamp
+// per tuple, returning all appearances.
+func (e *Engine) InsertAll(ts []Tuple) []Tuple {
+	var out []Tuple
+	for _, t := range ts {
+		out = append(out, e.Insert(t)...)
+	}
+	return out
+}
+
+// Delete removes one base support from a state tuple and propagates
+// underivations. Deleting an absent tuple is a no-op.
+func (e *Engine) Delete(t Tuple) {
+	e.Tick()
+	key := t.PrimaryKey(e.keysOf(t.Table))
+	row, ok := e.tables[t.Table][key]
+	if !ok || !row.Base {
+		return
+	}
+	e.Stats.Deletes++
+	for _, l := range e.listeners {
+		l.OnDelete(e.now, row.Tuple)
+	}
+	row.Base = false
+	e.unsupport(row)
+}
+
+// unsupport decrements a row's support and cascades when it reaches zero.
+func (e *Engine) unsupport(row *Row) {
+	row.Support--
+	if row.Support > 0 {
+		return
+	}
+	key := row.Tuple.PrimaryKey(e.keysOf(row.Tuple.Table))
+	delete(e.tables[row.Tuple.Table], key)
+	for _, l := range e.listeners {
+		l.OnDisappear(e.now, row.Tuple)
+	}
+	for _, d := range row.usedBy {
+		if d.dead {
+			continue
+		}
+		d.dead = true
+		body := make([]Tuple, len(d.body))
+		for i, b := range d.body {
+			body[i] = b.Tuple
+		}
+		for _, l := range e.listeners {
+			l.OnUnderive(e.now, d.rule, d.head.Tuple, body)
+		}
+		e.unsupport(d.head)
+	}
+	row.usedBy = nil
+}
+
+// run drives the semi-naive fixpoint over the work list.
+func (e *Engine) run(work []workItem) []Tuple {
+	var appeared []Tuple
+	for len(work) > 0 {
+		item := work[0]
+		work = work[1:]
+		t := item.tuple
+
+		var row *Row
+		fireTags := t.Tags
+		if e.isEvent(t.Table) {
+			appeared = append(appeared, t)
+			for _, l := range e.listeners {
+				l.OnAppear(e.now, t)
+			}
+			row = &Row{Tuple: t, Support: 1}
+			if item.via != nil {
+				item.via.head = row
+			}
+		} else {
+			key := t.PrimaryKey(e.keysOf(t.Table))
+			tbl := e.tables[t.Table]
+			if tbl == nil {
+				tbl = make(map[string]*Row)
+				e.tables[t.Table] = tbl
+			}
+			if exist, ok := tbl[key]; ok {
+				if exist.Tuple.Equal(t) {
+					// Same fact: add support; fire only for new tags.
+					exist.Support++
+					if item.base {
+						exist.Base = true
+					}
+					if item.via != nil {
+						item.via.head = exist
+						exist.derivs = append(exist.derivs, item.via)
+						for _, b := range item.via.body {
+							b.usedBy = append(b.usedBy, item.via)
+						}
+					}
+					fireTags = t.Tags &^ exist.Tuple.Tags
+					exist.Tuple.Tags |= t.Tags
+					if fireTags == 0 {
+						continue
+					}
+					// The fact is new for these tags: report it so
+					// listeners and callers (e.g. the controller) see the
+					// tag expansion, and fire rules for the delta only.
+					nt := exist.Tuple.Clone()
+					nt.Tags = fireTags
+					appeared = append(appeared, nt)
+					for _, l := range e.listeners {
+						l.OnAppear(e.now, nt)
+					}
+					row = exist
+				} else {
+					// Primary-key replacement: retract old fact first.
+					exist.Base = false
+					exist.Support = 1
+					e.unsupport(exist)
+					row = e.storeNew(tbl, key, t, item)
+					appeared = append(appeared, t)
+				}
+			} else {
+				row = e.storeNew(tbl, key, t, item)
+				appeared = append(appeared, t)
+			}
+		}
+		work = append(work, e.fire(row, fireTags)...)
+	}
+	return appeared
+}
+
+func (e *Engine) storeNew(tbl map[string]*Row, key string, t Tuple, item workItem) *Row {
+	row := &Row{Tuple: t, Support: 1, Base: item.base}
+	if item.via != nil {
+		item.via.head = row
+		row.derivs = append(row.derivs, item.via)
+		for _, b := range item.via.body {
+			b.usedBy = append(b.usedBy, item.via)
+		}
+	}
+	tbl[key] = row
+	for _, l := range e.listeners {
+		l.OnAppear(e.now, t)
+	}
+	return row
+}
+
+// fire evaluates every rule triggered by the new row, restricted to tags.
+func (e *Engine) fire(row *Row, tags uint64) []workItem {
+	var out []workItem
+	for _, tr := range e.triggers[row.Tuple.Table] {
+		rtags := tags & tr.rule.TagMask
+		if rtags == 0 {
+			continue
+		}
+		env, ok := e.unify(Env{}, tr.rule.Body[tr.pred], row.Tuple)
+		if !ok {
+			continue
+		}
+		out = append(out, e.join(tr.rule, tr.pred, env, rtags, []*Row{row}, 0)...)
+	}
+	return out
+}
+
+// join extends the partial binding across the remaining body predicates.
+// pred is the trigger predicate (already bound); idx scans body positions.
+func (e *Engine) join(r *Rule, pred int, env Env, tags uint64, bound []*Row, idx int) []workItem {
+	if idx == len(r.Body) {
+		return e.emit(r, env, tags, bound)
+	}
+	if idx == pred {
+		return e.join(r, pred, env, tags, bound, idx+1)
+	}
+	f := r.Body[idx]
+	tbl := e.tables[f.Table]
+	if len(tbl) == 0 {
+		return nil
+	}
+	var out []workItem
+	// Deterministic iteration keeps runs reproducible.
+	keys := make([]string, 0, len(tbl))
+	for k := range tbl {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		other := tbl[k]
+		jt := tags & other.Tuple.Tags
+		if jt == 0 {
+			continue
+		}
+		env2, ok := e.unify(env, f, other.Tuple)
+		if !ok {
+			continue
+		}
+		out = append(out, e.join(r, pred, env2, jt, append(bound[:len(bound):len(bound)], other), idx+1)...)
+	}
+	return out
+}
+
+// emit checks guards and derives the head for a fully-bound rule body.
+func (e *Engine) emit(r *Rule, env Env, tags uint64, bound []*Row) []workItem {
+	e.Stats.Firings++
+	env, ok, err := e.checkGuards(r, env)
+	if err != nil || !ok {
+		return nil
+	}
+	var head Tuple
+	if agg := e.aggs[r.ID]; agg != nil {
+		head, ok = e.aggregate(r, agg, env)
+		if !ok {
+			return nil
+		}
+	} else {
+		head = Tuple{Table: r.Head.Table}
+		for _, a := range r.Head.Args {
+			v, err := e.Eval(env, a)
+			if err != nil {
+				return nil
+			}
+			head.Args = append(head.Args, v)
+		}
+	}
+	head.Tags = tags
+	e.Stats.Derivations++
+
+	bodyTuples := make([]Tuple, len(bound))
+	for i, b := range bound {
+		bodyTuples[i] = b.Tuple
+	}
+	for _, l := range e.listeners {
+		l.OnDerive(e.now, r, head, bodyTuples, env)
+	}
+	// Cross-node routing: if the head's location differs from the trigger
+	// body tuple's location, record a send.
+	if r.Head.Loc >= 0 && len(bound) > 0 {
+		from := e.locationOf(bound[0].Tuple)
+		to := head.Args[r.Head.Loc]
+		if from.Kind != KindWild && !from.Equal(to) {
+			e.Stats.Sends++
+			for _, l := range e.listeners {
+				l.OnSend(e.now, from, to, head)
+			}
+		}
+	}
+	d := &derivation{rule: r, body: append([]*Row(nil), bound...)}
+	return []workItem{{tuple: head, via: d}}
+}
+
+// aggregate updates the rule's aggregation state and produces the head with
+// the aggregate argument replaced by the current distinct count.
+func (e *Engine) aggregate(r *Rule, st *aggState, env Env) (Tuple, bool) {
+	groupVals := make([]Value, 0, len(r.Head.Args))
+	aggIdx := -1
+	var aggVal Value
+	for i, a := range r.Head.Args {
+		if ag, ok := a.(*Agg); ok {
+			aggIdx = i
+			v, err := e.Eval(env, &Var{Name: ag.Arg})
+			if err != nil {
+				return Tuple{}, false
+			}
+			aggVal = v
+			groupVals = append(groupVals, Value{}) // placeholder
+			continue
+		}
+		v, err := e.Eval(env, a)
+		if err != nil {
+			return Tuple{}, false
+		}
+		groupVals = append(groupVals, v)
+	}
+	gk := ""
+	for i, v := range groupVals {
+		if i == aggIdx {
+			continue
+		}
+		gk += "|" + v.Key()
+	}
+	set := st.groups[gk]
+	if set == nil {
+		set = make(map[string]struct{})
+		st.groups[gk] = set
+	}
+	set[aggVal.Key()] = struct{}{}
+	groupVals[aggIdx] = Int(int64(len(set)))
+	return Tuple{Table: r.Head.Table, Args: groupVals}, true
+}
+
+// locationOf returns the location value of a tuple.
+func (e *Engine) locationOf(t Tuple) Value {
+	i := e.LocIndex(t.Table)
+	if i < len(t.Args) {
+		return t.Args[i]
+	}
+	return Wild()
+}
+
+// Rows returns a snapshot of all stored rows of a table, in deterministic
+// order.
+func (e *Engine) Rows(table string) []Tuple {
+	tbl := e.tables[table]
+	keys := make([]string, 0, len(tbl))
+	for k := range tbl {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, tbl[k].Tuple)
+	}
+	return out
+}
+
+// Lookup returns stored tuples of a table matching the given filter; nil
+// filter values match anything.
+func (e *Engine) Lookup(table string, filter []*Value) []Tuple {
+	var out []Tuple
+	for _, t := range e.Rows(table) {
+		if len(filter) > len(t.Args) {
+			continue
+		}
+		ok := true
+		for i, f := range filter {
+			if f != nil && !f.Equal(t.Args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Count returns the number of stored tuples in a table.
+func (e *Engine) Count(table string) int { return len(e.tables[table]) }
+
+// RegisterBuiltins installs the dialect's built-in functions on an engine:
+// f_unique, f_match, f_join, f_concat, f_hash, f_max, f_min.
+func RegisterBuiltins(e *Engine) {
+	e.Funcs["f_unique"] = func(e *Engine, _ []Value) (Value, error) {
+		return Int(e.Fresh()), nil
+	}
+	e.Funcs["f_match"] = func(_ *Engine, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("f_match: want 2 args, got %d", len(args))
+		}
+		return Bool(args[0].Matches(args[1])), nil
+	}
+	e.Funcs["f_join"] = func(_ *Engine, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("f_join: want 2 args, got %d", len(args))
+		}
+		if args[1].Kind == KindWild {
+			return args[0], nil
+		}
+		return args[1], nil
+	}
+	e.Funcs["f_concat"] = func(_ *Engine, args []Value) (Value, error) {
+		s := ""
+		for _, a := range args {
+			if a.Kind == KindString {
+				s += a.Str
+			} else {
+				s += a.String()
+			}
+		}
+		return Str(s), nil
+	}
+	e.Funcs["f_hash"] = func(_ *Engine, args []Value) (Value, error) {
+		var h uint64 = 1469598103934665603 // FNV-1a offset basis
+		for _, a := range args {
+			for _, b := range []byte(a.Key()) {
+				h ^= uint64(b)
+				h *= 1099511628211
+			}
+		}
+		return Int(int64(h & 0x7fffffffffffffff)), nil
+	}
+	e.Funcs["f_max"] = func(_ *Engine, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Value{}, fmt.Errorf("f_max: no arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if a.Compare(best) > 0 {
+				best = a
+			}
+		}
+		return best, nil
+	}
+	e.Funcs["f_min"] = func(_ *Engine, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Value{}, fmt.Errorf("f_min: no arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if a.Compare(best) < 0 {
+				best = a
+			}
+		}
+		return best, nil
+	}
+}

@@ -1,0 +1,168 @@
+package ndlog
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+materialize(FlowTable, 1, 3, keys(0,1)).
+materialize(WebLoadBalancer, 1, 3, keys(0,1)).
+
+// Controller program from Figure 2 of the paper.
+r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), WebLoadBalancer(@C,Hdr,Prt), Swi == 1.
+r2 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr == 53, Prt := 2.
+r3 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr != 53, Prt := -1.
+r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+`
+
+func TestParseSampleProgram(t *testing.T) {
+	prog, err := Parse("sample", sampleProgram)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d, want 2", len(prog.Decls))
+	}
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(prog.Rules))
+	}
+	r1 := prog.Rule("r1")
+	if r1 == nil {
+		t.Fatal("rule r1 missing")
+	}
+	if len(r1.Body) != 2 || len(r1.Sels) != 1 || len(r1.Assigns) != 0 {
+		t.Fatalf("r1 shape = body %d sels %d assigns %d", len(r1.Body), len(r1.Sels), len(r1.Assigns))
+	}
+	if r1.Head.Table != "FlowTable" || r1.Head.Loc != 0 {
+		t.Fatalf("r1 head = %v loc %d", r1.Head.Table, r1.Head.Loc)
+	}
+	r2 := prog.Rule("r2")
+	if len(r2.Sels) != 2 || len(r2.Assigns) != 1 {
+		t.Fatalf("r2 shape = sels %d assigns %d", len(r2.Sels), len(r2.Assigns))
+	}
+	r3 := prog.Rule("r3")
+	if r3.Assigns[0].Var != "Prt" {
+		t.Fatalf("r3 assign var = %s", r3.Assigns[0].Var)
+	}
+	c, ok := r3.Assigns[0].Expr.(*ConstExpr)
+	if !ok || c.Val.Int != -1 {
+		t.Fatalf("r3 assign expr = %v", r3.Assigns[0].Expr)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	prog := MustParse("sample", sampleProgram)
+	printed := prog.String()
+	again, err := Parse("reprint", printed)
+	if err != nil {
+		t.Fatalf("reparse printed program: %v\n%s", err, printed)
+	}
+	if again.String() != printed {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", printed, again.String())
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`x A(@X,Y) :- B(@X,Q), Y := Q * 2 + 1.`, "Y := Q * 2 + 1"},
+		{`x A(@X,Y) :- B(@X,Q), Y := f_unique().`, "Y := f_unique()"},
+		{`x A(@X,Y) :- B(@X,Q), Y := *.`, "Y := *"},
+		{`x A(@X,Y) :- B(@X,Q), Y := Q, Q >= 3.`, "Y := Q"},
+	}
+	for _, c := range cases {
+		prog, err := Parse("expr", c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		got := prog.Rules[0].Assigns[0].String()
+		if got != c.want {
+			t.Errorf("%s: assign = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseSelectionWithCall(t *testing.T) {
+	src := `s1 Sel(@C,Rul,V) :- Oper(@C,Rul,O), Expr(@C,Rul,V), True == f_match(V, O).`
+	prog, err := Parse("meta", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := prog.Rules[0]
+	if len(r.Body) != 2 || len(r.Sels) != 1 {
+		t.Fatalf("shape: body %d sels %d", len(r.Body), len(r.Sels))
+	}
+	if _, ok := r.Sels[0].Right.(*Call); !ok {
+		t.Fatalf("selection right side should be a call, got %T", r.Sels[0].Right)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	src := `p2 PredFuncCount(@C,Rul,a_count<N>) :- PredFunc(@C,Rul,Tab,N).`
+	prog, err := Parse("agg", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	agg, ok := prog.Rules[0].Head.Args[2].(*Agg)
+	if !ok {
+		t.Fatalf("head arg 2 should be aggregate, got %T", prog.Rules[0].Head.Args[2])
+	}
+	if agg.Fn != "count" || agg.Arg != "N" {
+		t.Fatalf("agg = %v", agg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`r1 A(@X) :- `,                     // missing body
+		`r1 A(@X) :- B(@X)`,                // missing period
+		`r1 A(@@X) :- B(@X).`,              // double @
+		`materialize(T, 1, 0, keys(0)).`,   // zero arity
+		`materialize(T, 1, 2, keys(5)).`,   // key out of range
+		`r1 A(@X) :- B(@X), X + 1.`,        // non-boolean term
+		"r1 A(@X) :- B(@X), X == \"unterm", // unterminated string
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+/* block
+   comment */
+r1 A(@X) :- B(@X). // trailing
+`
+	prog, err := Parse("comments", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	prog := MustParse("sample", sampleProgram)
+	clone := prog.Clone()
+	if clone.String() != prog.String() {
+		t.Fatal("clone should print identically")
+	}
+	// Mutating the clone must not affect the original.
+	clone.Rules[0].Sels[0].Op = OpNe
+	if strings.Contains(prog.Rules[0].Sels[0].String(), "!=") {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	prog := MustParse("sample", sampleProgram)
+	if prog.LineCount() != 6 {
+		t.Fatalf("line count = %d, want 6", prog.LineCount())
+	}
+}

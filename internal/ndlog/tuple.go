@@ -1,0 +1,103 @@
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a concrete fact: a table name plus argument values. The location
+// of the tuple (the node it resides on) is one of its arguments; which one
+// is determined by the table's location index (see Engine.LocIndex).
+//
+// Tags is the backtesting tag set of §4.4: a bitmask naming the repair
+// candidates whose variant of the program this tuple exists under. Outside
+// of backtesting, Tags is AllTags.
+type Tuple struct {
+	Table string
+	Args  []Value
+	Tags  uint64
+}
+
+// NewTuple builds a tuple with all tags set.
+func NewTuple(table string, args ...Value) Tuple {
+	return Tuple{Table: table, Args: args, Tags: AllTags}
+}
+
+// String renders the tuple as Table(v1,v2,...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.Table, strings.Join(parts, ","))
+}
+
+// Key returns a canonical identity string over all arguments (ignoring
+// tags); two tuples with equal Key are the same fact.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.WriteString(t.Table)
+	for _, a := range t.Args {
+		b.WriteByte('|')
+		b.WriteString(a.Key())
+	}
+	return b.String()
+}
+
+// PrimaryKey returns the identity string over the given key columns; an
+// empty keys slice means all columns form the key.
+func (t Tuple) PrimaryKey(keys []int) string {
+	if len(keys) == 0 {
+		return t.Key()
+	}
+	var b strings.Builder
+	b.WriteString(t.Table)
+	for _, k := range keys {
+		b.WriteByte('|')
+		if k < len(t.Args) {
+			b.WriteString(t.Args[k].Key())
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two tuples denote the same fact (tags ignored).
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Table != o.Table || len(t.Args) != len(o.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if !t.Args[i].Equal(o.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the tuple.
+func (t Tuple) Clone() Tuple {
+	args := make([]Value, len(t.Args))
+	copy(args, t.Args)
+	return Tuple{Table: t.Table, Args: args, Tags: t.Tags}
+}
+
+// Row is a stored tuple plus bookkeeping: how many derivations currently
+// support it, whether one of those supports is a base insertion, and the
+// derivation records linking it into the dependency graph (for recursive
+// underivation on delete).
+type Row struct {
+	Tuple   Tuple
+	Support int
+	Base    bool
+	derivs  []*derivation // derivations producing this row
+	usedBy  []*derivation // derivations consuming this row
+}
+
+// derivation records one rule firing: the rule, the body rows consumed, and
+// the head row produced. It is the unit of support counting.
+type derivation struct {
+	rule *Rule
+	head *Row
+	body []*Row
+	dead bool
+}

@@ -1,0 +1,181 @@
+// Package ndlog implements a Network Datalog (NDlog) dialect: a typed value
+// model, a lexer and parser, an AST, and a semi-naive bottom-up evaluation
+// engine with multi-node location specifiers.
+//
+// The dialect follows the language used in "Automated Bug Removal for
+// Software-Defined Networks" (NSDI'17): rules of the form
+//
+//	r1 Head(@Loc,A,B) :- Body(@Loc,A,C), Other(@Loc,C,B), A == 1, B := C*2.
+//
+// where @ marks the location attribute, == (and <, >, !=, <=, >=) appear in
+// selection predicates, and := introduces assignments. Tables are declared
+// with materialize directives; undeclared tables default to transient event
+// tables (timeout 0).
+package ndlog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the runtime value kinds. The paper's µDlog subset uses
+// integers only; the full dialect adds strings (for node and table names in
+// meta tuples), booleans (selection results), and the JID wildcard used by
+// the meta model.
+type Kind uint8
+
+const (
+	KindInt Kind = iota
+	KindString
+	KindBool
+	KindWild // the meta model's "*" join-ID wildcard
+)
+
+// Value is an immutable NDlog runtime value. The zero Value is the integer 0.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Str  string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{Kind: KindBool, Int: 1}
+	}
+	return Value{Kind: KindBool, Int: 0}
+}
+
+// Wild returns the join-ID wildcard value "*".
+func Wild() Value { return Value{Kind: KindWild} }
+
+// IsTrue reports whether v is a true boolean or a non-zero integer.
+func (v Value) IsTrue() bool {
+	switch v.Kind {
+	case KindBool, KindInt:
+		return v.Int != 0
+	default:
+		return false
+	}
+}
+
+// Equal reports deep equality. The wildcard equals only itself here; use
+// Matches for wildcard-aware comparison.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		// Allow int/bool cross-comparison by numeric value: selection
+		// predicates such as Val == True rely on it.
+		if (v.Kind == KindInt && o.Kind == KindBool) || (v.Kind == KindBool && o.Kind == KindInt) {
+			return v.Int == o.Int
+		}
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == o.Str
+	case KindWild:
+		return true
+	default:
+		return v.Int == o.Int
+	}
+}
+
+// Matches is wildcard-aware equality: a KindWild value matches anything.
+// This implements the paper's f_match(JID1, JID2).
+func (v Value) Matches(o Value) bool {
+	if v.Kind == KindWild || o.Kind == KindWild {
+		return true
+	}
+	return v.Equal(o)
+}
+
+// Compare returns -1, 0, or +1. Values of different kinds order by kind.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		vk, ok := normNum(v)
+		ok2 := false
+		var okv Value
+		okv, ok2 = normNum(o)
+		if ok && ok2 {
+			switch {
+			case vk.Int < okv.Int:
+				return -1
+			case vk.Int > okv.Int:
+				return 1
+			default:
+				return 0
+			}
+		}
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindString:
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		}
+		return 0
+	case KindWild:
+		return 0
+	default:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+		return 0
+	}
+}
+
+func normNum(v Value) (Value, bool) {
+	switch v.Kind {
+	case KindInt, KindBool:
+		return Value{Kind: KindInt, Int: v.Int}, true
+	}
+	return Value{}, false
+}
+
+// String renders the value in NDlog source syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case KindBool:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	case KindWild:
+		return "*"
+	}
+	return "?"
+}
+
+// Key renders a canonical, collision-free encoding used for map keys.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindInt:
+		return "i" + strconv.FormatInt(v.Int, 10)
+	case KindString:
+		return "s" + v.Str
+	case KindBool:
+		return "b" + strconv.FormatInt(v.Int, 10)
+	case KindWild:
+		return "*"
+	}
+	return "?"
+}

@@ -1,0 +1,221 @@
+package ndlog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEquality(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		eq   bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("x"), Str("x"), true},
+		{Str("x"), Str("y"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Int(1), true},  // numeric cross-comparison
+		{Bool(false), Int(0), true}, // numeric cross-comparison
+		{Bool(true), Int(0), false},
+		{Int(1), Str("1"), false},
+		{Wild(), Wild(), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.eq {
+			t.Errorf("%v == %v: got %v want %v", c.a, c.b, got, c.eq)
+		}
+	}
+}
+
+func TestWildcardMatches(t *testing.T) {
+	if !Wild().Matches(Int(42)) || !Int(42).Matches(Wild()) {
+		t.Fatal("wildcard must match anything")
+	}
+	if Int(1).Matches(Int(2)) {
+		t.Fatal("distinct ints must not match")
+	}
+	// Equal is strict: a wildcard does not Equal a concrete value.
+	if Wild().Equal(Int(42)) {
+		t.Fatal("Equal must be strict about wildcards")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Int(1).Compare(Int(2)) >= 0 || Int(2).Compare(Int(1)) <= 0 || Int(3).Compare(Int(3)) != 0 {
+		t.Fatal("integer comparison broken")
+	}
+	if Str("a").Compare(Str("b")) >= 0 {
+		t.Fatal("string comparison broken")
+	}
+	if Bool(true).Compare(Int(1)) != 0 {
+		t.Fatal("bool/int numeric comparison broken")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"5":     Int(5),
+		"-3":    Int(-3),
+		`"ab"`:  Str("ab"),
+		"true":  Bool(true),
+		"false": Bool(false),
+		"*":     Wild(),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	// Keys must distinguish values that differ in kind, even when their
+	// renderings could collide.
+	vals := []Value{Int(1), Str("1"), Bool(true), Wild(), Int(0), Str(""), Bool(false)}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		if prev, dup := seen[v.Key()]; dup && !prev.Equal(v) {
+			t.Fatalf("key collision: %v vs %v -> %q", prev, v, v.Key())
+		}
+		seen[v.Key()] = v
+	}
+}
+
+// Properties over the value algebra.
+func TestValueProperties(t *testing.T) {
+	// Compare is antisymmetric and Equal-consistent over ints.
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		return (va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Key equality coincides with Equal for same-kind values.
+	g := func(a, b int64) bool {
+		return (Int(a).Key() == Int(b).Key()) == Int(a).Equal(Int(b))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalOpArithmetic(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r Value
+		want Value
+		err  bool
+	}{
+		{OpAdd, Int(2), Int(3), Int(5), false},
+		{OpSub, Int(2), Int(3), Int(-1), false},
+		{OpMul, Int(4), Int(3), Int(12), false},
+		{OpDiv, Int(9), Int(3), Int(3), false},
+		{OpDiv, Int(9), Int(0), Value{}, true},
+		{OpAdd, Str("a"), Str("b"), Str("ab"), false},
+		{OpAdd, Str("a"), Int(1), Value{}, true},
+		{OpMul, Str("a"), Int(2), Value{}, true},
+		{OpAnd, Bool(true), Bool(false), Bool(false), false},
+		{OpOr, Bool(true), Bool(false), Bool(true), false},
+		{OpLe, Int(3), Int(3), Bool(true), false},
+		{OpGe, Int(2), Int(3), Bool(false), false},
+	}
+	for _, c := range cases {
+		got, err := EvalOp(c.op, c.l, c.r)
+		if c.err {
+			if err == nil {
+				t.Errorf("%v %v %v: expected error", c.l, c.op, c.r)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%v %v %v: %v", c.l, c.op, c.r, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestTuplePrimaryKey(t *testing.T) {
+	tp := NewTuple("T", Int(1), Int(2), Int(3))
+	if tp.PrimaryKey(nil) != tp.Key() {
+		t.Fatal("empty key columns must use all columns")
+	}
+	a := NewTuple("T", Int(1), Int(2), Int(3))
+	b := NewTuple("T", Int(1), Int(9), Int(3))
+	if a.PrimaryKey([]int{0, 2}) != b.PrimaryKey([]int{0, 2}) {
+		t.Fatal("tuples agreeing on key columns must share a primary key")
+	}
+	if a.PrimaryKey([]int{1}) == b.PrimaryKey([]int{1}) {
+		t.Fatal("tuples differing on the key column must differ")
+	}
+}
+
+// Tuple keys are injective up to Equal.
+func TestTupleKeyProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		ta := Tuple{Table: "T"}
+		for _, v := range a {
+			ta.Args = append(ta.Args, Int(int64(v)))
+		}
+		tb := Tuple{Table: "T"}
+		for _, v := range b {
+			tb.Args = append(tb.Args, Int(int64(v)))
+		}
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineEmptyProgram(t *testing.T) {
+	e := MustNewEngine(&Program{Name: "empty"})
+	out := e.Insert(NewTuple("Anything", Int(1)))
+	if len(out) != 1 { // the event itself appears, derives nothing
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestEngineDeleteAbsentTuple(t *testing.T) {
+	e := MustNewEngine(MustParse("d", `
+materialize(A, 1, 1, keys(0)).
+x B(@X) :- A(@X).
+`))
+	e.Delete(NewTuple("A", Int(1))) // no-op, must not panic
+	if e.Count("A") != 0 {
+		t.Fatal("phantom tuple")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Tuple {
+		e := MustNewEngine(MustParse("det", `
+materialize(L, 1, 2, keys(0,1)).
+materialize(R, 1, 2, keys(0,1)).
+j Out(@X,Z) :- L(@X,Y), R(@Y,Z).
+`))
+		e.Insert(NewTuple("R", Int(1), Int(10)))
+		e.Insert(NewTuple("R", Int(2), Int(20)))
+		e.Insert(NewTuple("R", Int(1), Int(30)))
+		var out []Tuple
+		out = append(out, e.Insert(NewTuple("L", Int(0), Int(1)))...)
+		out = append(out, e.Insert(NewTuple("L", Int(0), Int(2)))...)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("run divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package provenance implements the classic network-provenance graph of
+// §3.1 of the paper: a DAG whose vertices are events (tuple existence,
+// insertion, derivation, appearance, message transmission) and whose edges
+// denote direct causality, plus the negative twins used by negative
+// provenance. A Recorder captures the graph incrementally from an NDlog
+// engine at runtime; Explain and ExplainMissing answer diagnostic queries.
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ndlog"
+)
+
+// Kind enumerates provenance vertex kinds (§3.1), including the negative
+// twins introduced for negative provenance.
+type Kind uint8
+
+const (
+	KindExist Kind = iota
+	KindInsert
+	KindDelete
+	KindDerive
+	KindUnderive
+	KindAppear
+	KindDisappear
+	KindSend
+	KindReceive
+	// Negative twins.
+	KindNExist
+	KindNInsert
+	KindNDerive
+	KindNAppear
+	KindNSend
+	KindNReceive
+)
+
+var kindNames = [...]string{
+	"EXIST", "INSERT", "DELETE", "DERIVE", "UNDERIVE", "APPEAR", "DISAPPEAR",
+	"SEND", "RECEIVE",
+	"NEXIST", "NINSERT", "NDERIVE", "NAPPEAR", "NSEND", "NRECEIVE",
+}
+
+// String returns the paper's name for the vertex kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// Negative reports whether the kind is a negative twin.
+func (k Kind) Negative() bool { return k >= KindNExist }
+
+// Vertex is one provenance-graph vertex. T1/T2 give the validity interval
+// for EXIST vertices and the event time otherwise. Rule is set on DERIVE,
+// UNDERIVE and NDERIVE vertices. Children are the direct causes.
+type Vertex struct {
+	Kind     Kind
+	T1, T2   int64
+	Tuple    ndlog.Tuple
+	Rule     string
+	Children []*Vertex
+}
+
+// String renders the vertex in the paper's notation, e.g.
+// EXIST([3,5], FlowTable(2,80,1)).
+func (v *Vertex) String() string {
+	switch v.Kind {
+	case KindExist:
+		return fmt.Sprintf("EXIST([%d,%d], %s)", v.T1, v.T2, v.Tuple)
+	case KindDerive, KindUnderive, KindNDerive:
+		return fmt.Sprintf("%s(%d, %s, via %s)", v.Kind, v.T1, v.Tuple, v.Rule)
+	case KindNExist:
+		return fmt.Sprintf("NEXIST([%d,%d], %s)", v.T1, v.T2, v.Tuple)
+	default:
+		return fmt.Sprintf("%s(%d, %s)", v.Kind, v.T1, v.Tuple)
+	}
+}
+
+// Render pretty-prints the tree rooted at v with indentation.
+func (v *Vertex) Render() string {
+	var b strings.Builder
+	v.render(&b, 0)
+	return b.String()
+}
+
+func (v *Vertex) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(v.String())
+	b.WriteByte('\n')
+	for _, c := range v.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Size returns the number of vertices in the tree rooted at v.
+func (v *Vertex) Size() int {
+	n := 1
+	for _, c := range v.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Leaves appends all leaf vertices of the tree to dst.
+func (v *Vertex) Leaves(dst []*Vertex) []*Vertex {
+	if len(v.Children) == 0 {
+		return append(dst, v)
+	}
+	for _, c := range v.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}

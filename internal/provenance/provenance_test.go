@@ -1,0 +1,154 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+const chainProgram = `
+materialize(A, 1, 1, keys(0)).
+materialize(B, 1, 1, keys(0)).
+materialize(C, 1, 2, keys(0,1)).
+d1 B(@X) :- A(@X).
+d2 C(@X,Y) :- B(@X), D(@X,Y).
+`
+
+func setup(t *testing.T) (*ndlog.Engine, *Recorder) {
+	t.Helper()
+	e := ndlog.MustNewEngine(ndlog.MustParse("chain", chainProgram))
+	r := NewRecorder()
+	e.Listen(r)
+	return e, r
+}
+
+func TestExplainDerivedTuple(t *testing.T) {
+	e, r := setup(t)
+	e.Insert(ndlog.NewTuple("A", ndlog.Int(1)))
+	e.Insert(ndlog.NewTuple("D", ndlog.Int(1), ndlog.Int(9)))
+
+	tree := r.Explain(ndlog.NewTuple("C", ndlog.Int(1), ndlog.Int(9)))
+	if tree.Kind != KindExist {
+		t.Fatalf("root kind = %v", tree.Kind)
+	}
+	s := tree.Render()
+	for _, want := range []string{"DERIVE", "d2", "B(1)", "A(1)", "INSERT"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("provenance missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainReachesBaseTuples(t *testing.T) {
+	e, r := setup(t)
+	e.Insert(ndlog.NewTuple("A", ndlog.Int(4)))
+	tree := r.Explain(ndlog.NewTuple("B", ndlog.Int(4)))
+	leaves := tree.Leaves(nil)
+	foundInsert := false
+	for _, l := range leaves {
+		if l.Kind == KindInsert {
+			foundInsert = true
+		}
+	}
+	if !foundInsert {
+		t.Fatalf("no INSERT leaf in:\n%s", tree.Render())
+	}
+}
+
+func TestIntervalsTrackDeletion(t *testing.T) {
+	e, r := setup(t)
+	e.Insert(ndlog.NewTuple("A", ndlog.Int(2)))
+	e.Delete(ndlog.NewTuple("A", ndlog.Int(2)))
+	iv := r.Intervals(ndlog.NewTuple("B", ndlog.Int(2)))
+	if len(iv) != 1 {
+		t.Fatalf("intervals = %v", iv)
+	}
+	if iv[0].To == -1 {
+		t.Fatal("interval not closed after cascade delete")
+	}
+	if _, ok := r.ExistedAt(ndlog.NewTuple("B", ndlog.Int(2)), iv[0].From); !ok {
+		t.Fatal("ExistedAt failed within interval")
+	}
+	if _, ok := r.ExistedAt(ndlog.NewTuple("B", ndlog.Int(2)), iv[0].To+5); ok {
+		t.Fatal("ExistedAt succeeded outside interval")
+	}
+}
+
+func TestExplainMissing(t *testing.T) {
+	e, r := setup(t)
+	e.Insert(ndlog.NewTuple("A", ndlog.Int(1)))
+	prog := e.Program()
+	v3 := ndlog.Int(3)
+	tree := r.ExplainMissing(prog, "C", []*ndlog.Value{&v3, nil})
+	if tree.Kind != KindNExist {
+		t.Fatalf("root = %v", tree.Kind)
+	}
+	if len(tree.Children) != 1 || tree.Children[0].Kind != KindNDerive {
+		t.Fatalf("want one NDERIVE child, got %v", tree.Children)
+	}
+	s := tree.Render()
+	if !strings.Contains(s, "NEXIST") || !strings.Contains(s, "D(") {
+		t.Fatalf("missing D precondition not cited:\n%s", s)
+	}
+}
+
+func TestRecorderHistoricalIndexes(t *testing.T) {
+	e, r := setup(t)
+	e.Insert(ndlog.NewTuple("A", ndlog.Int(1)))
+	e.Insert(ndlog.NewTuple("A", ndlog.Int(2)))
+	e.Insert(ndlog.NewTuple("D", ndlog.Int(1), ndlog.Int(5)))
+
+	if got := len(r.TuplesOf("A")); got != 2 {
+		t.Fatalf("TuplesOf(A) = %d, want 2", got)
+	}
+	if got := len(r.DerivationsInto("B")); got != 2 {
+		t.Fatalf("DerivationsInto(B) = %d, want 2", got)
+	}
+	if !r.WasInserted(ndlog.NewTuple("A", ndlog.Int(1))) {
+		t.Fatal("WasInserted(A(1)) = false")
+	}
+	if r.WasInserted(ndlog.NewTuple("B", ndlog.Int(1))) {
+		t.Fatal("WasInserted(B(1)) = true; B is derived")
+	}
+	base := r.BaseInserts("A")
+	if len(base) != 2 || base[0].Args[0].Int != 1 {
+		t.Fatalf("BaseInserts(A) = %v", base)
+	}
+	if r.BytesLogged != 3*LogEntrySize {
+		t.Fatalf("BytesLogged = %d, want %d", r.BytesLogged, 3*LogEntrySize)
+	}
+}
+
+func TestExplainCycleGuard(t *testing.T) {
+	prog := ndlog.MustParse("cycle", `
+materialize(P, 1, 2, keys(0,1)).
+c1 P(@X,Y) :- P(@Y,X).
+c2 P(@X,Y) :- E(@X,Y).
+`)
+	e := ndlog.MustNewEngine(prog)
+	r := NewRecorder()
+	e.Listen(r)
+	e.Insert(ndlog.NewTuple("E", ndlog.Int(1), ndlog.Int(2)))
+	// P(1,2) and P(2,1) derive each other; Explain must terminate.
+	tree := r.Explain(ndlog.NewTuple("P", ndlog.Int(1), ndlog.Int(2)))
+	if tree.Size() == 0 || tree.Size() > 100 {
+		t.Fatalf("suspicious tree size %d", tree.Size())
+	}
+}
+
+func TestVertexRenderAndSize(t *testing.T) {
+	v := &Vertex{Kind: KindExist, Tuple: ndlog.NewTuple("X", ndlog.Int(1)), T2: -1,
+		Children: []*Vertex{
+			{Kind: KindInsert, Tuple: ndlog.NewTuple("X", ndlog.Int(1))},
+		}}
+	if v.Size() != 2 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if !strings.Contains(v.Render(), "INSERT") {
+		t.Fatal("render missing child")
+	}
+	if KindNExist.Negative() != true || KindExist.Negative() != false {
+		t.Fatal("Negative() misclassifies kinds")
+	}
+}

@@ -1,0 +1,277 @@
+package provenance
+
+import (
+	"sort"
+
+	"repro/internal/ndlog"
+)
+
+// LogEntrySize is the size of one on-disk log record in bytes, matching the
+// 120-byte entries (packet header plus timestamp) reported in §5.4.
+const LogEntrySize = 120
+
+// Derivation is one recorded rule firing.
+type Derivation struct {
+	Time int64
+	Rule *ndlog.Rule
+	Head ndlog.Tuple
+	Body []ndlog.Tuple
+	Env  ndlog.Env
+}
+
+// Interval is a tuple's validity interval; To is -1 while the tuple is
+// still present.
+type Interval struct {
+	From, To int64
+}
+
+// Recorder is an ndlog.Listener that maintains the provenance graph's
+// underlying log: derivations indexed by head, validity intervals, base
+// insertions, and message sends. It doubles as the "historical information"
+// store that repair generation and backtesting query (§4.3).
+type Recorder struct {
+	ndlog.BaseListener
+	derivs    map[string][]*Derivation // head tuple key -> derivations
+	derivsTab map[string][]*Derivation // head table -> derivations
+	intervals map[string][]Interval    // tuple key -> validity intervals
+	inserts   map[string][]int64       // base tuple key -> insert times
+	tuples    map[string][]ndlog.Tuple // table -> every distinct tuple seen
+	seen      map[string]struct{}      // tuple keys already in tuples
+	sends     []SendRecord
+	// BytesLogged approximates on-disk storage: LogEntrySize per insert.
+	BytesLogged int64
+	// Lookups counts index queries, for the turnaround-time breakdowns.
+	Lookups int64
+}
+
+// SendRecord is one cross-node message transmission.
+type SendRecord struct {
+	Time     int64
+	From, To ndlog.Value
+	Tuple    ndlog.Tuple
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		derivs:    make(map[string][]*Derivation),
+		derivsTab: make(map[string][]*Derivation),
+		intervals: make(map[string][]Interval),
+		inserts:   make(map[string][]int64),
+		tuples:    make(map[string][]ndlog.Tuple),
+		seen:      make(map[string]struct{}),
+	}
+}
+
+// OnInsert implements ndlog.Listener.
+func (r *Recorder) OnInsert(t int64, tp ndlog.Tuple) {
+	r.inserts[tp.Key()] = append(r.inserts[tp.Key()], t)
+	r.BytesLogged += LogEntrySize
+}
+
+// OnDelete implements ndlog.Listener.
+func (r *Recorder) OnDelete(t int64, tp ndlog.Tuple) {
+	r.BytesLogged += LogEntrySize
+}
+
+// OnDerive implements ndlog.Listener. Tuple argument slices and the
+// environment are stored by reference: the engine allocates them fresh
+// per firing and never mutates them afterwards (only the Tags word of a
+// stored row changes), so recording stays cheap — the property behind the
+// small §5.4 overhead.
+func (r *Recorder) OnDerive(t int64, rule *ndlog.Rule, head ndlog.Tuple, body []ndlog.Tuple, env ndlog.Env) {
+	d := &Derivation{Time: t, Rule: rule, Head: head, Env: env}
+	d.Body = append(d.Body, body...)
+	key := head.Key()
+	r.derivs[key] = append(r.derivs[key], d)
+	r.derivsTab[head.Table] = append(r.derivsTab[head.Table], d)
+}
+
+// OnAppear implements ndlog.Listener.
+func (r *Recorder) OnAppear(t int64, tp ndlog.Tuple) {
+	k := tp.Key()
+	r.intervals[k] = append(r.intervals[k], Interval{From: t, To: -1})
+	if _, ok := r.seen[k]; !ok {
+		r.seen[k] = struct{}{}
+		r.tuples[tp.Table] = append(r.tuples[tp.Table], tp.Clone())
+	}
+}
+
+// OnDisappear implements ndlog.Listener.
+func (r *Recorder) OnDisappear(t int64, tp ndlog.Tuple) {
+	iv := r.intervals[tp.Key()]
+	for i := len(iv) - 1; i >= 0; i-- {
+		if iv[i].To == -1 {
+			iv[i].To = t
+			break
+		}
+	}
+}
+
+// OnSend implements ndlog.Listener.
+func (r *Recorder) OnSend(t int64, from, to ndlog.Value, tp ndlog.Tuple) {
+	r.sends = append(r.sends, SendRecord{Time: t, From: from, To: to, Tuple: tp.Clone()})
+}
+
+// DerivationsOf returns the recorded derivations of a concrete tuple.
+func (r *Recorder) DerivationsOf(tp ndlog.Tuple) []*Derivation {
+	r.Lookups++
+	return r.derivs[tp.Key()]
+}
+
+// DerivationsInto returns all recorded derivations whose head is in table.
+func (r *Recorder) DerivationsInto(table string) []*Derivation {
+	r.Lookups++
+	return r.derivsTab[table]
+}
+
+// TuplesOf returns every distinct tuple that ever appeared in a table, in
+// first-appearance order.
+func (r *Recorder) TuplesOf(table string) []ndlog.Tuple {
+	r.Lookups++
+	return r.tuples[table]
+}
+
+// ExistedAt reports whether the tuple was present at the given time, and
+// the surrounding interval if so.
+func (r *Recorder) ExistedAt(tp ndlog.Tuple, at int64) (Interval, bool) {
+	r.Lookups++
+	for _, iv := range r.intervals[tp.Key()] {
+		if iv.From <= at && (iv.To == -1 || at <= iv.To) {
+			return iv, true
+		}
+	}
+	return Interval{}, false
+}
+
+// EverExisted reports whether the tuple appeared at any time.
+func (r *Recorder) EverExisted(tp ndlog.Tuple) bool {
+	r.Lookups++
+	return len(r.intervals[tp.Key()]) > 0
+}
+
+// Intervals returns the validity intervals of a tuple.
+func (r *Recorder) Intervals(tp ndlog.Tuple) []Interval {
+	r.Lookups++
+	return r.intervals[tp.Key()]
+}
+
+// WasInserted reports whether the tuple was a base insertion.
+func (r *Recorder) WasInserted(tp ndlog.Tuple) bool {
+	r.Lookups++
+	return len(r.inserts[tp.Key()]) > 0
+}
+
+// Sends returns all recorded cross-node transmissions.
+func (r *Recorder) Sends() []SendRecord { return r.sends }
+
+// BaseInserts returns all recorded base insertions of a table, ordered by
+// insertion time; used by backtesting to reconstruct the input workload.
+func (r *Recorder) BaseInserts(table string) []ndlog.Tuple {
+	r.Lookups++
+	type rec struct {
+		t  int64
+		tp ndlog.Tuple
+	}
+	var all []rec
+	for key, times := range r.inserts {
+		if !keyHasTable(key, table) {
+			continue
+		}
+		for _, tp := range r.tuples[table] {
+			if tp.Key() == key {
+				for _, tm := range times {
+					all = append(all, rec{t: tm, tp: tp})
+				}
+				break
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })
+	out := make([]ndlog.Tuple, len(all))
+	for i, a := range all {
+		out[i] = a.tp
+	}
+	return out
+}
+
+func keyHasTable(key, table string) bool {
+	return len(key) > len(table) && key[:len(table)] == table && key[len(table)] == '|'
+}
+
+// Explain returns the positive provenance tree of an observed tuple (§2.2):
+// EXIST at the root, then DERIVE/INSERT vertices, then the body tuples'
+// provenance recursively. A tuple both inserted and derived shows all
+// supports. Memoization guards against recursive programs.
+func (r *Recorder) Explain(tp ndlog.Tuple) *Vertex {
+	return r.explain(tp, make(map[string]bool))
+}
+
+func (r *Recorder) explain(tp ndlog.Tuple, inPath map[string]bool) *Vertex {
+	key := tp.Key()
+	root := &Vertex{Kind: KindExist, Tuple: tp, T2: -1}
+	if iv := r.intervals[key]; len(iv) > 0 {
+		root.T1, root.T2 = iv[0].From, iv[0].To
+	}
+	if inPath[key] {
+		return root // cycle guard: cite existence without re-expanding
+	}
+	inPath[key] = true
+	defer delete(inPath, key)
+
+	for _, t0 := range r.inserts[key] {
+		root.Children = append(root.Children, &Vertex{Kind: KindInsert, T1: t0, Tuple: tp})
+	}
+	for _, d := range r.derivs[key] {
+		dv := &Vertex{Kind: KindDerive, T1: d.Time, Tuple: tp, Rule: d.Rule.ID}
+		for _, b := range d.Body {
+			dv.Children = append(dv.Children, r.explain(b, inPath))
+		}
+		root.Children = append(root.Children, dv)
+	}
+	return root
+}
+
+// ExplainMissing returns the negative provenance tree for a tuple that
+// should exist but does not (§2.2, [54]): NEXIST at the root and one
+// NDERIVE child per program rule whose head table matches, whose children
+// cite the missing or failing preconditions. filter entries may be nil to
+// match any value. The program supplies the candidate rules.
+func (r *Recorder) ExplainMissing(prog *ndlog.Program, table string, filter []*ndlog.Value) *Vertex {
+	want := ndlog.Tuple{Table: table}
+	for _, f := range filter {
+		if f != nil {
+			want.Args = append(want.Args, *f)
+		} else {
+			want.Args = append(want.Args, ndlog.Wild())
+		}
+	}
+	root := &Vertex{Kind: KindNExist, Tuple: want, T2: -1}
+	for _, rule := range prog.Rules {
+		if rule.Head.Table != table {
+			continue
+		}
+		nd := &Vertex{Kind: KindNDerive, Tuple: want, Rule: rule.ID}
+		// Cite each body predicate: if no tuple of that table was ever
+		// seen, the precondition itself is missing (NEXIST); otherwise the
+		// rule failed on its guards, which meta provenance will analyze.
+		for _, b := range rule.Body {
+			seen := r.tuples[b.Table]
+			if len(seen) == 0 {
+				nd.Children = append(nd.Children, &Vertex{
+					Kind:  KindNExist,
+					Tuple: ndlog.Tuple{Table: b.Table},
+					T2:    -1,
+				})
+			} else {
+				nd.Children = append(nd.Children, &Vertex{
+					Kind:  KindExist,
+					Tuple: seen[0],
+					T2:    -1,
+				})
+			}
+		}
+		root.Children = append(root.Children, nd)
+	}
+	return root
+}

@@ -1,0 +1,84 @@
+package pyretic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/meta"
+	"repro/internal/ndlog"
+)
+
+const ctl = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+materialize(White, 1, 2, keys(0,1)).
+a FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Sip < 10, Prt := 2.
+c FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), White(@C,Sip), Swi == 2, Prt := -1.
+d Learned(@C,K,Swi,InPrt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), K := Sip.
+e FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Learned(@C,Dip,LSwi,Prt), LSwi == Swi.
+`
+
+func TestPolicyRendering(t *testing.T) {
+	p, err := Translate(ndlog.MustParse("ctl", ctl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.Source()
+	for _, want := range []string{
+		"match(switch=1)",
+		"match(dstport=80)",
+		"if_(lambda pkt: pkt.srcip < 10)",
+		"fwd(2)",
+		"drop",
+		"in self.white",
+		"learn(self.learned, key=Sip)",
+		"fwd_learned(self.learned)",
+		" |", // parallel composition
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestExpressibilityRules(t *testing.T) {
+	p, err := Translate(ndlog.MustParse("ctl", ctl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equality matches cannot change operator (match() is equality-only).
+	if p.AllowChange(meta.SetOper{RuleID: "a", SelIdx: 0, Old: ndlog.OpEq, New: ndlog.OpGt}) {
+		t.Error("operator change on match(switch=1) must be inexpressible")
+	}
+	// Range filters live in Python lambdas: operators can change there.
+	if !p.AllowChange(meta.SetOper{RuleID: "a", SelIdx: 2, Old: ndlog.OpLt, New: ndlog.OpLe}) {
+		t.Error("operator change inside if_ lambda must be expressible")
+	}
+	// Constant changes are always fine.
+	if !p.AllowChange(meta.SetConst{RuleID: "a", Path: "sel/0/R", Old: ndlog.Int(1), New: ndlog.Int(2)}) {
+		t.Error("constant change must be expressible")
+	}
+	if p.Name() != "Pyretic" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestSeqRendering(t *testing.T) {
+	s := Seq{First: Match{Field: "dstport", Value: 80, Sub: Fwd{Port: 1}}, Then: Fwd{Port: 2}}
+	if got := s.pyretic(); !strings.Contains(got, ">>") {
+		t.Fatalf("sequential composition missing >>: %q", got)
+	}
+}
+
+func TestRejectsNonControllerShape(t *testing.T) {
+	if _, err := Translate(ndlog.MustParse("bad", `x A(@X) :- B(@X).`)); err == nil {
+		t.Fatal("expected error for a rule without PacketIn")
+	}
+}
+
+func TestDescribeRenderings(t *testing.T) {
+	p, _ := Translate(ndlog.MustParse("ctl", ctl))
+	c := meta.SetConst{RuleID: "a", Path: "sel/0/R", Old: ndlog.Int(1), New: ndlog.Int(2)}
+	if !strings.Contains(p.Describe(c), "edit policy") {
+		t.Fatalf("describe = %q", p.Describe(c))
+	}
+}

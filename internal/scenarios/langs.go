@@ -1,0 +1,174 @@
+package scenarios
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/pyretic"
+	"repro/internal/trema"
+)
+
+// LangProgram is a controller program as seen through one of the three
+// language front-ends (§5.8): its compiled NDlog semantics, rendered
+// source, and the language's repair expressibility rules.
+type LangProgram interface {
+	Controller() *ndlog.Program
+	Source() string
+	LineCount() int
+	AllowChange(meta.Change) bool
+	Describe(meta.Change) string
+	Name() string
+}
+
+// Language is one of the supported controller language front-ends.
+type Language struct {
+	Name      string
+	Translate func(*ndlog.Program) (LangProgram, error)
+	Supports  func(scenario string) bool
+}
+
+// ndlogProgram is the trivial adapter for the native dialect.
+type ndlogProgram struct{ prog *ndlog.Program }
+
+func (p ndlogProgram) Controller() *ndlog.Program    { return p.prog }
+func (p ndlogProgram) Source() string                { return p.prog.String() }
+func (p ndlogProgram) LineCount() int                { return p.prog.LineCount() }
+func (p ndlogProgram) AllowChange(meta.Change) bool  { return true }
+func (p ndlogProgram) Describe(c meta.Change) string { return c.String() }
+func (p ndlogProgram) Name() string                  { return "RapidNet" }
+
+// NDlogLang is the native declarative front-end (the paper's RapidNet).
+func NDlogLang() Language {
+	return Language{
+		Name: "RapidNet",
+		Translate: func(p *ndlog.Program) (LangProgram, error) {
+			return ndlogProgram{prog: p}, nil
+		},
+		Supports: func(string) bool { return true },
+	}
+}
+
+// TremaLang is the imperative front-end.
+func TremaLang() Language {
+	return Language{
+		Name: "Trema",
+		Translate: func(p *ndlog.Program) (LangProgram, error) {
+			return trema.Translate(p)
+		},
+		Supports: func(string) bool { return true },
+	}
+}
+
+// PyreticLang is the policy-DSL front-end. Q4 is not reproducible in
+// Pyretic: its runtime forwards the buffered packet itself, so the
+// forgotten-packets bug cannot be written (§5.8).
+func PyreticLang() Language {
+	return Language{
+		Name: "Pyretic",
+		Translate: func(p *ndlog.Program) (LangProgram, error) {
+			return pyretic.Translate(p)
+		},
+		Supports: func(scenario string) bool { return scenario != "Q4" },
+	}
+}
+
+// Languages returns all three front-ends in the paper's order.
+func Languages() []Language {
+	return []Language{NDlogLang(), TremaLang(), PyreticLang()}
+}
+
+// LangOutcome extends Outcome with language-level bookkeeping.
+type LangOutcome struct {
+	*Outcome
+	Language   string
+	Filtered   int // candidates removed by expressibility rules
+	Supported  bool
+	SourceLOC  int
+	Renderings []string // language-level candidate descriptions
+}
+
+// RunWithLanguage executes the pipeline with the scenario's controller
+// expressed in the given language: candidates inexpressible in the
+// language are filtered before backtesting (the Table 3 experiment).
+func (s *Scenario) RunWithLanguage(lang Language) (*LangOutcome, error) {
+	if !lang.Supports(s.Name) {
+		return &LangOutcome{
+			Outcome:  &Outcome{Scenario: s},
+			Language: lang.Name,
+		}, nil
+	}
+	lp, err := lang.Translate(s.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: translate: %w", s.Name, lang.Name, err)
+	}
+	rec, replayTime, err := s.Diagnose()
+	if err != nil {
+		return nil, err
+	}
+	ex, th := s.Explorer(rec)
+
+	genStart := time.Now()
+	all := ex.Explore(s.Goal)
+	genTotal := time.Since(genStart)
+
+	var cands []metaprov.Candidate
+	filtered := 0
+	for _, c := range all {
+		ok := true
+		for _, ch := range c.Changes {
+			if !lp.AllowChange(ch) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cands = append(cands, c)
+		} else {
+			filtered++
+		}
+	}
+
+	btStart := time.Now()
+	results, err := s.Job(cands).RunShared()
+	if err != nil {
+		return nil, err
+	}
+	btTime := time.Since(btStart)
+
+	out := &LangOutcome{
+		Outcome: &Outcome{
+			Scenario:   s,
+			Recorder:   rec,
+			Candidates: cands,
+			Results:    results,
+			Generated:  len(cands),
+			Timing: Timing{
+				HistoryLookups:    th.elapsed,
+				ConstraintSolving: ex.SolveTime,
+				PatchGeneration:   genTotal - th.elapsed - ex.SolveTime,
+				Replay:            replayTime + btTime,
+			},
+		},
+		Language:  lang.Name,
+		Filtered:  filtered,
+		Supported: true,
+		SourceLOC: lp.LineCount(),
+	}
+	for _, r := range results {
+		if r.Accepted {
+			out.Passed++
+		}
+		desc := ""
+		for i, ch := range r.Candidate.Changes {
+			if i > 0 {
+				desc += "; "
+			}
+			desc += lp.Describe(ch)
+		}
+		out.Renderings = append(out.Renderings, desc)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package scenarios
+
+import (
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Q3 addresses.
+const q3Server = 220 // the white-listed web service behind the firewall
+
+// q3Program is the §5.3 uncoordinated policy update [13]: a load-balancing
+// app started offloading high-IP clients onto the firewalled route (w2),
+// but the firewall app's white-list (FwWhite) was never updated for the
+// newly offloaded legitimate client, whose requests the firewall now drops.
+const q3Program = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+materialize(FwWhite, 1, 2, keys(0,1)).
+w1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Dip == 220, Sip < %THRESH%, Prt := 2.
+w2 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Dip == 220, Sip >= %THRESH%, Prt := 3.
+w3 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), FwWhite(@C,Sip), Swi == 3, Dpt == 80, Prt := 3.
+w4 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 2, Dpt == 80, Prt := 1.
+`
+
+func q3Zone(c *topo.Campus) {
+	s1, s2, s3 := sdn.NewSwitch("q3s1", 1), sdn.NewSwitch("q3s2", 2), sdn.NewSwitch("q3s3", 3)
+	c.Net.AddSwitch(s1)
+	c.Net.AddSwitch(s2)
+	c.Net.AddSwitch(s3)
+	s1.Wire(2, "q3s2")
+	s2.Wire(3, "q3s1")
+	s1.Wire(3, "q3s3")
+	s3.Wire(4, "q3s1")
+	s3.Wire(3, "q3s2") // the firewall's allow path rejoins the direct route
+	s2.Wire(4, "q3s3")
+	c.Net.AddHostAt(sdn.NewHost("q3srv", q3Server, "q3s2"), 1)
+	c.Net.Link("q3s1", c.CoreIDs[2])
+}
+
+// Q3 builds the uncoordinated-policy-update scenario: the last 9 campus
+// hosts are offloaded onto the firewall route; the white-list covers the
+// first 5 of them, misses the legitimate client (the 6th), and correctly
+// blocks the remaining 3, which are heavy scanners whose traffic must stay
+// blocked — repairs that open the firewall for everyone are rejected.
+func Q3(sc Scale) *Scenario {
+	campus := buildCampus(sc)
+	q3Zone(campus)
+	campus.InstallProactiveRoutes(map[int64]string{q3Server: "q3s1"}, "q3s1", "q3s2", "q3s3")
+
+	last := campus.Net.Hosts[campus.HostIDs[len(campus.HostIDs)-1]].IP
+	thresh := last - 8 // offload the 9 highest client IPs
+	forgotten := thresh + 5
+	prog := ndlog.MustParse("q3", replaceThresh(q3Program, thresh))
+
+	var state []ndlog.Tuple
+	for ip := thresh; ip < thresh+5; ip++ {
+		state = append(state, ndlog.NewTuple("FwWhite", sdn.ControllerLoc, ndlog.Int(ip)))
+	}
+
+	flows := sc.Flows
+	if flows <= 0 {
+		flows = DefaultScale().Flows
+	}
+	// Scanners are the 3 highest IPs: bulk traffic the firewall must keep
+	// blocking.
+	var scanners []trace.HostSpec
+	for i := len(campus.HostIDs) - 3; i < len(campus.HostIDs); i++ {
+		id := campus.HostIDs[i]
+		scanners = append(scanners, trace.HostSpec{ID: id, IP: campus.Net.Hosts[id].IP})
+	}
+	scanTrace := trace.Generate(trace.Config{
+		Seed:     301,
+		Sources:  scanners,
+		Services: []trace.Service{{DstIP: q3Server, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+		Flows:    flows / 5,
+	})
+	// The forgotten legitimate client (and its whitelisted neighbours)
+	// keep using the service: that traffic is the symptom.
+	var offloaded []trace.HostSpec
+	for ip := thresh; ip <= thresh+5; ip++ {
+		for _, id := range campus.HostIDs {
+			if campus.Net.Hosts[id].IP == ip {
+				offloaded = append(offloaded, trace.HostSpec{ID: id, IP: ip})
+			}
+		}
+	}
+	symptomTrace := trace.Generate(trace.Config{
+		Seed:     303,
+		Sources:  offloaded,
+		Services: []trace.Service{{DstIP: q3Server, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+		Flows:    flows / 20,
+	})
+	bgTrace := trace.Generate(trace.Config{
+		Seed:    302,
+		Sources: campusSources(campus),
+		Services: append([]trace.Service{
+			{DstIP: q3Server, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 5},
+		}, backgroundServices(campus, 12)...),
+		Flows: flows,
+	})
+	workload := append(append(symptomTrace, scanTrace...), bgTrace...)
+
+	v3, vf, vsrv, v80, vp3 := ndlog.Int(3), ndlog.Int(forgotten), ndlog.Int(q3Server), ndlog.Int(80), ndlog.Int(3)
+	return &Scenario{
+		Name:  "Q3",
+		Query: "H20 is not receiving HTTP requests from H1 (uncoordinated policy update)",
+		Prog:  prog,
+		State: state,
+		BuildNet: func() *sdn.Network {
+			c := buildCampus(sc)
+			q3Zone(c)
+			c.InstallProactiveRoutes(map[int64]string{q3Server: "q3s1"}, "q3s1", "q3s2", "q3s3")
+			return c.Net
+		},
+		Workload: workload,
+		Goal:     metaprov.PinnedGoal("FlowTable", &v3, &vf, &vsrv, nil, &v80, &vp3),
+		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+			return n.Hosts["q3srv"].SrcCountFor(forgotten, tag) > 0
+		},
+		IntuitiveFix: "manually insert FwWhite(",
+		Tune: func(ex *metaprov.Explorer) {
+			ex.Cutoff = 4.2 // admits the white-list predicate deletion
+			ex.MaxCandidates = 13
+			ex.MaxPerStructure = 2
+		},
+	}
+}

@@ -1,0 +1,103 @@
+package scenarios
+
+import (
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Q4 addresses.
+const (
+	q4SrvA = 231
+	q4SrvB = 232
+)
+
+// q4Program is the §5.3 forgotten-packets bug [7]: the controller installs
+// correct flow entries in response to new flows, but never instructs the
+// switch to forward the buffered first packet — there is no PacketOut rule,
+// so the first packet of every flow is lost.
+const q4Program = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+g1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dip == 231, Prt := 1.
+g2 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dip == 232, Prt := 2.
+`
+
+func q4Zone(c *topo.Campus) {
+	s1 := sdn.NewSwitch("q4s1", 1)
+	c.Net.AddSwitch(s1)
+	c.Net.AddHostAt(sdn.NewHost("q4srva", q4SrvA, "q4s1"), 1)
+	c.Net.AddHostAt(sdn.NewHost("q4srvb", q4SrvB, "q4s1"), 2)
+	c.Net.Link("q4s1", c.CoreIDs[3])
+}
+
+// Q4 builds the forgotten-packets scenario. A probe client sends
+// single-packet flows; with the bug every one of them dies as a buffered
+// first packet, so the server never hears from the probe at all.
+func Q4(sc Scale) *Scenario {
+	campus := buildCampus(sc)
+	q4Zone(campus)
+	campus.InstallProactiveRoutes(map[int64]string{
+		q4SrvA: "q4s1", q4SrvB: "q4s1",
+	}, "q4s1")
+	prog := ndlog.MustParse("q4", q4Program)
+	probe := campus.Net.Hosts[campus.HostIDs[0]].IP
+
+	flows := sc.Flows
+	if flows <= 0 {
+		flows = DefaultScale().Flows
+	}
+	// The probe's single-packet flows (the symptom traffic).
+	var probeTrace []trace.Entry
+	for i := 0; i < 24; i++ {
+		probeTrace = append(probeTrace, trace.Entry{
+			Time:    int64(i),
+			SrcHost: campus.HostIDs[0],
+			Pkt: sdn.Packet{
+				SrcIP: probe, DstIP: q4SrvA,
+				SrcPort: int64(20000 + i), DstPort: sdn.PortHTTP, Proto: sdn.ProtoTCP,
+			},
+		})
+	}
+	bgTrace := trace.Generate(trace.Config{
+		Seed:    401,
+		Sources: campusSources(campus),
+		Services: append([]trace.Service{
+			{DstIP: q4SrvA, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
+			{DstIP: q4SrvB, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
+		}, backgroundServices(campus, 12)...),
+		Flows: flows,
+	})
+	workload := append(probeTrace, bgTrace...)
+
+	v1, vp, va, v80, vprt := ndlog.Int(1), ndlog.Int(probe), ndlog.Int(q4SrvA), ndlog.Int(80), ndlog.Int(1)
+	return &Scenario{
+		Name:  "Q4",
+		Query: "First HTTP packet from H2 to H20 is not received (forgotten packets)",
+		Prog:  prog,
+		BuildNet: func() *sdn.Network {
+			c := buildCampus(sc)
+			q4Zone(c)
+			c.InstallProactiveRoutes(map[int64]string{
+				q4SrvA: "q4s1", q4SrvB: "q4s1",
+			}, "q4s1")
+			return c.Net
+		},
+		Workload: workload,
+		Goal:     metaprov.PinnedGoal("PacketOut", &v1, &vp, &va, nil, &v80, &vprt),
+		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+			return n.Hosts["q4srva"].SrcCountFor(probe, tag) > 0
+		},
+		IntuitiveFix: "add rule g1~PacketOut",
+		Tune: func(ex *metaprov.Explorer) {
+			ex.Cutoff = 6.2 // admits rule copies (cost 5)
+			ex.MaxCandidates = 13
+			ex.MaxPerStructure = 2
+		},
+		// Repairs that degenerate into per-packet forwarding (changing a
+		// forwarding rule's head to PacketOut) blow up controller load;
+		// the paper rejects them for exactly this side effect.
+		MaxPacketInFactor: 3,
+	}
+}

@@ -1,0 +1,240 @@
+// Package scenarios reproduces the five case studies of §5.3: Q1
+// (copy-and-paste error, [31]), Q2 (forwarding error, [57]), Q3
+// (uncoordinated policy update, [13]), Q4 (forgotten packets, [7]), and
+// Q5 (incorrect MAC learning, [4]). Each scenario embeds a buggy NDlog
+// controller program in a reactive zone attached to the Stanford-style
+// campus topology of §5.2, generates a workload in which the symptom
+// traffic is a small fraction of the total, and exposes the diagnostic
+// query as a missing-tuple goal plus an effectiveness predicate.
+package scenarios
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backtest"
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/sdn"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Scale sizes a scenario: the campus switch count (19 reproduces the
+// paper's base setting; up to 169 for Figure 9c) and the workload volume.
+type Scale struct {
+	Switches int
+	Flows    int
+}
+
+// DefaultScale is the base evaluation setting.
+func DefaultScale() Scale { return Scale{Switches: 19, Flows: 900} }
+
+// Scenario is one §5.3 case study.
+type Scenario struct {
+	Name  string
+	Query string // the operator's diagnostic question (Table 1)
+	Prog  *ndlog.Program
+	State []ndlog.Tuple
+
+	// BuildNet constructs the topology with proactive routes installed
+	// and the reactive zone wired (no controller).
+	BuildNet func() *sdn.Network
+	// Workload is the recorded traffic.
+	Workload []trace.Entry
+	// Goal is the missing-tuple symptom (negative symptoms; all five
+	// case studies are phrased this way, as in Table 1).
+	Goal metaprov.Goal
+	// Effective checks whether the symptom is fixed under a tag.
+	Effective func(*sdn.Network, *sdn.NDlogController, int) bool
+	// IntuitiveFix is a substring of the repair a human operator would
+	// choose; it must be generated and accepted.
+	IntuitiveFix string
+	// Tune adjusts explorer bounds (cutoff etc.) per scenario, matching
+	// the paper's per-query cost bounds.
+	Tune func(*metaprov.Explorer)
+	// MaxPacketInFactor enables the controller-load metric (Q4).
+	MaxPacketInFactor float64
+}
+
+// Timing is the Figure 9a turnaround breakdown.
+type Timing struct {
+	HistoryLookups    time.Duration
+	ConstraintSolving time.Duration
+	PatchGeneration   time.Duration
+	Replay            time.Duration
+}
+
+// Total sums the components.
+func (t Timing) Total() time.Duration {
+	return t.HistoryLookups + t.ConstraintSolving + t.PatchGeneration + t.Replay
+}
+
+// Outcome is one end-to-end run: diagnose → generate → backtest.
+type Outcome struct {
+	Scenario   *Scenario
+	Recorder   *provenance.Recorder
+	Candidates []metaprov.Candidate
+	Results    []backtest.Result
+	Generated  int
+	Passed     int
+	Timing     Timing
+}
+
+// timedHistory wraps the recorder to attribute history-lookup time.
+type timedHistory struct {
+	rec     *provenance.Recorder
+	elapsed time.Duration
+}
+
+func (h *timedHistory) TuplesOf(table string) []ndlog.Tuple {
+	start := time.Now()
+	out := h.rec.TuplesOf(table)
+	h.elapsed += time.Since(start)
+	return out
+}
+
+// Diagnose replays the workload through the buggy program, recording
+// provenance — the run in which the operator observes the symptom.
+func (s *Scenario) Diagnose() (*provenance.Recorder, time.Duration, error) {
+	start := time.Now()
+	rec := provenance.NewRecorder()
+	eng, err := ndlog.NewEngine(s.Prog)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng.Listen(rec)
+	net := s.BuildNet()
+	ctl := sdn.NewNDlogController(eng)
+	net.Ctrl = ctl
+	for _, st := range s.State {
+		ctl.InsertState(net, st)
+	}
+	trace.Replay(net, s.Workload, 1)
+	if s.Effective != nil && s.Effective(net, ctl, 0) {
+		return nil, 0, fmt.Errorf("%s: bug not reproduced — symptom absent in buggy run", s.Name)
+	}
+	return rec, time.Since(start), nil
+}
+
+// Explorer builds the scenario's tuned explorer over recorded history.
+func (s *Scenario) Explorer(rec *provenance.Recorder) (*metaprov.Explorer, *timedHistory) {
+	th := &timedHistory{rec: rec}
+	ex := metaprov.NewExplorer(meta.NewModel(s.Prog), th)
+	if s.Tune != nil {
+		s.Tune(ex)
+	}
+	return ex, th
+}
+
+// Job builds the backtesting job for a candidate set.
+func (s *Scenario) Job(cands []metaprov.Candidate) *backtest.Job {
+	return &backtest.Job{
+		Prog:              s.Prog,
+		Candidates:        cands,
+		BuildNet:          s.BuildNet,
+		State:             s.State,
+		Workload:          s.Workload,
+		Effective:         s.Effective,
+		MaxPacketInFactor: s.MaxPacketInFactor,
+	}
+}
+
+// Run executes the full pipeline and collects the Figure 9a breakdown.
+func (s *Scenario) Run() (*Outcome, error) {
+	rec, replayTime, err := s.Diagnose()
+	if err != nil {
+		return nil, err
+	}
+	ex, th := s.Explorer(rec)
+
+	genStart := time.Now()
+	cands := ex.Explore(s.Goal)
+	genTotal := time.Since(genStart)
+
+	btStart := time.Now()
+	results, err := s.Job(cands).RunShared()
+	if err != nil {
+		return nil, err
+	}
+	btTime := time.Since(btStart)
+
+	out := &Outcome{
+		Scenario:   s,
+		Recorder:   rec,
+		Candidates: cands,
+		Results:    results,
+		Generated:  len(cands),
+		Timing: Timing{
+			HistoryLookups:    th.elapsed,
+			ConstraintSolving: ex.SolveTime,
+			PatchGeneration:   genTotal - th.elapsed - ex.SolveTime,
+			Replay:            replayTime + btTime,
+		},
+	}
+	for _, r := range results {
+		if r.Accepted {
+			out.Passed++
+		}
+	}
+	return out, nil
+}
+
+// All returns the five scenarios at the given scale.
+func All(sc Scale) []*Scenario {
+	return []*Scenario{Q1(sc), Q2(sc), Q3(sc), Q4(sc), Q5(sc)}
+}
+
+// ByName returns a scenario by its Q-number name, or nil.
+func ByName(name string, sc Scale) *Scenario {
+	for _, s := range All(sc) {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// zone bundles the shared reactive-zone construction: a campus at the
+// requested scale plus scenario switches steered via route overrides.
+type zone struct {
+	campus *topo.Campus
+}
+
+// buildCampus builds the campus and returns it; scenario builders attach
+// their zone switches and then install proactive routes with overrides.
+func buildCampus(sc Scale) *topo.Campus {
+	n := sc.Switches
+	if n < 19 {
+		n = 19
+	}
+	return topo.Build(topo.Scaled(n))
+}
+
+// campusSources returns trace sources for every campus host.
+func campusSources(c *topo.Campus) []trace.HostSpec {
+	var out []trace.HostSpec
+	for _, id := range c.HostIDs {
+		out = append(out, trace.HostSpec{ID: id, IP: c.Net.Hosts[id].IP})
+	}
+	return out
+}
+
+// backgroundServices spreads background traffic across a sample of campus
+// hosts, so the per-host distribution has enough mass that symptom-sized
+// changes stay under the KS significance threshold while over-general
+// repairs do not.
+func backgroundServices(c *topo.Campus, count int) []trace.Service {
+	var out []trace.Service
+	step := len(c.HostIDs) / count
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(c.HostIDs) && len(out) < count; i += step {
+		h := c.Net.Hosts[c.HostIDs[i]]
+		out = append(out, trace.Service{DstIP: h.IP, Port: 9000, Proto: sdn.ProtoTCP, Weight: 1})
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallScale keeps unit-test runtimes reasonable while preserving the
+// workload proportions the KS filter depends on.
+func smallScale() Scale { return Scale{Switches: 19, Flows: 700} }
+
+// runScenario executes the full pipeline and applies the Table 1 shape
+// checks: candidates generated, a few accepted, the intuitive fix among
+// the accepted ones.
+func runScenario(t *testing.T, s *Scenario) *Outcome {
+	t.Helper()
+	out, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	if out.Generated == 0 {
+		t.Fatalf("%s: no repair candidates generated", s.Name)
+	}
+	if out.Passed == 0 {
+		for _, r := range out.Results {
+			t.Logf("%s: %s", s.Name, r)
+		}
+		t.Fatalf("%s: no candidate passed backtesting", s.Name)
+	}
+	if out.Passed == out.Generated && out.Generated > 4 {
+		t.Fatalf("%s: backtesting filtered nothing (%d/%d)", s.Name, out.Passed, out.Generated)
+	}
+	found := false
+	for _, r := range out.Results {
+		if strings.Contains(r.Candidate.Describe(), s.IntuitiveFix) {
+			found = true
+			if !r.Accepted {
+				for _, rr := range out.Results {
+					t.Logf("%s: %s", s.Name, rr)
+				}
+				t.Fatalf("%s: intuitive fix %q rejected (KS=%.5f, p=%.4g, eff=%v)",
+					s.Name, s.IntuitiveFix, r.KS, r.P, r.Effective)
+			}
+		}
+	}
+	if !found {
+		for _, c := range out.Candidates {
+			t.Logf("%s candidate: %s", s.Name, c.Describe())
+		}
+		t.Fatalf("%s: intuitive fix %q not among candidates", s.Name, s.IntuitiveFix)
+	}
+	return out
+}
+
+func TestQ1EndToEnd(t *testing.T) {
+	out := runScenario(t, Q1(smallScale()))
+	// Paper band: ~9-13 generated, 2-3 accepted.
+	if out.Generated < 5 {
+		t.Errorf("Q1 generated %d candidates, want >= 5", out.Generated)
+	}
+	if out.Passed > out.Generated/2+1 {
+		t.Errorf("Q1 accepted %d of %d — filter too lax", out.Passed, out.Generated)
+	}
+}
+
+func TestQ2EndToEnd(t *testing.T) {
+	runScenario(t, Q2(smallScale()))
+}
+
+func TestQ3EndToEnd(t *testing.T) {
+	out := runScenario(t, Q3(smallScale()))
+	// The firewall-bypass repair (deleting the white-list check) must be
+	// rejected: it admits the scanners.
+	for _, r := range out.Results {
+		if strings.Contains(r.Candidate.Describe(), "delete predicate FwWhite") && r.Accepted {
+			t.Errorf("Q3: white-list deletion accepted (KS=%.5f)", r.KS)
+		}
+	}
+}
+
+func TestQ4EndToEnd(t *testing.T) {
+	out := runScenario(t, Q4(smallScale()))
+	// Head-change repairs degenerate into per-packet forwarding and must
+	// be rejected on controller load.
+	for _, r := range out.Results {
+		if strings.Contains(r.Candidate.Describe(), "change the head of g1") && r.Accepted {
+			t.Errorf("Q4: head change accepted despite PacketIn factor %.1f", r.PacketInFactor)
+		}
+	}
+}
+
+func TestQ5EndToEnd(t *testing.T) {
+	runScenario(t, Q5(smallScale()))
+}
+
+func TestAllScenariosDistinct(t *testing.T) {
+	sc := smallScale()
+	names := map[string]bool{}
+	for _, s := range All(sc) {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.Prog == nil || s.BuildNet == nil || len(s.Workload) == 0 {
+			t.Fatalf("%s incomplete", s.Name)
+		}
+	}
+	if ByName("Q3", sc) == nil || ByName("nope", sc) != nil {
+		t.Fatal("ByName lookup broken")
+	}
+}

@@ -1,0 +1,377 @@
+package sdn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Switch is one forwarding element: a numbered switch with ports wired to
+// neighbours and a prioritized, tagged flow table.
+type Switch struct {
+	ID    string
+	Num   int64 // numeric ID used by controller programs (Swi)
+	ports map[int]string
+	table []FlowEntry
+}
+
+// NewSwitch creates a switch.
+func NewSwitch(id string, num int64) *Switch {
+	return &Switch{ID: id, Num: num, ports: make(map[int]string)}
+}
+
+// Wire connects a port to a neighbour node (switch or host) by ID.
+func (s *Switch) Wire(port int, neighbour string) { s.ports[port] = neighbour }
+
+// PortTo returns the port leading to a neighbour, or -1.
+func (s *Switch) PortTo(neighbour string) int {
+	for p, n := range s.ports {
+		if n == neighbour {
+			return p
+		}
+	}
+	return -1
+}
+
+// Neighbour returns the node wired to a port ("" if none).
+func (s *Switch) Neighbour(port int) string { return s.ports[port] }
+
+// Ports returns the wired ports in ascending order.
+func (s *Switch) Ports() []int {
+	out := make([]int, 0, len(s.ports))
+	for p := range s.ports {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Install adds a flow entry. Re-installing an entry whose tag set is
+// already covered by an identical earlier entry is a no-op; otherwise the
+// entry is appended, so that ties between equal-priority entries resolve
+// by installation order exactly as they would in a per-candidate
+// sequential run. (Merging tag sets into earlier entries would silently
+// promote a later derivation ahead of the entry that should win the tie.)
+func (s *Switch) Install(e FlowEntry) {
+	for i := range s.table {
+		t := &s.table[i]
+		if t.Priority == e.Priority && t.Action == e.Action && t.Match.String() == e.Match.String() &&
+			e.Tags&^t.Tags == 0 {
+			return // fully covered: idempotent re-install
+		}
+	}
+	s.table = append(s.table, e)
+	sort.SliceStable(s.table, func(i, j int) bool { return s.table[i].Priority > s.table[j].Priority })
+}
+
+// ClearTable removes all flow entries.
+func (s *Switch) ClearTable() { s.table = nil }
+
+// Table returns a copy of the flow table.
+func (s *Switch) Table() []FlowEntry { return append([]FlowEntry(nil), s.table...) }
+
+// matchGroups partitions the packet's tag set by the highest-priority
+// matching entry per tag. The remainder mask (tags with no matching entry)
+// is returned separately — those tags miss and go to the controller.
+func (s *Switch) matchGroups(inPort int64, p Packet) (groups map[Action]uint64, miss uint64) {
+	groups = make(map[Action]uint64)
+	remaining := p.Tags
+	for _, e := range s.table {
+		if remaining == 0 {
+			break
+		}
+		hit := remaining & e.Tags
+		if hit == 0 || !e.Match.Matches(inPort, p) {
+			continue
+		}
+		groups[e.Action] |= hit
+		remaining &^= hit
+	}
+	return groups, remaining
+}
+
+// Host is an end host with an IP; it counts the packets it receives per
+// backtesting tag, which is the raw material for the §4.3 metrics.
+type Host struct {
+	ID     string
+	IP     int64
+	Switch string // attachment switch ID
+
+	// Received counts delivered packets per tag bit index (0..63).
+	Received [64]int64
+	// ByPort counts delivered packets per (tag, destination port) for
+	// service-level checks (e.g. "H2 receives HTTP requests").
+	ByPort map[int64]*[64]int64
+	// BySrc counts delivered packets per (tag, source IP) for
+	// client-level checks (e.g. "the server receives H1's queries").
+	BySrc map[int64]*[64]int64
+}
+
+// NewHost creates a host.
+func NewHost(id string, ip int64, sw string) *Host {
+	return &Host{
+		ID: id, IP: ip, Switch: sw,
+		ByPort: make(map[int64]*[64]int64),
+		BySrc:  make(map[int64]*[64]int64),
+	}
+}
+
+// deliver records a packet delivery for every tag in the packet's set.
+func (h *Host) deliver(p Packet) {
+	pp := h.ByPort[p.DstPort]
+	if pp == nil {
+		pp = &[64]int64{}
+		h.ByPort[p.DstPort] = pp
+	}
+	ps := h.BySrc[p.SrcIP]
+	if ps == nil {
+		ps = &[64]int64{}
+		h.BySrc[p.SrcIP] = ps
+	}
+	for b := 0; b < 64; b++ {
+		if p.Tags&(1<<uint(b)) != 0 {
+			h.Received[b]++
+			pp[b]++
+			ps[b]++
+		}
+	}
+}
+
+// ReceivedFor returns the host's delivered-packet count under one tag.
+func (h *Host) ReceivedFor(tag int) int64 { return h.Received[tag] }
+
+// PortCountFor returns deliveries to a destination port under one tag.
+func (h *Host) PortCountFor(port int64, tag int) int64 {
+	if pp := h.ByPort[port]; pp != nil {
+		return pp[tag]
+	}
+	return 0
+}
+
+// SrcCountFor returns deliveries from a source IP under one tag.
+func (h *Host) SrcCountFor(src int64, tag int) int64 {
+	if ps := h.BySrc[src]; ps != nil {
+		return ps[tag]
+	}
+	return 0
+}
+
+// Controller handles PacketIn events: a switch had no matching flow entry
+// for (part of) a packet's tag set.
+type Controller interface {
+	PacketIn(net *Network, sw *Switch, inPort int64, pkt Packet)
+}
+
+// Network is the simulated data plane: switches, hosts, and the controller.
+type Network struct {
+	Switches map[string]*Switch
+	Hosts    map[string]*Host
+	Ctrl     Controller
+
+	// MaxHops bounds forwarding loops (default 64).
+	MaxHops int
+
+	// Stats.
+	Delivered int64
+	Dropped   int64
+	Missed    int64 // packets (or packet forks) that died on a table miss
+	PacketIns int64
+	Hops      int64
+	// PacketInsByTag counts controller PacketIns per backtesting tag,
+	// the controller-load metric used to reject repairs that degenerate
+	// into per-packet forwarding (§4.3 operator metrics).
+	PacketInsByTag [64]int64
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		Switches: make(map[string]*Switch),
+		Hosts:    make(map[string]*Host),
+		MaxHops:  64,
+	}
+}
+
+// AddSwitch registers a switch.
+func (n *Network) AddSwitch(s *Switch) { n.Switches[s.ID] = s }
+
+// AddHost registers a host and wires it to its switch's next free port.
+func (n *Network) AddHost(h *Host) int {
+	n.Hosts[h.ID] = h
+	sw := n.Switches[h.Switch]
+	if sw == nil {
+		panic(fmt.Sprintf("sdn: host %s references unknown switch %s", h.ID, h.Switch))
+	}
+	port := 1
+	for sw.ports[port] != "" {
+		port++
+	}
+	sw.Wire(port, h.ID)
+	return port
+}
+
+// AddHostAt registers a host on a specific switch port (scenario zones
+// wire ports explicitly so controller programs can name them).
+func (n *Network) AddHostAt(h *Host, port int) {
+	n.Hosts[h.ID] = h
+	sw := n.Switches[h.Switch]
+	if sw == nil {
+		panic(fmt.Sprintf("sdn: host %s references unknown switch %s", h.ID, h.Switch))
+	}
+	sw.Wire(port, h.ID)
+}
+
+// Link wires two switches together on their next free ports.
+func (n *Network) Link(a, b string) (int, int) {
+	sa, sb := n.Switches[a], n.Switches[b]
+	if sa == nil || sb == nil {
+		panic(fmt.Sprintf("sdn: link between unknown switches %s-%s", a, b))
+	}
+	pa, pb := 1, 1
+	for sa.ports[pa] != "" {
+		pa++
+	}
+	for sb.ports[pb] != "" {
+		pb++
+	}
+	sa.Wire(pa, b)
+	sb.Wire(pb, a)
+	return pa, pb
+}
+
+// HostByIP finds a host by IP (nil if none).
+func (n *Network) HostByIP(ip int64) *Host {
+	for _, h := range n.Hosts {
+		if h.IP == ip {
+			return h
+		}
+	}
+	return nil
+}
+
+// Inject introduces a packet at a host's attachment switch and forwards it
+// until delivery, drop, miss, or hop exhaustion. Packets with a zero tag
+// set default to tag bit 0 (the single-variant case).
+func (n *Network) Inject(hostID string, pkt Packet) {
+	h := n.Hosts[hostID]
+	if h == nil {
+		return
+	}
+	if pkt.Tags == 0 {
+		pkt.Tags = 1
+	}
+	sw := n.Switches[h.Switch]
+	inPort := int64(sw.PortTo(hostID))
+	n.forward(sw, inPort, pkt, 0)
+}
+
+// SendFromSwitch emits a packet out of a switch port (the PacketOut
+// primitive available to controllers).
+func (n *Network) SendFromSwitch(sw *Switch, port int, pkt Packet) {
+	n.emit(sw, port, pkt, 0)
+}
+
+// forward runs the match-and-forward loop at one switch.
+func (n *Network) forward(sw *Switch, inPort int64, pkt Packet, hops int) {
+	if hops > n.MaxHops {
+		n.Dropped++
+		return
+	}
+	n.Hops++
+	groups, miss := sw.matchGroups(inPort, pkt)
+	if miss != 0 {
+		n.Missed++
+		if n.Ctrl != nil {
+			n.PacketIns++
+			for b := 0; b < 64; b++ {
+				if miss&(1<<uint(b)) != 0 {
+					n.PacketInsByTag[b]++
+				}
+			}
+			mp := pkt
+			mp.Tags = miss
+			n.Ctrl.PacketIn(n, sw, inPort, mp)
+			// Retry the missed tags once against the (possibly) updated
+			// table; OpenFlow switches would re-match the buffered packet
+			// only if the controller sends a PacketOut, so the retry here
+			// happens only for tags that now have entries installed via
+			// an explicit PacketOut — the controller calls SendFromSwitch
+			// itself. Without a PacketOut, the packet copy dies (Q4).
+		}
+	}
+	// Deterministic per-action processing order.
+	type ga struct {
+		a    Action
+		tags uint64
+	}
+	var ordered []ga
+	for a, tags := range groups {
+		ordered = append(ordered, ga{a, tags})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].a.Kind != ordered[j].a.Kind {
+			return ordered[i].a.Kind < ordered[j].a.Kind
+		}
+		return ordered[i].a.Port < ordered[j].a.Port
+	})
+	for _, g := range ordered {
+		fp := pkt
+		fp.Tags = g.tags
+		switch g.a.Kind {
+		case ActionDrop:
+			n.Dropped++
+		case ActionOutput:
+			n.emit(sw, g.a.Port, fp, hops+1)
+		}
+	}
+}
+
+// emit sends a packet out of a switch port to whatever is wired there.
+func (n *Network) emit(sw *Switch, port int, pkt Packet, hops int) {
+	next := sw.Neighbour(port)
+	if next == "" {
+		n.Dropped++
+		return
+	}
+	if h, ok := n.Hosts[next]; ok {
+		h.deliver(pkt)
+		n.Delivered++
+		return
+	}
+	if ns, ok := n.Switches[next]; ok {
+		n.forward(ns, int64(ns.PortTo(sw.ID)), pkt, hops)
+		return
+	}
+	n.Dropped++
+}
+
+// ResetCounters zeroes delivery statistics (flow tables are kept).
+func (n *Network) ResetCounters() {
+	n.Delivered, n.Dropped, n.Missed, n.PacketIns, n.Hops = 0, 0, 0, 0, 0
+	n.PacketInsByTag = [64]int64{}
+	for _, h := range n.Hosts {
+		h.Received = [64]int64{}
+		h.ByPort = make(map[int64]*[64]int64)
+		h.BySrc = make(map[int64]*[64]int64)
+	}
+}
+
+// HostIDs returns all host IDs sorted.
+func (n *Network) HostIDs() []string {
+	out := make([]string, 0, len(n.Hosts))
+	for id := range n.Hosts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Distribution returns the per-host delivered-packet counts under one tag,
+// ordered by host ID — the sample the KS test consumes (§5.3).
+func (n *Network) Distribution(tag int) []int64 {
+	ids := n.HostIDs()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = n.Hosts[id].ReceivedFor(tag)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package sdn implements the network substrate the paper's prototype ran
+// on: OpenFlow-style switches with prioritized wildcard flow tables, hosts,
+// links, and a controller attachment point, simulated in-process as a
+// discrete-event system. Packets and flow entries carry backtesting tag
+// sets (§4.4), so a single simulation evaluates many repair candidates at
+// once: forwarding state shared by all candidates is computed once, and a
+// packet only "forks" where candidates' flow tables genuinely diverge.
+package sdn
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+)
+
+// Protocol numbers used by the traffic generator and scenarios.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Well-known ports used throughout the paper's scenarios.
+const (
+	PortHTTP = 80
+	PortDNS  = 53
+)
+
+// Packet is a simulated packet header. Tags is the set of repair
+// candidates under whose program variant this packet (copy) exists.
+type Packet struct {
+	SrcIP   int64
+	DstIP   int64
+	SrcPort int64
+	DstPort int64
+	Proto   int64
+	Tags    uint64
+}
+
+// String renders the packet header.
+func (p Packet) String() string {
+	return fmt.Sprintf("pkt(%d:%d -> %d:%d proto %d)", p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Proto)
+}
+
+// ActionKind enumerates flow-entry actions.
+type ActionKind uint8
+
+const (
+	// ActionOutput forwards out a switch port.
+	ActionOutput ActionKind = iota
+	// ActionDrop discards the packet.
+	ActionDrop
+)
+
+// Action is what a matching flow entry does with a packet.
+type Action struct {
+	Kind ActionKind
+	Port int
+}
+
+// String renders the action.
+func (a Action) String() string {
+	if a.Kind == ActionDrop {
+		return "drop"
+	}
+	return fmt.Sprintf("output:%d", a.Port)
+}
+
+// Match is an OpenFlow-style wildcard match; nil fields match anything.
+type Match struct {
+	InPort  *int64
+	SrcIP   *int64
+	DstIP   *int64
+	SrcPort *int64
+	DstPort *int64
+	Proto   *int64
+}
+
+// Matches reports whether the packet (arriving on inPort) satisfies the
+// match.
+func (m Match) Matches(inPort int64, p Packet) bool {
+	check := func(f *int64, v int64) bool { return f == nil || *f == v }
+	return check(m.InPort, inPort) &&
+		check(m.SrcIP, p.SrcIP) &&
+		check(m.DstIP, p.DstIP) &&
+		check(m.SrcPort, p.SrcPort) &&
+		check(m.DstPort, p.DstPort) &&
+		check(m.Proto, p.Proto)
+}
+
+// Specificity counts non-wildcard fields; used as the default priority so
+// more specific entries win, as in OpenFlow exact-match precedence.
+func (m Match) Specificity() int {
+	n := 0
+	for _, f := range []*int64{m.InPort, m.SrcIP, m.DstIP, m.SrcPort, m.DstPort, m.Proto} {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the match.
+func (m Match) String() string {
+	s := ""
+	app := func(name string, f *int64) {
+		if f != nil {
+			if s != "" {
+				s += ","
+			}
+			s += fmt.Sprintf("%s=%d", name, *f)
+		}
+	}
+	app("in", m.InPort)
+	app("sip", m.SrcIP)
+	app("dip", m.DstIP)
+	app("spt", m.SrcPort)
+	app("dpt", m.DstPort)
+	app("proto", m.Proto)
+	if s == "" {
+		return "*"
+	}
+	return s
+}
+
+// FlowEntry is one prioritized, tagged flow-table entry.
+type FlowEntry struct {
+	Priority int
+	Match    Match
+	Action   Action
+	Tags     uint64
+}
+
+// String renders the entry.
+func (f FlowEntry) String() string {
+	return fmt.Sprintf("[prio %d, %s -> %s]", f.Priority, f.Match.String(), f.Action.String())
+}
+
+// FieldPtr converts an NDlog value into a match field: the wildcard value
+// becomes nil (match-any), integers become pointers.
+func FieldPtr(v ndlog.Value) *int64 {
+	if v.Kind == ndlog.KindWild {
+		return nil
+	}
+	x := v.Int
+	return &x
+}

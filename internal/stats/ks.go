@@ -1,0 +1,137 @@
+// Package stats implements the two-sample Kolmogorov–Smirnov test used to
+// filter repair candidates (§5.3): a repair is rejected when it
+// significantly distorts the network-wide traffic distribution at end
+// hosts, beyond the flows the symptom itself concerns.
+package stats
+
+import "math"
+
+// KSFromCounts computes the two-sample KS statistic D between two
+// per-category count vectors (deliveries per host, in a fixed host order)
+// and the asymptotic p-value. Sample sizes are the count totals, matching
+// the paper's per-packet sampling (each delivered packet contributes its
+// destination host as one observation).
+func KSFromCounts(a, b []int64) (d, p float64) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var ta, tb int64
+	for _, v := range a {
+		ta += v
+	}
+	for _, v := range b {
+		tb += v
+	}
+	switch {
+	case ta == 0 && tb == 0:
+		return 0, 1
+	case ta == 0 || tb == 0:
+		return 1, 0
+	}
+	var ca, cb int64
+	for i := 0; i < n; i++ {
+		if i < len(a) {
+			ca += a[i]
+		}
+		if i < len(b) {
+			cb += b[i]
+		}
+		diff := math.Abs(float64(ca)/float64(ta) - float64(cb)/float64(tb))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d, KSPValue(d, float64(ta), float64(tb))
+}
+
+// KS2 computes the two-sample KS statistic over raw samples.
+func KS2(a, b []float64) (d, p float64) {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0, 1
+		}
+		return 1, 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sortFloats(as)
+	sortFloats(bs)
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d, KSPValue(d, float64(len(a)), float64(len(b)))
+}
+
+// KSPValue returns the asymptotic two-sample KS p-value for statistic d
+// with sample sizes n and m (Smirnov's limiting distribution with the
+// Stephens small-sample correction).
+func KSPValue(d, n, m float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if d >= 1 {
+		return 0
+	}
+	ne := n * m / (n + m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return kolmogorovQ(lambda)
+}
+
+// KSCritical returns the critical D value at significance alpha for sample
+// sizes n and m: c(alpha) * sqrt((n+m)/(n*m)).
+func KSCritical(alpha, n, m float64) float64 {
+	// c(alpha) = sqrt(-ln(alpha/2) / 2)
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt((n+m)/(n*m))
+}
+
+// kolmogorovQ is the Kolmogorov distribution's survival function
+// Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2 k² λ²}.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-8 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k) * float64(k) * lambda * lambda)
+		sum += sign * term
+		sign = -sign
+		if term < 1e-12 {
+			break
+		}
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+func sortFloats(x []float64) {
+	// Insertion sort is fine for the modest sample sizes used here; the
+	// count-vector path (KSFromCounts) is the hot path and does not sort.
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

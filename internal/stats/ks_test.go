@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSIdenticalCounts(t *testing.T) {
+	a := []int64{10, 20, 30, 40}
+	d, p := KSFromCounts(a, a)
+	if d != 0 || p != 1 {
+		t.Fatalf("d=%v p=%v, want 0, 1", d, p)
+	}
+}
+
+func TestKSDisjointCounts(t *testing.T) {
+	d, p := KSFromCounts([]int64{100, 0}, []int64{0, 100})
+	if d != 1 {
+		t.Fatalf("d = %v, want 1", d)
+	}
+	if p > 1e-6 {
+		t.Fatalf("p = %v, want ~0", p)
+	}
+}
+
+func TestKSSmallShift(t *testing.T) {
+	// A tiny change in one host's traffic: D must be small and accepted
+	// at alpha 0.05.
+	a := make([]int64, 100)
+	b := make([]int64, 100)
+	for i := range a {
+		a[i] = 1000
+		b[i] = 1000
+	}
+	b[50] += 10 // the "fixed" host now receives a little traffic
+	d, _ := KSFromCounts(a, b)
+	if d > 0.01 {
+		t.Fatalf("d = %v, want < 0.01", d)
+	}
+}
+
+func TestKSLargeShift(t *testing.T) {
+	// Rerouting a large share of traffic: D must exceed the critical value.
+	a := []int64{5000, 5000, 0, 0}
+	b := []int64{0, 0, 5000, 5000}
+	d, p := KSFromCounts(a, b)
+	if d != 1 || p > 0.05 {
+		t.Fatalf("d=%v p=%v", d, p)
+	}
+}
+
+func TestKSEmptySides(t *testing.T) {
+	d, p := KSFromCounts(nil, nil)
+	if d != 0 || p != 1 {
+		t.Fatalf("both empty: d=%v p=%v", d, p)
+	}
+	d, _ = KSFromCounts([]int64{5}, nil)
+	if d != 1 {
+		t.Fatalf("one empty: d=%v", d)
+	}
+}
+
+func TestKS2AgainstCounts(t *testing.T) {
+	// KS2 on expanded samples must agree with KSFromCounts.
+	a := []int64{3, 0, 2}
+	b := []int64{1, 2, 2}
+	var as, bs []float64
+	for i, c := range a {
+		for k := int64(0); k < c; k++ {
+			as = append(as, float64(i))
+		}
+	}
+	for i, c := range b {
+		for k := int64(0); k < c; k++ {
+			bs = append(bs, float64(i))
+		}
+	}
+	d1, _ := KSFromCounts(a, b)
+	d2, _ := KS2(as, bs)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("d mismatch: %v vs %v", d1, d2)
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for _, d := range []float64{0.01, 0.05, 0.1, 0.2, 0.5, 0.9} {
+		p := KSPValue(d, 1000, 1000)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at d=%v: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestKSCritical(t *testing.T) {
+	// Standard critical value at alpha=0.05, n=m: 1.358*sqrt(2/n).
+	got := KSCritical(0.05, 100, 100)
+	want := 1.3581 * math.Sqrt(2.0/100)
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("critical = %v, want %v", got, want)
+	}
+}
+
+func TestKSSameDistributionRandom(t *testing.T) {
+	// Two samples from the same distribution should usually be accepted.
+	rng := rand.New(rand.NewSource(42))
+	rejections := 0
+	for trial := 0; trial < 20; trial++ {
+		a := make([]int64, 50)
+		b := make([]int64, 50)
+		for i := 0; i < 5000; i++ {
+			a[rng.Intn(50)]++
+			b[rng.Intn(50)]++
+		}
+		_, p := KSFromCounts(a, b)
+		if p < 0.05 {
+			rejections++
+		}
+	}
+	if rejections > 4 { // alpha 0.05 over 20 trials: expect ~1
+		t.Fatalf("rejected %d/20 same-distribution pairs", rejections)
+	}
+}
+
+// Properties: D is within [0,1] and symmetric.
+func TestKSProperties(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		a := make([]int64, len(av))
+		b := make([]int64, len(bv))
+		for i, v := range av {
+			a[i] = int64(v)
+		}
+		for i, v := range bv {
+			b[i] = int64(v)
+		}
+		d1, p1 := KSFromCounts(a, b)
+		d2, p2 := KSFromCounts(b, a)
+		return d1 >= 0 && d1 <= 1 && p1 >= 0 && p1 <= 1 &&
+			math.Abs(d1-d2) < 1e-12 && math.Abs(p1-p2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

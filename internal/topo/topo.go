@@ -1,0 +1,210 @@
+// Package topo builds the evaluation topologies of §5.2: a Stanford-
+// campus-style network with 16 operational-zone/backbone core routers,
+// edge networks hanging off the core, and 1–15 hosts per edge network.
+// The core is proactively configured (shortest-path forwarding entries for
+// every host); scenario packages attach small reactive zones that the
+// controller program manages.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+)
+
+// Config sizes a campus topology. The defaults (via Small) reproduce the
+// paper's smallest setting (19 routers, 259 hosts); Scaled produces the
+// Figure 9c series up to 169 routers and 549 hosts.
+type Config struct {
+	CoreSwitches int // backbone + operational zone routers (paper: 16)
+	EdgeSwitches int // edge networks, one switch each
+	Hosts        int // total hosts, spread across edge networks
+	// BaseSwitchNum is the first numeric switch ID assigned; scenario
+	// switches typically occupy small numbers (1..3), so the campus
+	// starts at 100 by default.
+	BaseSwitchNum int64
+	// BaseHostIP is the first host IP assigned (default 1000).
+	BaseHostIP int64
+}
+
+// Small is the smallest §5.2 topology: 19 routers, 259 hosts.
+func Small() Config {
+	return Config{CoreSwitches: 16, EdgeSwitches: 3, Hosts: 259}
+}
+
+// Scaled returns the Figure 9c series entry with the given total switch
+// count (19, 49, 79, 109, 139, 169); hosts grow from 259 to 549.
+func Scaled(switches int) Config {
+	if switches < 19 {
+		switches = 19
+	}
+	edges := switches - 16
+	hosts := 259 + (switches-19)*2 // 19 -> 259 ... 169 -> 559 (~549)
+	if switches == 169 {
+		hosts = 549
+	}
+	return Config{CoreSwitches: 16, EdgeSwitches: edges, Hosts: hosts}
+}
+
+// Campus is a built topology: the network plus naming helpers.
+type Campus struct {
+	Net     *sdn.Network
+	CoreIDs []string
+	EdgeIDs []string
+	HostIDs []string
+	cfg     Config
+}
+
+// Build constructs the campus: a two-level core (ring plus chords, the
+// usual campus backbone abstraction), one switch per edge network, and
+// hosts round-robined across edges.
+func Build(cfg Config) *Campus {
+	if cfg.CoreSwitches <= 0 {
+		cfg.CoreSwitches = 16
+	}
+	if cfg.EdgeSwitches <= 0 {
+		cfg.EdgeSwitches = 3
+	}
+	if cfg.BaseSwitchNum == 0 {
+		cfg.BaseSwitchNum = 100
+	}
+	if cfg.BaseHostIP == 0 {
+		cfg.BaseHostIP = 1000
+	}
+	c := &Campus{Net: sdn.NewNetwork(), cfg: cfg}
+	num := cfg.BaseSwitchNum
+	for i := 0; i < cfg.CoreSwitches; i++ {
+		id := fmt.Sprintf("core%d", i)
+		c.Net.AddSwitch(sdn.NewSwitch(id, num))
+		c.CoreIDs = append(c.CoreIDs, id)
+		num++
+	}
+	// Ring plus cross-links every 4th router: redundant paths like a
+	// campus backbone.
+	for i := 0; i < cfg.CoreSwitches; i++ {
+		c.Net.Link(c.CoreIDs[i], c.CoreIDs[(i+1)%cfg.CoreSwitches])
+		if i%4 == 0 && cfg.CoreSwitches > 8 {
+			c.Net.Link(c.CoreIDs[i], c.CoreIDs[(i+cfg.CoreSwitches/2)%cfg.CoreSwitches])
+		}
+	}
+	for i := 0; i < cfg.EdgeSwitches; i++ {
+		id := fmt.Sprintf("edge%d", i)
+		c.Net.AddSwitch(sdn.NewSwitch(id, num))
+		num++
+		c.EdgeIDs = append(c.EdgeIDs, id)
+		c.Net.Link(id, c.CoreIDs[i%cfg.CoreSwitches])
+	}
+	ip := cfg.BaseHostIP
+	for i := 0; i < cfg.Hosts; i++ {
+		id := fmt.Sprintf("h%d", i)
+		edge := c.EdgeIDs[i%len(c.EdgeIDs)]
+		c.Net.AddHost(sdn.NewHost(id, ip, edge))
+		c.HostIDs = append(c.HostIDs, id)
+		ip++
+	}
+	return c
+}
+
+// InstallProactiveRoutes computes shortest paths and installs one
+// DstIP-match entry per (switch, host) pair — the proactive core
+// configuration of §5.2. Overrides route chosen destination IPs toward a
+// designated switch instead (used to steer scenario service IPs into the
+// reactive zone). Switches named in reactive get no proactive entries at
+// all, and hosts attached to them are reachable only via overrides — the
+// reactive zone is the controller program's exclusive responsibility.
+func (c *Campus) InstallProactiveRoutes(overrides map[int64]string, reactive ...string) {
+	skip := make(map[string]bool, len(reactive))
+	for _, id := range reactive {
+		skip[id] = true
+	}
+	next := c.nextHops()
+	for _, h := range c.Net.Hosts {
+		if skip[h.Switch] {
+			continue
+		}
+		if _, overridden := overrides[h.IP]; overridden {
+			continue
+		}
+		c.installRoutesTo(h.IP, h.Switch, next, skip)
+	}
+	for ip, swID := range overrides {
+		c.installRoutesTo(ip, swID, next, skip)
+	}
+}
+
+// installRoutesTo installs DstIP entries on every non-reactive switch
+// toward target.
+func (c *Campus) installRoutesTo(ip int64, targetSw string, next map[string]map[string]string, skip map[string]bool) {
+	for swID, sw := range c.Net.Switches {
+		if skip[swID] {
+			continue
+		}
+		if swID == targetSw {
+			// Final hop: deliver to the locally attached host if present.
+			if h := c.Net.HostByIP(ip); h != nil && h.Switch == swID {
+				dst := ip
+				sw.Install(sdn.FlowEntry{
+					Priority: 10,
+					Match:    sdn.Match{DstIP: &dst},
+					Action:   sdn.Action{Kind: sdn.ActionOutput, Port: sw.PortTo(h.ID)},
+					Tags:     ndlog.AllTags,
+				})
+			}
+			continue
+		}
+		hop, ok := next[swID][targetSw]
+		if !ok {
+			continue
+		}
+		dst := ip
+		sw.Install(sdn.FlowEntry{
+			Priority: 10,
+			Match:    sdn.Match{DstIP: &dst},
+			Action:   sdn.Action{Kind: sdn.ActionOutput, Port: sw.PortTo(hop)},
+			Tags:     ndlog.AllTags,
+		})
+	}
+}
+
+// nextHops runs BFS from every switch, returning next[src][dst] = the
+// neighbouring switch on a shortest path from src to dst.
+func (c *Campus) nextHops() map[string]map[string]string {
+	adj := make(map[string][]string)
+	for id, sw := range c.Net.Switches {
+		for _, p := range sw.Ports() {
+			n := sw.Neighbour(p)
+			if _, isSwitch := c.Net.Switches[n]; isSwitch {
+				adj[id] = append(adj[id], n)
+			}
+		}
+	}
+	next := make(map[string]map[string]string)
+	for src := range c.Net.Switches {
+		next[src] = make(map[string]string)
+	}
+	// BFS from each destination, recording each node's parent toward dst.
+	for dst := range c.Net.Switches {
+		visited := map[string]bool{dst: true}
+		queue := []string{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				next[nb][dst] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return next
+}
+
+// SwitchCount returns the number of switches in the campus.
+func (c *Campus) SwitchCount() int { return len(c.Net.Switches) }
+
+// HostCount returns the number of hosts.
+func (c *Campus) HostCount() int { return len(c.Net.Hosts) }

@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/sdn"
+)
+
+func TestBuildSmall(t *testing.T) {
+	c := Build(Small())
+	if c.SwitchCount() != 19 {
+		t.Fatalf("switches = %d, want 19", c.SwitchCount())
+	}
+	if c.HostCount() != 259 {
+		t.Fatalf("hosts = %d, want 259", c.HostCount())
+	}
+}
+
+func TestScaledSeries(t *testing.T) {
+	for _, n := range []int{19, 49, 79, 109, 139, 169} {
+		c := Build(Scaled(n))
+		if c.SwitchCount() != n {
+			t.Fatalf("Scaled(%d) built %d switches", n, c.SwitchCount())
+		}
+	}
+	if got := Build(Scaled(169)).HostCount(); got != 549 {
+		t.Fatalf("largest topology hosts = %d, want 549", got)
+	}
+}
+
+func TestProactiveRoutingDelivers(t *testing.T) {
+	c := Build(Config{CoreSwitches: 16, EdgeSwitches: 4, Hosts: 40})
+	c.InstallProactiveRoutes(nil)
+	// Every host can reach every other host via the proactive entries.
+	src := c.HostIDs[0]
+	delivered := 0
+	for _, dstID := range c.HostIDs[1:10] {
+		dst := c.Net.Hosts[dstID]
+		before := c.Net.Delivered
+		c.Net.Inject(src, sdn.Packet{
+			SrcIP: c.Net.Hosts[src].IP, DstIP: dst.IP, DstPort: sdn.PortHTTP,
+		})
+		if c.Net.Delivered == before+1 {
+			delivered++
+		}
+	}
+	if delivered != 9 {
+		t.Fatalf("delivered %d/9 probes", delivered)
+	}
+	if c.Net.Missed != 0 {
+		t.Fatalf("missed = %d, want 0 on a proactive core", c.Net.Missed)
+	}
+}
+
+func TestRouteOverride(t *testing.T) {
+	c := Build(Config{CoreSwitches: 16, EdgeSwitches: 2, Hosts: 10})
+	// Attach a reactive zone switch and steer a virtual service IP to it.
+	zone := sdn.NewSwitch("zone", 1)
+	c.Net.AddSwitch(zone)
+	c.Net.Link("zone", c.CoreIDs[0])
+	c.InstallProactiveRoutes(map[int64]string{5555: "zone"})
+	// A packet to the service IP must reach the zone switch and miss
+	// there (no controller): missed count is the zone's PacketIn signal.
+	c.Net.Inject(c.HostIDs[0], sdn.Packet{
+		SrcIP: c.Net.Hosts[c.HostIDs[0]].IP, DstIP: 5555, DstPort: sdn.PortHTTP,
+	})
+	if c.Net.Missed != 1 {
+		t.Fatalf("missed = %d, want 1 (at the zone switch)", c.Net.Missed)
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	c := Build(Config{Hosts: 5})
+	if c.SwitchCount() == 0 || c.HostCount() != 5 {
+		t.Fatalf("defaults broken: %d switches, %d hosts", c.SwitchCount(), c.HostCount())
+	}
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sdn"
+)
+
+func genConfig() Config {
+	return Config{
+		Seed: 7,
+		Sources: []HostSpec{
+			{ID: "h0", IP: 1000}, {ID: "h1", IP: 1001}, {ID: "h2", IP: 1002},
+		},
+		Services: []Service{
+			{DstIP: 201, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 8},
+			{DstIP: 203, Port: sdn.PortDNS, Proto: sdn.ProtoUDP, Weight: 2},
+		},
+		Flows: 200,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(genConfig())
+	b := Generate(genConfig())
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	entries := Generate(genConfig())
+	http, dns := 0, 0
+	for _, e := range entries {
+		switch e.Pkt.DstPort {
+		case sdn.PortHTTP:
+			http++
+		case sdn.PortDNS:
+			dns++
+		default:
+			t.Fatalf("unexpected port %d", e.Pkt.DstPort)
+		}
+		if e.Pkt.SrcPort < 1024 {
+			t.Fatalf("ephemeral source port %d", e.Pkt.SrcPort)
+		}
+	}
+	if http <= dns {
+		t.Fatalf("weights ignored: http=%d dns=%d", http, dns)
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Time < entries[i-1].Time {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	entries := Generate(genConfig())
+	// Flow sizes are Zipf: the largest flow should dwarf the median.
+	sizes := map[int64]int{}
+	for _, e := range entries {
+		sizes[e.Pkt.SrcPort]++ // source port identifies the flow here
+	}
+	max, count := 0, 0
+	for _, n := range sizes {
+		if n > max {
+			max = n
+		}
+		count++
+	}
+	if count < 100 || max < 3 {
+		t.Fatalf("suspicious flow-size distribution: %d flows, max %d", count, max)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	entries := Generate(genConfig())
+	if Bytes(entries) != int64(len(entries))*120 {
+		t.Fatalf("bytes = %d", Bytes(entries))
+	}
+}
+
+func TestGenerateEmptyConfigs(t *testing.T) {
+	if Generate(Config{}) != nil {
+		t.Fatal("empty config should generate nothing")
+	}
+	if Generate(Config{Flows: 5}) != nil {
+		t.Fatal("no sources should generate nothing")
+	}
+}
+
+func TestReplayTagsPackets(t *testing.T) {
+	n := sdn.NewNetwork()
+	s := sdn.NewSwitch("s1", 1)
+	n.AddSwitch(s)
+	n.AddHost(sdn.NewHost("h0", 1000, "s1"))
+	n.AddHost(sdn.NewHost("sink", 201, "s1"))
+	dst := int64(201)
+	s.Install(sdn.FlowEntry{
+		Priority: 1,
+		Match:    sdn.Match{DstIP: &dst},
+		Action:   sdn.Action{Kind: sdn.ActionOutput, Port: s.PortTo("sink")},
+		Tags:     ^uint64(0),
+	})
+	cfg := genConfig()
+	cfg.Sources = cfg.Sources[:1]
+	cfg.Services = cfg.Services[:1]
+	cfg.Flows = 10
+	entries := Generate(cfg)
+	Replay(n, entries, 0b10)
+	if n.Hosts["sink"].ReceivedFor(1) != int64(len(entries)) {
+		t.Fatalf("tag-1 deliveries = %d, want %d", n.Hosts["sink"].ReceivedFor(1), len(entries))
+	}
+	if n.Hosts["sink"].ReceivedFor(0) != 0 {
+		t.Fatal("tag-0 should have no deliveries")
+	}
+}

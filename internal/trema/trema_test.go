@@ -1,0 +1,104 @@
+package trema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/meta"
+	"repro/internal/ndlog"
+)
+
+const ctl = `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+materialize(White, 1, 2, keys(0,1)).
+a FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Sip < 10, Prt := 2.
+b PacketOut(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Prt := 2.
+c FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), White(@C,Sip), Swi == 2, Prt := 1.
+d Learned(@C,K,Swi,InPrt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), K := Sip.
+`
+
+func TestSourceRendering(t *testing.T) {
+	p, err := Translate(ndlog.MustParse("ctl", ctl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.Source()
+	for _, want := range []string{
+		"class RepairedController < Controller",
+		"datapath_id == 1",
+		"packet.dst_port == 80",
+		"packet.src_ip < 10",
+		"send_flow_mod_add",
+		"send_packet_out",
+		"@white.include?(packet.src_ip)",
+		"@learned[packet.src_ip] = packet.in_port",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q:\n%s", want, src)
+		}
+	}
+	if p.LineCount() < 14 {
+		t.Fatalf("line count = %d", p.LineCount())
+	}
+}
+
+func TestBranchPerRule(t *testing.T) {
+	prog := ndlog.MustParse("ctl", ctl)
+	h, err := FromNDlog(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Branches) != len(prog.Rules) {
+		t.Fatalf("branches = %d, want %d", len(h.Branches), len(prog.Rules))
+	}
+	if h.Branches[0].Switch != 1 {
+		t.Fatalf("branch a switch = %d", h.Branches[0].Switch)
+	}
+	if h.Branches[1].Action.Kind != "packet_out" {
+		t.Fatalf("branch b action = %s", h.Branches[1].Action.Kind)
+	}
+	if h.Branches[3].Action.Kind != "learn" {
+		t.Fatalf("branch d action = %s", h.Branches[3].Action.Kind)
+	}
+}
+
+func TestVerbatimFallback(t *testing.T) {
+	prog := ndlog.MustParse("f", `
+x FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Sip == Dip, Prt := 1.
+`)
+	h, err := FromNDlog(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Branches[0].Conds) != 1 || h.Branches[0].Conds[0].Text == "" {
+		t.Fatalf("var-var comparison should render verbatim: %+v", h.Branches[0].Conds)
+	}
+}
+
+func TestRejectsNonControllerShape(t *testing.T) {
+	prog := ndlog.MustParse("bad", `x A(@X) :- B(@X).`)
+	if _, err := FromNDlog(prog); err == nil {
+		t.Fatal("expected error for a rule without PacketIn")
+	}
+}
+
+func TestAllChangesExpressible(t *testing.T) {
+	p, _ := Translate(ndlog.MustParse("ctl", ctl))
+	changes := []meta.Change{
+		meta.SetConst{RuleID: "a", Path: "sel/0/R", Old: ndlog.Int(1), New: ndlog.Int(2)},
+		meta.SetOper{RuleID: "a", SelIdx: 0, Old: ndlog.OpEq, New: ndlog.OpGt},
+		meta.DropSel{RuleID: "a", SelIdx: 0},
+		meta.SetHeadTable{RuleID: "a", Old: "FlowTable", New: "PacketOut"},
+	}
+	for _, c := range changes {
+		if !p.AllowChange(c) {
+			t.Errorf("Trema must allow %s", c)
+		}
+		if p.Describe(c) == "" {
+			t.Errorf("empty description for %s", c)
+		}
+	}
+	if p.Name() != "Trema" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
