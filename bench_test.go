@@ -7,14 +7,17 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/metaprov"
 	"repro/internal/ndlog"
 	"repro/internal/provenance"
 	"repro/internal/scenarios"
 	"repro/internal/solver"
+	"repro/metarepair"
 )
 
 // benchScale keeps per-iteration work around a second so the full suite
@@ -25,7 +28,7 @@ func benchScale() scenarios.Scale { return scenarios.Scale{Switches: 19, Flows: 
 // diagnostic queries end to end (generate + backtest).
 func BenchmarkTable1_RepairCandidates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(benchScale())
+		rows, err := experiments.Table1(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +45,7 @@ func BenchmarkTable1_RepairCandidates(b *testing.B) {
 // with KS statistics and verdicts.
 func BenchmarkTable2_Q1Candidates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.CandidateTable(scenarios.Q1(benchScale()))
+		rows, err := experiments.CandidateTable(context.Background(), scenarios.Q1(benchScale()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +59,7 @@ func BenchmarkTable2_Q1Candidates(b *testing.B) {
 // under the Trema and Pyretic front-ends.
 func BenchmarkTable3_CrossLanguage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(benchScale())
+		rows, err := experiments.Table3(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +74,7 @@ func BenchmarkTable6_Q2toQ5Candidates(b *testing.B) {
 	names := []string{"Q2", "Q3", "Q4", "Q5"}
 	for i := 0; i < b.N; i++ {
 		for _, name := range names {
-			rows, err := experiments.CandidateTable(scenarios.ByName(name, benchScale()))
+			rows, err := experiments.CandidateTable(context.Background(), scenarios.ByName(name, benchScale()))
 			if err != nil {
 				b.Fatalf("%s: %v", name, err)
 			}
@@ -86,7 +89,7 @@ func BenchmarkTable6_Q2toQ5Candidates(b *testing.B) {
 // turnaround breakdown.
 func BenchmarkFigure9a_TurnaroundTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure9a(benchScale())
+		rows, err := experiments.Figure9a(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,9 +100,11 @@ func BenchmarkFigure9a_TurnaroundTime(b *testing.B) {
 }
 
 // BenchmarkFigure9b_Backtesting regenerates Figure 9b: sequential vs
-// multi-query backtesting of Q1's first k candidates.
+// multi-query backtesting of Q1's first k candidates, via the session
+// strategy options.
 func BenchmarkFigure9b_Backtesting(b *testing.B) {
-	cands, job, err := experiments.QuickCandidates(benchScale())
+	ctx := context.Background()
+	sess, cands, bt, err := experiments.QuickCandidates(ctx, benchScale())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -107,20 +112,68 @@ func BenchmarkFigure9b_Backtesting(b *testing.B) {
 	if k > 9 {
 		k = 9
 	}
+	evaluate := func(b *testing.B, strat metarepair.Strategy, opts ...metarepair.Option) {
+		run, err := sess.Evaluate(ctx, cands[:k], bt, append(opts, metarepair.WithStrategy(strat))...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.Run("Sequential", func(b *testing.B) {
-		job.Candidates = cands[:k]
 		for i := 0; i < b.N; i++ {
-			job.RunSequential()
+			evaluate(b, metarepair.StrategySequential)
 		}
 	})
 	b.Run("MultiQuery", func(b *testing.B) {
-		job.Candidates = cands[:k]
 		for i := 0; i < b.N; i++ {
-			if _, err := job.RunShared(); err != nil {
-				b.Fatal(err)
-			}
+			evaluate(b, metarepair.StrategySerial)
 		}
 	})
+}
+
+// BenchmarkBatchedBacktest measures the batched-parallel evaluation of a
+// candidate set larger than one shared run's 63-tag space: the same
+// batches run serially and then concurrently on the worker pool. On a
+// multi-core machine the parallel path wins by roughly the batch count
+// (up to core count).
+func BenchmarkBatchedBacktest(b *testing.B) {
+	ctx := context.Background()
+	sess, base, bt, err := experiments.QuickCandidates(ctx, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(base) == 0 {
+		b.Fatal("no candidates")
+	}
+	// Replicate Q1's cost-ordered candidates past the 63-tag cliff; each
+	// copy is evaluated independently, so verdicts stay comparable.
+	var cands []metaprov.Candidate
+	for len(cands) < 72 {
+		cands = append(cands, base...)
+	}
+	cands = cands[:72]
+	for _, bench := range []struct {
+		name  string
+		strat metarepair.Strategy
+	}{
+		{"SerialBatches", metarepair.StrategySerial},
+		{"ParallelBatches", metarepair.StrategyParallel},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := sess.Evaluate(ctx, cands, bt,
+					metarepair.WithStrategy(bench.strat), metarepair.WithBatchSize(12))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := run.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure9c_NetworkScalability regenerates Figure 9c: Q1
@@ -130,7 +183,7 @@ func BenchmarkFigure9c_NetworkScalability(b *testing.B) {
 		b.Run(fmt.Sprintf("switches=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := scenarios.Q1(scenarios.Scale{Switches: n, Flows: 600})
-				if _, err := s.Run(); err != nil {
+				if _, err := s.Run(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -146,7 +199,7 @@ func BenchmarkFigure10_ProgramScalability(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := scenarios.Q1(benchScale())
 				s.Prog = experiments.AugmentProgram(s.Prog, lines)
-				if _, err := s.Run(); err != nil {
+				if _, err := s.Run(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -212,7 +265,7 @@ func BenchmarkStorage_LogRate(b *testing.B) {
 // against uniform-cost exploration under the same step budget (§3.5).
 func BenchmarkAblation_CostOrder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(benchScale())
+		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +280,7 @@ func BenchmarkAblation_CostOrder(b *testing.B) {
 // without identical-rule coalescing (§4.4).
 func BenchmarkAblation_Coalescing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		with, without, err := experiments.AblationCoalescing(benchScale())
+		with, without, err := experiments.AblationCoalescing(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -26,6 +28,9 @@ func main() {
 		only  = flag.String("only", "", "comma-separated subset of experiments to run")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	sc := scenarios.Scale{Switches: 19, Flows: 900}
 	sizes := []int{19, 49, 79, 109, 139, 169}
@@ -54,14 +59,14 @@ func main() {
 	fmt.Print(experiments.ModelStats())
 
 	if run("table1") {
-		rows, err := experiments.Table1(sc)
+		rows, err := experiments.Table1(ctx, sc)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatTable1(rows))
 	}
 	if run("table2") {
-		rows, err := experiments.CandidateTable(scenarios.Q1(sc))
+		rows, err := experiments.CandidateTable(ctx, scenarios.Q1(sc))
 		if err != nil {
 			fail(err)
 		}
@@ -69,7 +74,7 @@ func main() {
 	}
 	if run("table6") {
 		for _, name := range []string{"Q2", "Q3", "Q4", "Q5"} {
-			rows, err := experiments.CandidateTable(scenarios.ByName(name, sc))
+			rows, err := experiments.CandidateTable(ctx, scenarios.ByName(name, sc))
 			if err != nil {
 				fail(err)
 			}
@@ -78,35 +83,35 @@ func main() {
 		}
 	}
 	if run("table3") {
-		rows, err := experiments.Table3(sc)
+		rows, err := experiments.Table3(ctx, sc)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatTable3(rows))
 	}
 	if run("fig9a") {
-		rows, err := experiments.Figure9a(sc)
+		rows, err := experiments.Figure9a(ctx, sc)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatFigure9a(rows))
 	}
 	if run("fig9b") {
-		rows, err := experiments.Figure9b(sc, 9)
+		rows, err := experiments.Figure9b(ctx, sc, 9)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatFigure9b(rows))
 	}
 	if run("fig9c") {
-		rows, err := experiments.Figure9c(sizes, sc.Flows)
+		rows, err := experiments.Figure9c(ctx, sizes, sc.Flows)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatFigure9c(rows))
 	}
 	if run("fig10") {
-		rows, err := experiments.Figure10(lineSizes, sc)
+		rows, err := experiments.Figure10(ctx, lineSizes, sc)
 		if err != nil {
 			fail(err)
 		}
@@ -120,13 +125,13 @@ func main() {
 		fmt.Println(experiments.FormatOverhead(rep))
 	}
 	if run("ablations") {
-		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(sc)
+		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(ctx, sc)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("Ablation (cost order): ordered %d steps -> %d candidates; uniform-cost %d steps -> %d candidates\n",
 			oSteps, oCands, fSteps, fCands)
-		with, without, err := experiments.AblationCoalescing(sc)
+		with, without, err := experiments.AblationCoalescing(ctx, sc)
 		if err != nil {
 			fail(err)
 		}

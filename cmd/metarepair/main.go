@@ -1,21 +1,31 @@
 // Command metarepair runs one diagnostic scenario end to end: it replays
 // the workload through the buggy controller, builds meta provenance for
 // the operator's query, generates repair candidates in cost order,
-// backtests them against historical traffic, and prints the ranked
-// suggestions — the paper's §2 workflow as a CLI.
+// backtests them in batched-parallel shared runs against historical
+// traffic, and prints the ranked suggestions — the paper's §2 workflow as
+// a CLI over the metarepair.Session API.
 //
 // Usage:
 //
-//	metarepair -scenario Q1 [-switches 19] [-flows 900] [-lang RapidNet|Trema|Pyretic] [-v]
+//	metarepair -scenario Q1 [-switches 19] [-flows 900]
+//	           [-lang RapidNet|Trema|Pyretic] [-parallelism N]
+//	           [-timeout 2m] [-events progress.jsonl] [-v]
+//
+// -events streams pipeline progress (exploration, batch completion,
+// per-candidate verdicts) as JSONL to the given file; "-" writes to
+// stderr. -timeout cancels the whole pipeline via context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/scenarios"
+	"repro/metarepair"
 )
 
 func main() {
@@ -24,9 +34,20 @@ func main() {
 		switches = flag.Int("switches", 19, "campus switch count (19..169)")
 		flows    = flag.Int("flows", 900, "workload flow count")
 		lang     = flag.String("lang", "RapidNet", "controller language front-end (RapidNet, Trema, Pyretic)")
+		par      = flag.Int("parallelism", 0, "backtest worker-pool width (0 = all cores)")
+		timeout  = flag.Duration("timeout", 0, "cancel the pipeline after this long (0 = no limit)")
+		events   = flag.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
 		verbose  = flag.Bool("v", false, "print the candidate meta-provenance tree of the best repair")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sc := scenarios.Scale{Switches: *switches, Flows: *flows}
 	s := scenarios.ByName(*name, sc)
@@ -46,12 +67,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	var opts []metarepair.Option
+	if *par > 0 {
+		opts = append(opts, metarepair.WithParallelism(*par))
+	}
+	if *events != "" {
+		w := os.Stderr
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		opts = append(opts, metarepair.WithEventSink(metarepair.NewJSONLSink(w)))
+	}
+
 	fmt.Printf("scenario %s: %s\n", s.Name, s.Query)
 	fmt.Printf("language %s, %d switches, %d packets of history\n\n",
 		language.Name, *switches, len(s.Workload))
 
 	start := time.Now()
-	out, err := s.RunWithLanguage(language)
+	out, err := s.RunWithLanguage(ctx, language, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
@@ -63,7 +102,8 @@ func main() {
 
 	fmt.Printf("generated %d candidate repairs (%d filtered as inexpressible in %s)\n",
 		out.Generated, out.Filtered, language.Name)
-	fmt.Printf("backtesting accepted %d\n\n", out.Passed)
+	fmt.Printf("backtesting accepted %d (%d shared-run batch(es))\n\n",
+		out.Passed, out.Report.Batches)
 	for i, r := range out.Results {
 		mark := " "
 		if r.Accepted {

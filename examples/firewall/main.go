@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,7 +21,7 @@ func main() {
 	fmt.Println("controller program (firewall + load balancer):")
 	fmt.Println(indent(s.Prog.String(), "  "))
 
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		panic(err)
 	}

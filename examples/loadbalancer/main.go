@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ func main() {
 	fmt.Printf("network: %d switches, %d hosts, %d packets of history\n\n",
 		len(s.BuildNet().Switches), len(s.BuildNet().Hosts), len(s.Workload))
 
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pyretic"
@@ -30,7 +31,7 @@ func main() {
 		fmt.Println(pp.Source())
 	}
 
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -1,20 +1,21 @@
 // Quickstart: reproduce the paper's running example (Figures 1, 2, and 6)
-// in about a hundred lines. A three-switch network load-balances HTTP; the
-// controller program contains the §2.3 copy-and-paste bug (r7 checks
-// switch 2 instead of 3), so the backup server H2 starves. We record
-// provenance while the traffic runs, ask "why is there no flow entry
-// sending HTTP at switch 3 to port 2?", and print the repairs the
-// meta-provenance debugger suggests.
+// in about a hundred lines, on the metarepair.Session API. A three-switch
+// network load-balances HTTP; the controller program contains the §2.3
+// copy-and-paste bug (r7 checks switch 2 instead of 3), so the backup
+// server H2 starves. We record provenance while the traffic runs, ask
+// "why is there no flow entry sending HTTP at switch 3 to port 2?", and
+// stream the repairs the meta-provenance debugger suggests as the
+// batched-parallel backtest evaluates them.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/backtest"
-	"repro/internal/core"
 	"repro/internal/ndlog"
 	"repro/internal/sdn"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // The buggy controller of Figure 2 over full packet headers. The operator
@@ -60,16 +61,17 @@ func workload() []trace.Entry {
 }
 
 func main() {
+	ctx := context.Background()
 	prog := ndlog.MustParse("quickstart", buggyProgram)
-	dbg, err := core.NewDebugger(prog)
+	sess, err := metarepair.NewSession(prog)
 	if err != nil {
 		panic(err)
 	}
 
-	// Run the network with the debugger's controller attached; the
-	// provenance recorder captures everything it will need.
+	// Run the network with the session's controller attached; the
+	// provenance recorder captures everything the pipeline will need.
 	net := buildNet()
-	net.Ctrl = dbg.Controller()
+	net.Ctrl = sess.Controller()
 	wl := workload()
 	trace.Replay(net, wl, 1)
 
@@ -78,10 +80,11 @@ func main() {
 		h2.PortCountFor(sdn.PortHTTP, 0), net.Hosts["h1"].PortCountFor(sdn.PortHTTP, 0))
 
 	// The operator's query: why is there no flow entry at switch 3
-	// forwarding HTTP to port 2?
-	sym := core.Missing("FlowTable",
-		core.Pin(3), nil, nil, nil, core.Pin(80), core.Pin(2))
-	report, err := dbg.Suggest(sym, backtest.Job{
+	// forwarding HTTP to port 2? Stream suggestions as the backtest's
+	// shared-run batches complete, then print the final ranked report.
+	sym := metarepair.Missing("FlowTable",
+		metarepair.Pin(3), nil, nil, nil, metarepair.Pin(80), metarepair.Pin(2))
+	run, err := sess.Stream(ctx, sym, metarepair.Backtest{
 		BuildNet: buildNet,
 		Workload: wl,
 		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
@@ -91,6 +94,18 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	for s := range run.Suggestions() {
+		verdict := "rejected"
+		if s.Result.Accepted {
+			verdict = "ACCEPTED"
+		}
+		fmt.Printf("  [batch %d] %-8s %s\n", s.Batch, verdict, s.Candidate.Describe())
+	}
+	report, err := run.Wait()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
 	fmt.Print(report.Render())
 	fmt.Println("\nthe top suggestion is the paper's fix: change Swi == 2 in r7 to Swi == 3")
 }

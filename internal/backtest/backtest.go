@@ -9,7 +9,10 @@
 package backtest
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/meta"
 	"repro/internal/metaprov"
@@ -18,6 +21,11 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// MaxSharedCandidates is the tag-space limit of one shared run: tag bit 0
+// carries the baseline, leaving 63 bits for candidates. Larger candidate
+// sets are split into batches by RunBatched.
+const MaxSharedCandidates = 63
 
 // Job describes one backtesting task.
 type Job struct {
@@ -115,9 +123,19 @@ func (j *Job) Baseline() ([]int64, int64) {
 // RunSequential backtests each candidate in its own simulation (the upper
 // curve of Figure 9b).
 func (j *Job) RunSequential() []Result {
+	out, _ := j.RunSequentialContext(context.Background())
+	return out
+}
+
+// RunSequentialContext is RunSequential with cooperative cancellation
+// between candidate replays.
+func (j *Job) RunSequentialContext(ctx context.Context) ([]Result, error) {
 	baseline, basePI := j.Baseline()
 	out := make([]Result, 0, len(j.Candidates))
 	for _, c := range j.Candidates {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		patch, err := c.Apply(j.Prog)
 		if err != nil {
 			out = append(out, Result{Candidate: c})
@@ -127,7 +145,7 @@ func (j *Job) RunSequential() []Result {
 		res := j.judge(c, baseline, net.Distribution(0), net, ctl, 0, basePI, net.PacketInsByTag[0])
 		out = append(out, res)
 	}
-	return out
+	return out, nil
 }
 
 // RunShared backtests all candidates in a single tagged simulation
@@ -135,8 +153,9 @@ func (j *Job) RunSequential() []Result {
 // bit i+1. Rules untouched by a candidate keep its tag bit, so shared
 // computation happens once.
 func (j *Job) RunShared() ([]Result, error) {
-	if len(j.Candidates) > 63 {
-		return nil, fmt.Errorf("backtest: %d candidates exceed the 63-tag limit", len(j.Candidates))
+	if len(j.Candidates) > MaxSharedCandidates {
+		return nil, fmt.Errorf("backtest: %d candidates exceed the %d-tag limit (use RunBatched)",
+			len(j.Candidates), MaxSharedCandidates)
 	}
 	shared, inserts, deletes, err := BuildSharedProgram(j.Prog, j.Candidates, !j.SkipCoalesce)
 	if err != nil {
@@ -174,6 +193,108 @@ func (j *Job) RunShared() ([]Result, error) {
 		out = append(out, j.judge(c, baseline, net.Distribution(tag), net, ctl, tag, basePI, net.PacketInsByTag[tag]))
 	}
 	return out, nil
+}
+
+// Batch is one ≤63-candidate slice of a larger batched run.
+type Batch struct {
+	// Index is the batch's position in the split (0-based).
+	Index int
+	// Start is the offset of the batch's first candidate in Job.Candidates.
+	Start int
+	// Results are the batch's verdicts, in candidate order.
+	Results []Result
+}
+
+// RunBatched removes the 63-candidate cliff: the candidate set is split
+// into batches of at most batchSize (clamped to MaxSharedCandidates), each
+// batch is backtested as one shared run, and up to parallelism batches run
+// concurrently on a worker pool. Each shared run replays its own tag-0
+// baseline from the same program and workload, so verdicts are identical
+// to a single shared run over the full set. onBatch, when non-nil, is
+// invoked (serially, in completion order) as each batch finishes —
+// callers stream incremental results from it. The returned slice is in
+// Job.Candidates order. Cancelling ctx stops unstarted batches and
+// returns ctx.Err().
+func (j *Job) RunBatched(ctx context.Context, parallelism, batchSize int, onBatch func(Batch)) ([]Result, error) {
+	if batchSize <= 0 || batchSize > MaxSharedCandidates {
+		batchSize = MaxSharedCandidates
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	cands := j.Candidates
+	if len(cands) == 0 {
+		return nil, ctx.Err()
+	}
+	type span struct{ idx, start, end int }
+	var spans []span
+	for start := 0; start < len(cands); start += batchSize {
+		end := start + batchSize
+		if end > len(cands) {
+			end = len(cands)
+		}
+		spans = append(spans, span{idx: len(spans), start: start, end: end})
+	}
+	if parallelism > len(spans) {
+		parallelism = len(spans)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work := make(chan span)
+	go func() {
+		defer close(work)
+		for _, sp := range spans {
+			select {
+			case work <- sp:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	results := make([]Result, len(cands))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				if runCtx.Err() != nil {
+					return
+				}
+				sub := *j
+				sub.Candidates = cands[sp.start:sp.end]
+				res, err := sub.RunShared()
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("backtest: batch %d: %w", sp.idx, err)
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				copy(results[sp.start:sp.end], res)
+				if onBatch != nil {
+					onBatch(Batch{Index: sp.idx, Start: sp.start, Results: res})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // judge applies the §4.3 acceptance test: effective, KS-compatible with

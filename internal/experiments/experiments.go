@@ -9,17 +9,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
-	"repro/internal/backtest"
 	"repro/internal/bench"
 	"repro/internal/meta"
 	"repro/internal/metaprov"
 	"repro/internal/ndlog"
 	"repro/internal/scenarios"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Table1Row is one row of Table 1: candidates generated vs surviving.
@@ -31,10 +32,10 @@ type Table1Row struct {
 }
 
 // Table1 runs the five diagnostic queries end to end.
-func Table1(sc scenarios.Scale) ([]Table1Row, error) {
+func Table1(ctx context.Context, sc scenarios.Scale) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, s := range scenarios.All(sc) {
-		out, err := s.Run()
+		out, err := s.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
@@ -61,8 +62,8 @@ type CandidateRow struct {
 }
 
 // CandidateTable runs one scenario and returns its candidate rows.
-func CandidateTable(s *scenarios.Scenario) ([]CandidateRow, error) {
-	out, err := s.Run()
+func CandidateTable(ctx context.Context, s *scenarios.Scenario) ([]CandidateRow, error) {
+	out, err := s.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -105,11 +106,11 @@ type Table3Row struct {
 }
 
 // Table3 reruns the scenarios under the Trema and Pyretic front-ends.
-func Table3(sc scenarios.Scale) ([]Table3Row, error) {
+func Table3(ctx context.Context, sc scenarios.Scale) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, lang := range []scenarios.Language{scenarios.TremaLang(), scenarios.PyreticLang()} {
 		for _, s := range scenarios.All(sc) {
-			out, err := s.RunWithLanguage(lang)
+			out, err := s.RunWithLanguage(ctx, lang)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", s.Name, lang.Name, err)
 			}
@@ -146,10 +147,10 @@ type Figure9aRow struct {
 }
 
 // Figure9a measures repair-generation turnaround per scenario.
-func Figure9a(sc scenarios.Scale) ([]Figure9aRow, error) {
+func Figure9a(ctx context.Context, sc scenarios.Scale) ([]Figure9aRow, error) {
 	var rows []Figure9aRow
 	for _, s := range scenarios.All(sc) {
-		out, err := s.Run()
+		out, err := s.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
@@ -184,29 +185,43 @@ type Figure9bRow struct {
 }
 
 // Figure9b measures backtesting time for growing candidate prefixes of
-// the Q1 candidate list.
-func Figure9b(sc scenarios.Scale, maxK int) ([]Figure9bRow, error) {
+// the Q1 candidate list, comparing the per-candidate strategy against the
+// §4.4 multi-query shared run via the session's strategy option.
+func Figure9b(ctx context.Context, sc scenarios.Scale, maxK int) ([]Figure9bRow, error) {
 	s := scenarios.Q1(sc)
-	rec, _, err := s.Diagnose()
+	sess, _, err := s.Diagnose()
 	if err != nil {
 		return nil, err
 	}
-	ex, _ := s.Explorer(rec)
-	cands := ex.Explore(s.Goal)
+	expl, err := sess.Explore(ctx, s.Symptom())
+	if err != nil {
+		return nil, err
+	}
+	cands := expl.Candidates
 	if maxK > len(cands) {
 		maxK = len(cands)
 	}
+	timeStrategy := func(k int, strat metarepair.Strategy) (time.Duration, error) {
+		start := time.Now()
+		run, err := sess.Evaluate(ctx, cands[:k], s.Backtest(), metarepair.WithStrategy(strat))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := run.Wait(); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
 	var rows []Figure9bRow
 	for k := 1; k <= maxK; k++ {
-		job := s.Job(cands[:k])
-		start := time.Now()
-		job.RunSequential()
-		seq := time.Since(start)
-		start = time.Now()
-		if _, err := job.RunShared(); err != nil {
+		seq, err := timeStrategy(k, metarepair.StrategySequential)
+		if err != nil {
 			return nil, err
 		}
-		shr := time.Since(start)
+		shr, err := timeStrategy(k, metarepair.StrategySerial)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Figure9bRow{K: k, Sequential: seq, Shared: shr})
 	}
 	return rows, nil
@@ -236,11 +251,11 @@ type Figure9cRow struct {
 }
 
 // Figure9c scales the Q1 network from 19 to 169 switches.
-func Figure9c(sizes []int, flows int) ([]Figure9cRow, error) {
+func Figure9c(ctx context.Context, sizes []int, flows int) ([]Figure9cRow, error) {
 	var rows []Figure9cRow
 	for _, n := range sizes {
 		s := scenarios.Q1(scenarios.Scale{Switches: n, Flows: flows})
-		out, err := s.Run()
+		out, err := s.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("switches=%d: %w", n, err)
 		}
@@ -302,12 +317,12 @@ func AugmentProgram(prog *ndlog.Program, lines int) *ndlog.Program {
 }
 
 // Figure10 scales the Q1 controller program from ~100 to ~900 lines.
-func Figure10(lineSizes []int, sc scenarios.Scale) ([]Figure10Row, error) {
+func Figure10(ctx context.Context, lineSizes []int, sc scenarios.Scale) ([]Figure10Row, error) {
 	var rows []Figure10Row
 	for _, lines := range lineSizes {
 		s := scenarios.Q1(sc)
 		s.Prog = AugmentProgram(s.Prog, lines)
-		out, err := s.Run()
+		out, err := s.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("lines=%d: %w", lines, err)
 		}
@@ -373,62 +388,79 @@ func FormatOverhead(r OverheadReport) string {
 // exploration (same cutoff): the §3.5 design choice. It returns the steps
 // each strategy needed to produce its candidate set and the candidate
 // counts.
-func AblationCostOrder(sc scenarios.Scale) (orderedSteps, fifoSteps, orderedCands, fifoCands int, err error) {
+func AblationCostOrder(ctx context.Context, sc scenarios.Scale) (orderedSteps, fifoSteps, orderedCands, fifoCands int, err error) {
 	s := scenarios.Q1(sc)
-	rec, _, err := s.Diagnose()
+	sess, _, err := s.Diagnose()
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	ex, _ := s.Explorer(rec)
-	cands := ex.Explore(s.Goal)
-	orderedSteps, orderedCands = ex.Steps, len(cands)
+	ordered, err := sess.Explore(ctx, s.Symptom())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	orderedSteps, orderedCands = ordered.Steps, len(ordered.Candidates)
 
-	// FIFO: emulate by removing the cost signal (uniform costs) so the
-	// heap degenerates to breadth-first order over tree size.
-	ex2, _ := s.Explorer(rec)
-	ex2.Cutoff = 1e9
-	ex2.MaxSteps = orderedSteps // same budget
-	cands2 := ex2.Explore(s.Goal)
-	fifoSteps, fifoCands = ex2.Steps, len(cands2)
+	// FIFO: emulate by removing the cost signal (an effectively infinite
+	// cutoff) so the heap degenerates to breadth-first order over tree
+	// size, under the same step budget.
+	fifo, err := sess.Explore(ctx, s.Symptom(), metarepair.WithBudget(metarepair.Budget{
+		CostCutoff: 1e9, MaxSteps: orderedSteps, MaxPerStructure: 2,
+	}))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	fifoSteps, fifoCands = fifo.Steps, len(fifo.Candidates)
 	return orderedSteps, fifoSteps, orderedCands, fifoCands, nil
 }
 
 // AblationCoalescing compares shared backtesting with and without rule
 // coalescing (§4.4).
-func AblationCoalescing(sc scenarios.Scale) (with, without time.Duration, err error) {
+func AblationCoalescing(ctx context.Context, sc scenarios.Scale) (with, without time.Duration, err error) {
 	s := scenarios.Q1(sc)
-	rec, _, err := s.Diagnose()
+	sess, _, err := s.Diagnose()
 	if err != nil {
 		return 0, 0, err
 	}
-	ex, _ := s.Explorer(rec)
-	cands := ex.Explore(s.Goal)
-	job := s.Job(cands)
-	start := time.Now()
-	if _, err := job.RunShared(); err != nil {
+	expl, err := sess.Explore(ctx, s.Symptom())
+	if err != nil {
 		return 0, 0, err
 	}
-	with = time.Since(start)
-	job.SkipCoalesce = true
-	start = time.Now()
-	if _, err := job.RunShared(); err != nil {
+	timeCoalesce := func(on bool) (time.Duration, error) {
+		start := time.Now()
+		run, err := sess.Evaluate(ctx, expl.Candidates, s.Backtest(),
+			metarepair.WithStrategy(metarepair.StrategySerial), metarepair.WithCoalesce(on))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := run.Wait(); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	if with, err = timeCoalesce(true); err != nil {
 		return 0, 0, err
 	}
-	without = time.Since(start)
+	if without, err = timeCoalesce(false); err != nil {
+		return 0, 0, err
+	}
 	return with, without, nil
 }
 
 // QuickCandidates generates Q1's candidates without backtesting; used by
-// benchmarks that only exercise the generation phase.
-func QuickCandidates(sc scenarios.Scale) ([]metaprov.Candidate, *backtest.Job, error) {
+// benchmarks that exercise the evaluation stage with their own strategy
+// options. The session and the scenario's backtest evidence are returned
+// alongside the cost-ordered candidates.
+func QuickCandidates(ctx context.Context, sc scenarios.Scale) (*metarepair.Session, []metaprov.Candidate, metarepair.Backtest, error) {
 	s := scenarios.Q1(sc)
-	rec, _, err := s.Diagnose()
+	sess, _, err := s.Diagnose()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, metarepair.Backtest{}, err
 	}
-	ex, _ := s.Explorer(rec)
-	cands := ex.Explore(s.Goal)
-	return cands, s.Job(cands), nil
+	expl, err := sess.Explore(ctx, s.Symptom())
+	if err != nil {
+		return nil, nil, metarepair.Backtest{}, err
+	}
+	return sess, expl.Candidates, s.Backtest(), nil
 }
 
 // SmallWorkload exposes a deterministic workload for external tooling.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func tinyScale() scenarios.Scale { return scenarios.Scale{Switches: 19, Flows: 600} }
 
 func TestTable1Shape(t *testing.T) {
-	rows, err := Table1(tinyScale())
+	rows, err := Table1(context.Background(), tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestAugmentProgram(t *testing.T) {
 }
 
 func TestFigure9bSpeedupShape(t *testing.T) {
-	rows, err := Figure9b(tinyScale(), 4)
+	rows, err := Figure9b(context.Background(), tinyScale(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package metaprov
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,6 +92,14 @@ func NewExplorer(m *meta.Model, h History) *Explorer {
 // repair candidates in cost order (§3.5: candidates are emitted only when
 // no cheaper partial tree remains).
 func (ex *Explorer) Explore(goal Goal) []Candidate {
+	out, _ := ex.ExploreContext(context.Background(), goal)
+	return out
+}
+
+// ExploreContext is Explore with cooperative cancellation: the search
+// checks ctx between vertex expansions and returns the candidates found so
+// far together with ctx.Err() when the context is done.
+func (ex *Explorer) ExploreContext(ctx context.Context, goal Goal) ([]Candidate, error) {
 	root := &Vertex{Kind: VNExist, Label: goal.String()}
 	t := &Tree{Root: root, Pool: solver.NewPool()}
 	t.todos = []*obligation{{kind: obGoal, vertex: root, goal: goal, depth: 0}}
@@ -105,7 +114,10 @@ func (ex *Explorer) Explore(goal Goal) []Candidate {
 		perStruct = 3
 	}
 
-	for h.Len() > 0 && ex.Steps < ex.MaxSteps && len(out) < ex.MaxCandidates {
+	for h.Len() > 0 && ex.Steps < ex.MaxSteps && (ex.MaxCandidates <= 0 || len(out) < ex.MaxCandidates) {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		cur := h.pop()
 		if cur.Cost > ex.Cutoff {
 			break // heap is cost-ordered: everything else is too expensive
@@ -136,7 +148,7 @@ func (ex *Explorer) Explore(goal Goal) []Candidate {
 			h.push(next)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // quickSat prunes forks whose constraint pool is already unsatisfiable.

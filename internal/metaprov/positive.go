@@ -1,6 +1,7 @@
 package metaprov
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,17 @@ import (
 // or deletions; every candidate passes the rederivation guard before
 // being returned.
 func (ex *Explorer) RepairPositive(bad ndlog.Tuple, rec *provenance.Recorder) []Candidate {
+	out, _ := ex.RepairPositiveContext(context.Background(), bad, rec)
+	if ex.MaxCandidates > 0 && len(out) > ex.MaxCandidates {
+		out = out[:ex.MaxCandidates]
+	}
+	return out
+}
+
+// RepairPositiveContext is RepairPositive with cooperative cancellation
+// and no MaxCandidates truncation: the caller sees the full cost-ordered
+// list and decides (visibly) how many to keep.
+func (ex *Explorer) RepairPositiveContext(ctx context.Context, bad ndlog.Tuple, rec *provenance.Recorder) ([]Candidate, error) {
 	derivs := rec.DerivationsOf(bad)
 	var out []Candidate
 	seen := make(map[string]bool)
@@ -33,15 +45,15 @@ func (ex *Explorer) RepairPositive(bad ndlog.Tuple, rec *provenance.Recorder) []
 		out = append(out, c)
 	}
 	for _, d := range derivs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		for _, c := range ex.positiveForDerivation(bad, d, rec) {
 			add(c)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
-	if ex.MaxCandidates > 0 && len(out) > ex.MaxCandidates {
-		out = out[:ex.MaxCandidates]
-	}
-	return out
+	return out, nil
 }
 
 // positiveForDerivation enumerates single-element changes that disable one

@@ -1,14 +1,15 @@
 package scenarios
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/meta"
 	"repro/internal/metaprov"
 	"repro/internal/ndlog"
 	"repro/internal/pyretic"
 	"repro/internal/trema"
+	"repro/metarepair"
 )
 
 // LangProgram is a controller program as seen through one of the three
@@ -92,8 +93,9 @@ type LangOutcome struct {
 
 // RunWithLanguage executes the pipeline with the scenario's controller
 // expressed in the given language: candidates inexpressible in the
-// language are filtered before backtesting (the Table 3 experiment).
-func (s *Scenario) RunWithLanguage(lang Language) (*LangOutcome, error) {
+// language are filtered before backtesting via the session's candidate
+// filter (the Table 3 experiment).
+func (s *Scenario) RunWithLanguage(ctx context.Context, lang Language, extra ...metarepair.Option) (*LangOutcome, error) {
 	if !lang.Supports(s.Name) {
 		return &LangOutcome{
 			Outcome:  &Outcome{Scenario: s},
@@ -104,63 +106,31 @@ func (s *Scenario) RunWithLanguage(lang Language) (*LangOutcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: translate: %w", s.Name, lang.Name, err)
 	}
-	rec, replayTime, err := s.Diagnose()
+	sess, replayTime, err := s.Diagnose(extra...)
 	if err != nil {
 		return nil, err
 	}
-	ex, th := s.Explorer(rec)
-
-	genStart := time.Now()
-	all := ex.Explore(s.Goal)
-	genTotal := time.Since(genStart)
-
-	var cands []metaprov.Candidate
-	filtered := 0
-	for _, c := range all {
-		ok := true
-		for _, ch := range c.Changes {
-			if !lp.AllowChange(ch) {
-				ok = false
-				break
+	rep, err := sess.Repair(ctx, s.Symptom(), s.Backtest(),
+		metarepair.WithCandidateFilter(func(c metaprov.Candidate) bool {
+			for _, ch := range c.Changes {
+				if !lp.AllowChange(ch) {
+					return false
+				}
 			}
-		}
-		if ok {
-			cands = append(cands, c)
-		} else {
-			filtered++
-		}
-	}
-
-	btStart := time.Now()
-	results, err := s.Job(cands).RunShared()
+			return true
+		}))
 	if err != nil {
 		return nil, err
 	}
-	btTime := time.Since(btStart)
 
 	out := &LangOutcome{
-		Outcome: &Outcome{
-			Scenario:   s,
-			Recorder:   rec,
-			Candidates: cands,
-			Results:    results,
-			Generated:  len(cands),
-			Timing: Timing{
-				HistoryLookups:    th.elapsed,
-				ConstraintSolving: ex.SolveTime,
-				PatchGeneration:   genTotal - th.elapsed - ex.SolveTime,
-				Replay:            replayTime + btTime,
-			},
-		},
+		Outcome:   s.outcome(sess, rep, replayTime),
 		Language:  lang.Name,
-		Filtered:  filtered,
+		Filtered:  rep.Filtered,
 		Supported: true,
 		SourceLOC: lp.LineCount(),
 	}
-	for _, r := range results {
-		if r.Accepted {
-			out.Passed++
-		}
+	for _, r := range rep.Results {
 		desc := ""
 		for i, ch := range r.Candidate.Changes {
 			if i > 0 {

@@ -1,6 +1,7 @@
 package scenarios
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -66,11 +67,11 @@ func TestPyreticDisallowsEqualityOperatorChange(t *testing.T) {
 
 func TestCrossLanguageQ1(t *testing.T) {
 	s := Q1(smallScale())
-	tremaOut, err := s.RunWithLanguage(TremaLang())
+	tremaOut, err := s.RunWithLanguage(context.Background(), TremaLang())
 	if err != nil {
 		t.Fatalf("trema: %v", err)
 	}
-	pyreticOut, err := s.RunWithLanguage(PyreticLang())
+	pyreticOut, err := s.RunWithLanguage(context.Background(), PyreticLang())
 	if err != nil {
 		t.Fatalf("pyretic: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestCrossLanguageQ1(t *testing.T) {
 
 func TestPyreticQ4Unsupported(t *testing.T) {
 	s := Q4(smallScale())
-	out, err := s.RunWithLanguage(PyreticLang())
+	out, err := s.RunWithLanguage(context.Background(), PyreticLang())
 	if err != nil {
 		t.Fatal(err)
 	}

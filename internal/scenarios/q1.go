@@ -8,6 +8,7 @@ import (
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Q1 addresses: the load-balanced web service, its two backends, the DNS
@@ -124,10 +125,9 @@ func Q1(sc Scale) *Scenario {
 			return n.Hosts["q1h2"].PortCountFor(sdn.PortHTTP, tag) > 0
 		},
 		IntuitiveFix: "change constant 2 in r7 (sel/0/R) to 3",
-		Tune: func(ex *metaprov.Explorer) {
-			ex.Cutoff = 3.2
-			ex.MaxCandidates = 13
-			ex.MaxPerStructure = 2
+		Options: []metarepair.Option{
+			metarepair.WithBudget(metarepair.Budget{CostCutoff: 3.2, MaxPerStructure: 2}),
+			metarepair.WithMaxCandidates(13),
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Q2 addresses.
@@ -101,10 +102,9 @@ func Q2(sc Scale) *Scenario {
 			return n.Hosts["q2dns"].SrcCountFor(blocked, tag) > 0
 		},
 		IntuitiveFix: "change operator < to <= in d1",
-		Tune: func(ex *metaprov.Explorer) {
-			ex.Cutoff = 3.2
-			ex.MaxCandidates = 13
-			ex.MaxPerStructure = 3
+		Options: []metarepair.Option{
+			metarepair.WithBudget(metarepair.Budget{CostCutoff: 3.2, MaxPerStructure: 3}),
+			metarepair.WithMaxCandidates(13),
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Q3 addresses.
@@ -120,10 +121,10 @@ func Q3(sc Scale) *Scenario {
 			return n.Hosts["q3srv"].SrcCountFor(forgotten, tag) > 0
 		},
 		IntuitiveFix: "manually insert FwWhite(",
-		Tune: func(ex *metaprov.Explorer) {
-			ex.Cutoff = 4.2 // admits the white-list predicate deletion
-			ex.MaxCandidates = 13
-			ex.MaxPerStructure = 2
+		Options: []metarepair.Option{
+			// CostCutoff 4.2 admits the white-list predicate deletion.
+			metarepair.WithBudget(metarepair.Budget{CostCutoff: 4.2, MaxPerStructure: 2}),
+			metarepair.WithMaxCandidates(13),
 		},
 	}
 }

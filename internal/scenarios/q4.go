@@ -6,6 +6,7 @@ import (
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Q4 addresses.
@@ -90,10 +91,10 @@ func Q4(sc Scale) *Scenario {
 			return n.Hosts["q4srva"].SrcCountFor(probe, tag) > 0
 		},
 		IntuitiveFix: "add rule g1~PacketOut",
-		Tune: func(ex *metaprov.Explorer) {
-			ex.Cutoff = 6.2 // admits rule copies (cost 5)
-			ex.MaxCandidates = 13
-			ex.MaxPerStructure = 2
+		Options: []metarepair.Option{
+			// CostCutoff 6.2 admits rule copies (cost 5).
+			metarepair.WithBudget(metarepair.Budget{CostCutoff: 6.2, MaxPerStructure: 2}),
+			metarepair.WithMaxCandidates(13),
 		},
 		// Repairs that degenerate into per-packet forwarding (changing a
 		// forwarding rule's head to PacketOut) blow up controller load;

@@ -8,6 +8,7 @@ import (
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Q5 addresses: six peer hosts behind the learning switch.
@@ -123,10 +124,9 @@ func Q5(sc Scale) *Scenario {
 			return false
 		},
 		IntuitiveFix: "change * in m1 (assign/0) to Sip",
-		Tune: func(ex *metaprov.Explorer) {
-			ex.Cutoff = 3.2
-			ex.MaxCandidates = 14
-			ex.MaxPerStructure = 2
+		Options: []metarepair.Option{
+			metarepair.WithBudget(metarepair.Budget{CostCutoff: 3.2, MaxPerStructure: 2}),
+			metarepair.WithMaxCandidates(14),
 		},
 	}
 }

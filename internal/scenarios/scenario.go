@@ -5,21 +5,22 @@
 // controller program in a reactive zone attached to the Stanford-style
 // campus topology of §5.2, generates a workload in which the symptom
 // traffic is a small fraction of the total, and exposes the diagnostic
-// query as a missing-tuple goal plus an effectiveness predicate.
+// query as a missing-tuple goal plus an effectiveness predicate. The
+// pipeline itself runs through the metarepair.Session API.
 package scenarios
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/backtest"
-	"repro/internal/meta"
 	"repro/internal/metaprov"
 	"repro/internal/ndlog"
-	"repro/internal/provenance"
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/metarepair"
 )
 
 // Scale sizes a scenario: the campus switch count (19 reproduces the
@@ -52,30 +53,21 @@ type Scenario struct {
 	// IntuitiveFix is a substring of the repair a human operator would
 	// choose; it must be generated and accepted.
 	IntuitiveFix string
-	// Tune adjusts explorer bounds (cutoff etc.) per scenario, matching
-	// the paper's per-query cost bounds.
-	Tune func(*metaprov.Explorer)
+	// Options are the scenario's session options (search budget, candidate
+	// cap), matching the paper's per-query cost bounds.
+	Options []metarepair.Option
 	// MaxPacketInFactor enables the controller-load metric (Q4).
 	MaxPacketInFactor float64
 }
 
 // Timing is the Figure 9a turnaround breakdown.
-type Timing struct {
-	HistoryLookups    time.Duration
-	ConstraintSolving time.Duration
-	PatchGeneration   time.Duration
-	Replay            time.Duration
-}
-
-// Total sums the components.
-func (t Timing) Total() time.Duration {
-	return t.HistoryLookups + t.ConstraintSolving + t.PatchGeneration + t.Replay
-}
+type Timing = metarepair.Timing
 
 // Outcome is one end-to-end run: diagnose → generate → backtest.
 type Outcome struct {
 	Scenario   *Scenario
-	Recorder   *provenance.Recorder
+	Session    *metarepair.Session
+	Report     *metarepair.Report
 	Candidates []metaprov.Candidate
 	Results    []backtest.Result
 	Generated  int
@@ -83,31 +75,27 @@ type Outcome struct {
 	Timing     Timing
 }
 
-// timedHistory wraps the recorder to attribute history-lookup time.
-type timedHistory struct {
-	rec     *provenance.Recorder
-	elapsed time.Duration
+// sessionOptions merges scenario tuning with per-call extras.
+func (s *Scenario) sessionOptions(extra []metarepair.Option) []metarepair.Option {
+	opts := append([]metarepair.Option{}, s.Options...)
+	if s.MaxPacketInFactor > 0 {
+		opts = append(opts, metarepair.WithMaxPacketInFactor(s.MaxPacketInFactor))
+	}
+	return append(opts, extra...)
 }
 
-func (h *timedHistory) TuplesOf(table string) []ndlog.Tuple {
+// Diagnose replays the workload through the buggy program inside a fresh
+// repair session, recording provenance — the run in which the operator
+// observes the symptom. The returned session holds the history every
+// later pipeline stage consumes.
+func (s *Scenario) Diagnose(extra ...metarepair.Option) (*metarepair.Session, time.Duration, error) {
 	start := time.Now()
-	out := h.rec.TuplesOf(table)
-	h.elapsed += time.Since(start)
-	return out
-}
-
-// Diagnose replays the workload through the buggy program, recording
-// provenance — the run in which the operator observes the symptom.
-func (s *Scenario) Diagnose() (*provenance.Recorder, time.Duration, error) {
-	start := time.Now()
-	rec := provenance.NewRecorder()
-	eng, err := ndlog.NewEngine(s.Prog)
+	sess, err := metarepair.NewSession(s.Prog, s.sessionOptions(extra)...)
 	if err != nil {
 		return nil, 0, err
 	}
-	eng.Listen(rec)
 	net := s.BuildNet()
-	ctl := sdn.NewNDlogController(eng)
+	ctl := sess.Controller()
 	net.Ctrl = ctl
 	for _, st := range s.State {
 		ctl.InsertState(net, st)
@@ -116,70 +104,53 @@ func (s *Scenario) Diagnose() (*provenance.Recorder, time.Duration, error) {
 	if s.Effective != nil && s.Effective(net, ctl, 0) {
 		return nil, 0, fmt.Errorf("%s: bug not reproduced — symptom absent in buggy run", s.Name)
 	}
-	return rec, time.Since(start), nil
+	return sess, time.Since(start), nil
 }
 
-// Explorer builds the scenario's tuned explorer over recorded history.
-func (s *Scenario) Explorer(rec *provenance.Recorder) (*metaprov.Explorer, *timedHistory) {
-	th := &timedHistory{rec: rec}
-	ex := metaprov.NewExplorer(meta.NewModel(s.Prog), th)
-	if s.Tune != nil {
-		s.Tune(ex)
-	}
-	return ex, th
+// Symptom is the scenario's diagnostic query as a pipeline symptom.
+func (s *Scenario) Symptom() metarepair.Symptom {
+	return metarepair.Symptom{Goal: s.Goal}
 }
 
-// Job builds the backtesting job for a candidate set.
-func (s *Scenario) Job(cands []metaprov.Candidate) *backtest.Job {
-	return &backtest.Job{
-		Prog:              s.Prog,
-		Candidates:        cands,
-		BuildNet:          s.BuildNet,
-		State:             s.State,
-		Workload:          s.Workload,
-		Effective:         s.Effective,
-		MaxPacketInFactor: s.MaxPacketInFactor,
+// Backtest is the scenario's historical evidence for candidate
+// evaluation.
+func (s *Scenario) Backtest() metarepair.Backtest {
+	return metarepair.Backtest{
+		BuildNet:  s.BuildNet,
+		State:     s.State,
+		Workload:  s.Workload,
+		Effective: s.Effective,
 	}
 }
 
 // Run executes the full pipeline and collects the Figure 9a breakdown.
-func (s *Scenario) Run() (*Outcome, error) {
-	rec, replayTime, err := s.Diagnose()
+func (s *Scenario) Run(ctx context.Context, extra ...metarepair.Option) (*Outcome, error) {
+	sess, replayTime, err := s.Diagnose(extra...)
 	if err != nil {
 		return nil, err
 	}
-	ex, th := s.Explorer(rec)
-
-	genStart := time.Now()
-	cands := ex.Explore(s.Goal)
-	genTotal := time.Since(genStart)
-
-	btStart := time.Now()
-	results, err := s.Job(cands).RunShared()
+	rep, err := sess.Repair(ctx, s.Symptom(), s.Backtest())
 	if err != nil {
 		return nil, err
 	}
-	btTime := time.Since(btStart)
+	return s.outcome(sess, rep, replayTime), nil
+}
 
-	out := &Outcome{
+// outcome folds a report and the diagnostic replay time into the
+// scenario-level view.
+func (s *Scenario) outcome(sess *metarepair.Session, rep *metarepair.Report, replayTime time.Duration) *Outcome {
+	t := rep.Timing
+	t.Replay += replayTime
+	return &Outcome{
 		Scenario:   s,
-		Recorder:   rec,
-		Candidates: cands,
-		Results:    results,
-		Generated:  len(cands),
-		Timing: Timing{
-			HistoryLookups:    th.elapsed,
-			ConstraintSolving: ex.SolveTime,
-			PatchGeneration:   genTotal - th.elapsed - ex.SolveTime,
-			Replay:            replayTime + btTime,
-		},
+		Session:    sess,
+		Report:     rep,
+		Candidates: rep.Candidates,
+		Results:    rep.Results,
+		Generated:  len(rep.Candidates),
+		Passed:     rep.Accepted,
+		Timing:     t,
 	}
-	for _, r := range results {
-		if r.Accepted {
-			out.Passed++
-		}
-	}
-	return out, nil
 }
 
 // All returns the five scenarios at the given scale.

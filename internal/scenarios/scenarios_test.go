@@ -1,6 +1,7 @@
 package scenarios
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func smallScale() Scale { return Scale{Switches: 19, Flows: 700} }
 // the accepted ones.
 func runScenario(t *testing.T, s *Scenario) *Outcome {
 	t.Helper()
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatalf("%s: %v", s.Name, err)
 	}

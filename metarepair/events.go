@@ -1,0 +1,87 @@
+package metarepair
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one pipeline progress record. Unused fields are omitted from
+// the JSON encoding, so every event kind shares this envelope:
+//
+//	explore.start       Symptom
+//	explore.done        Candidates, Steps, Elapsed
+//	candidates.filtered Filtered (removed by a candidate filter)
+//	candidates.dropped  Dropped (removed by the candidate cap)
+//	backtest.start      Candidates, Batches, Parallelism, Strategy
+//	batch.done          Batch, Size, Elapsed
+//	suggestion          Index, Desc, Accepted, KS
+//	report              Candidates, Accepted, Elapsed
+type Event struct {
+	Time        time.Time `json:"time"`
+	Kind        string    `json:"kind"`
+	Symptom     string    `json:"symptom,omitempty"`
+	Candidates  int       `json:"candidates,omitempty"`
+	Steps       int       `json:"steps,omitempty"`
+	Filtered    int       `json:"filtered,omitempty"`
+	Dropped     int       `json:"dropped,omitempty"`
+	Batch       int       `json:"batch,omitempty"`
+	Batches     int       `json:"batches,omitempty"`
+	Size        int       `json:"size,omitempty"`
+	Parallelism int       `json:"parallelism,omitempty"`
+	Strategy    string    `json:"strategy,omitempty"`
+	Index       int       `json:"index,omitempty"`
+	Desc        string    `json:"desc,omitempty"`
+	Accepted    bool      `json:"accepted,omitempty"`
+	Passed      int       `json:"passed,omitempty"`
+	KS          float64   `json:"ks,omitempty"`
+	Elapsed     float64   `json:"elapsed_ms,omitempty"`
+}
+
+// EventSink receives pipeline progress events. Implementations must be
+// safe for concurrent Emit calls: batched backtesting emits from worker
+// goroutines.
+type EventSink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes one JSON object per event per line — the append-only
+// event-log idiom that keeps exploration and backtest progress observable
+// in production. It is safe for concurrent use.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink wraps a writer (a log file, a pipe, os.Stderr).
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit marshals and appends the event; marshal or write failures are
+// dropped — an observability sink must never fail the pipeline.
+func (s *JSONLSink) Emit(e Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(append(data, '\n'))
+}
+
+// sinkFunc adapts a function to the EventSink interface.
+type sinkFunc func(Event)
+
+func (f sinkFunc) Emit(e Event) { f(e) }
+
+// SinkFunc adapts a function to the EventSink interface.
+func SinkFunc(f func(Event)) EventSink { return sinkFunc(f) }
+
+// emit stamps and forwards an event when a sink is configured.
+func (o options) emit(e Event) {
+	if o.sink == nil {
+		return
+	}
+	e.Time = time.Now()
+	o.sink.Emit(e)
+}

@@ -1,0 +1,154 @@
+package metarepair
+
+import (
+	"repro/internal/backtest"
+	"repro/internal/metaprov"
+)
+
+// Strategy selects how a candidate set is backtested.
+type Strategy int
+
+const (
+	// StrategyParallel (the default) splits candidates into shared-run
+	// batches of at most the configured batch size and evaluates the
+	// batches concurrently on a worker pool.
+	StrategyParallel Strategy = iota
+	// StrategySerial runs the same batches one after another — the §4.4
+	// multi-query optimization without worker-pool concurrency.
+	StrategySerial
+	// StrategySequential replays each candidate in its own simulation
+	// (the upper curve of Figure 9b); used by ablation experiments.
+	StrategySequential
+)
+
+// String names the strategy for event logs.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySerial:
+		return "serial"
+	case StrategySequential:
+		return "sequential"
+	default:
+		return "parallel"
+	}
+}
+
+// Budget bounds the meta-provenance search (§3.5). Zero-valued fields
+// keep the explorer's paper-motivated defaults.
+type Budget struct {
+	// MaxDepth bounds recursive goal expansion (default 3).
+	MaxDepth int
+	// MaxSteps bounds total vertex expansions (default 60000).
+	MaxSteps int
+	// CostCutoff bounds total change cost (default cost.DefaultCutoff).
+	CostCutoff float64
+	// MaxHistTuples bounds historical tuples cited per predicate
+	// (default 16).
+	MaxHistTuples int
+	// MaxPerStructure caps candidates sharing a change structure
+	// (default 3).
+	MaxPerStructure int
+}
+
+func (b Budget) apply(ex *metaprov.Explorer) {
+	if b.MaxDepth > 0 {
+		ex.MaxDepth = b.MaxDepth
+	}
+	if b.MaxSteps > 0 {
+		ex.MaxSteps = b.MaxSteps
+	}
+	if b.CostCutoff > 0 {
+		ex.Cutoff = b.CostCutoff
+	}
+	if b.MaxHistTuples > 0 {
+		ex.MaxHistTuples = b.MaxHistTuples
+	}
+	if b.MaxPerStructure > 0 {
+		ex.MaxPerStructure = b.MaxPerStructure
+	}
+}
+
+// options is the resolved configuration for a session or one call.
+type options struct {
+	maxCandidates     int
+	alpha             float64
+	budget            Budget
+	coalesce          bool
+	parallelism       int
+	batchSize         int
+	strategy          Strategy
+	sink              EventSink
+	filter            func(metaprov.Candidate) bool
+	maxPacketInFactor float64
+}
+
+func defaultOptions() options {
+	return options{
+		maxCandidates: 64,
+		coalesce:      true,
+		batchSize:     backtest.MaxSharedCandidates,
+		strategy:      StrategyParallel,
+	}
+}
+
+func (o options) with(opts []Option) options {
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Option configures a Session or a single pipeline call. Options passed
+// to NewSession become the session defaults; options passed to Explore,
+// Evaluate, Stream, or Repair override them for that call only.
+type Option func(*options)
+
+// WithMaxCandidates caps how many repair candidates are carried into
+// backtesting (default 64). For missing-tuple symptoms this bounds the
+// forest search itself; for positive symptoms the full cost-ordered list
+// is generated and the surplus is dropped *visibly* — reported in
+// Report.Dropped and emitted as a "candidates.dropped" event — never
+// silently truncated. Zero or negative removes the cap.
+func WithMaxCandidates(n int) Option { return func(o *options) { o.maxCandidates = n } }
+
+// WithAlpha sets the KS significance level for the §4.3 disruption test
+// (default 0.05).
+func WithAlpha(alpha float64) Option { return func(o *options) { o.alpha = alpha } }
+
+// WithBudget bounds the meta-provenance search; zero-valued fields keep
+// the defaults.
+func WithBudget(b Budget) Option { return func(o *options) { o.budget = b } }
+
+// WithCoalesce toggles the §4.4 static-analysis optimization that merges
+// syntactically identical candidate rule copies in shared runs (default
+// true).
+func WithCoalesce(on bool) Option { return func(o *options) { o.coalesce = on } }
+
+// WithParallelism sets the worker-pool width for batched backtesting
+// (default: GOMAXPROCS via runtime.NumCPU).
+func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
+
+// WithBatchSize sets the per-shared-run candidate count (default and
+// maximum 63 — one shared run's tag space).
+func WithBatchSize(n int) Option { return func(o *options) { o.batchSize = n } }
+
+// WithStrategy selects the backtesting strategy (default
+// StrategyParallel).
+func WithStrategy(s Strategy) Option { return func(o *options) { o.strategy = s } }
+
+// WithEventSink streams pipeline progress events (exploration, batch
+// completion, suggestions) to the sink — see JSONLSink for a production
+// implementation.
+func WithEventSink(s EventSink) Option { return func(o *options) { o.sink = s } }
+
+// WithCandidateFilter drops candidates the predicate rejects before
+// backtesting (e.g. repairs inexpressible in a language front-end, the
+// Table 3 experiment); the count is reported in Report.Filtered.
+func WithCandidateFilter(keep func(metaprov.Candidate) bool) Option {
+	return func(o *options) { o.filter = keep }
+}
+
+// WithMaxPacketInFactor rejects candidates whose controller PacketIn load
+// exceeds this multiple of the baseline (the Q4 side-effect metric,
+// Table 6(c)); zero disables the check.
+func WithMaxPacketInFactor(f float64) Option { return func(o *options) { o.maxPacketInFactor = f } }

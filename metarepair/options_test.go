@@ -1,0 +1,84 @@
+package metarepair
+
+import (
+	"testing"
+
+	"repro/internal/backtest"
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+)
+
+func TestOptionDefaults(t *testing.T) {
+	o := defaultOptions()
+	if o.maxCandidates != 64 {
+		t.Errorf("maxCandidates = %d, want 64", o.maxCandidates)
+	}
+	if !o.coalesce {
+		t.Error("coalescing must default on (§4.4)")
+	}
+	if o.batchSize != backtest.MaxSharedCandidates {
+		t.Errorf("batchSize = %d, want %d", o.batchSize, backtest.MaxSharedCandidates)
+	}
+	if o.strategy != StrategyParallel {
+		t.Errorf("strategy = %v, want parallel", o.strategy)
+	}
+	if o.alpha != 0 || o.maxPacketInFactor != 0 || o.parallelism != 0 {
+		t.Error("alpha, packet-in factor, and parallelism must default to zero (engine defaults)")
+	}
+	if o.sink != nil || o.filter != nil {
+		t.Error("sink and filter must default nil")
+	}
+}
+
+func TestOptionOverridesDoNotMutateSession(t *testing.T) {
+	sess, err := NewSession(ndlog.MustParse("t",
+		`r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Prt := 2.`),
+		WithMaxCandidates(7), WithAlpha(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.opts.maxCandidates != 7 || sess.opts.alpha != 0.01 {
+		t.Fatalf("session options not applied: %+v", sess.opts)
+	}
+	// A per-call override is resolved on a copy.
+	o := sess.opts.with([]Option{WithMaxCandidates(3), WithStrategy(StrategySequential)})
+	if o.maxCandidates != 3 || o.strategy != StrategySequential || o.alpha != 0.01 {
+		t.Fatalf("per-call merge broken: %+v", o)
+	}
+	if sess.opts.maxCandidates != 7 || sess.opts.strategy != StrategyParallel {
+		t.Fatalf("per-call options leaked into the session: %+v", sess.opts)
+	}
+}
+
+func TestBudgetApplyKeepsDefaultsForZeroFields(t *testing.T) {
+	prog := ndlog.MustParse("t",
+		`r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Prt := 2.`)
+	ex := metaprov.NewExplorer(meta.NewModel(prog), nil)
+	def := *ex
+	Budget{}.apply(ex)
+	if ex.MaxDepth != def.MaxDepth || ex.MaxSteps != def.MaxSteps || ex.Cutoff != def.Cutoff ||
+		ex.MaxHistTuples != def.MaxHistTuples || ex.MaxPerStructure != def.MaxPerStructure {
+		t.Fatal("zero budget must keep explorer defaults")
+	}
+	Budget{MaxDepth: 5, CostCutoff: 9.5}.apply(ex)
+	if ex.MaxDepth != 5 || ex.Cutoff != 9.5 {
+		t.Fatal("non-zero budget fields not applied")
+	}
+	if ex.MaxSteps != def.MaxSteps || ex.MaxPerStructure != def.MaxPerStructure {
+		t.Fatal("unrelated fields overwritten")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[Strategy]string{
+		StrategyParallel:   "parallel",
+		StrategySerial:     "serial",
+		StrategySequential: "sequential",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

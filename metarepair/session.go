@@ -1,0 +1,396 @@
+// Package metarepair is the public surface of the meta-provenance
+// debugger: it ties the NDlog engine, provenance recorder, meta-provenance
+// explorer, repair generator, and backtesting engine into the staged
+// pipeline the paper describes (§2, §4.3–§4.4): the operator specifies an
+// observed problem, the debugger explores meta provenance for repair
+// candidates, backtests them against historical traffic, and returns a
+// ranked list of suggested repairs that fix the problem with few side
+// effects.
+//
+// The pipeline is context-aware (every long-running call takes a
+// context.Context), configured by functional options instead of mutable
+// struct fields, and streams incremental results: candidate sets larger
+// than one shared run's 63-tag space are split into batches backtested
+// concurrently on a worker pool, with per-suggestion verdicts delivered on
+// a channel as each batch completes.
+//
+// Typical use:
+//
+//	sess, _ := metarepair.NewSession(program)
+//	net := buildNetwork()
+//	net.Ctrl = sess.Controller()     // record control-plane history
+//	...run traffic...
+//	sym := metarepair.Missing("FlowTable", metarepair.Pin(3), nil, nil, nil, metarepair.Pin(80), metarepair.Pin(2))
+//	report, _ := sess.Repair(ctx, sym, metarepair.Backtest{BuildNet: buildNetwork, Workload: wl, Effective: fixed})
+//	for _, s := range report.Suggestions { fmt.Println(s) }
+//
+// For incremental consumption use Stream, which returns a Run whose
+// Suggestions channel yields verdicts as batches finish.
+package metarepair
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/backtest"
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+// Session wires a controller program to the provenance and repair
+// machinery. A session is created once per program; its controller is
+// attached to the live network so control-plane history is recorded, and
+// its pipeline methods answer diagnostic queries over that history.
+type Session struct {
+	prog   *ndlog.Program
+	engine *ndlog.Engine
+	rec    *provenance.Recorder
+	ctl    *sdn.NDlogController
+	opts   options
+}
+
+// NewSession compiles the program, attaches a provenance recorder, and
+// applies the session-default options.
+func NewSession(prog *ndlog.Program, opts ...Option) (*Session, error) {
+	eng, err := ndlog.NewEngine(prog)
+	if err != nil {
+		return nil, err
+	}
+	rec := provenance.NewRecorder()
+	eng.Listen(rec)
+	return &Session{
+		prog:   prog,
+		engine: eng,
+		rec:    rec,
+		ctl:    sdn.NewNDlogController(eng),
+		opts:   defaultOptions().with(opts),
+	}, nil
+}
+
+// Program returns the controller program under diagnosis.
+func (s *Session) Program() *ndlog.Program { return s.prog }
+
+// Controller returns the SDN controller backed by the session's engine;
+// attach it to a Network so control-plane history is recorded.
+func (s *Session) Controller() *sdn.NDlogController { return s.ctl }
+
+// Recorder exposes the provenance recorder (historical tuples,
+// derivations).
+func (s *Session) Recorder() *provenance.Recorder { return s.rec }
+
+// Explain returns the classic provenance explanation for a tuple (§2.2).
+func (s *Session) Explain(t ndlog.Tuple) *provenance.Vertex {
+	return s.rec.Explain(t)
+}
+
+// ExplainMissing returns the negative provenance explanation (§2.2).
+func (s *Session) ExplainMissing(table string, filter []*ndlog.Value) *provenance.Vertex {
+	return s.rec.ExplainMissing(s.prog, table, filter)
+}
+
+// Symptom describes the observed problem: either a missing tuple (Goal)
+// or an unwanted existing tuple (Present).
+type Symptom struct {
+	Goal    metaprov.Goal
+	Present *ndlog.Tuple
+}
+
+// String names the symptom for event logs.
+func (sym Symptom) String() string {
+	if sym.Present != nil {
+		return "present " + sym.Present.String()
+	}
+	if sym.Goal.Table != "" {
+		return "missing " + sym.Goal.String()
+	}
+	return "empty"
+}
+
+// Missing builds a missing-tuple symptom; nil entries are unconstrained.
+func Missing(table string, args ...*ndlog.Value) Symptom {
+	return Symptom{Goal: metaprov.PinnedGoal(table, args...)}
+}
+
+// Present builds an unwanted-tuple symptom.
+func Present(t ndlog.Tuple) Symptom { return Symptom{Present: &t} }
+
+// Pin is a helper to build pinned symptom arguments.
+func Pin(v int64) *ndlog.Value {
+	x := ndlog.Int(v)
+	return &x
+}
+
+// Backtest describes the historical evidence a candidate set is evaluated
+// against (§4.3): how to rebuild the network, the controller state and
+// recorded workload to replay, and the per-tag effectiveness check.
+type Backtest struct {
+	// BuildNet constructs a fresh network (topology + proactive state, no
+	// controller attached). It must be safe to call concurrently: the
+	// parallel strategy builds one network per in-flight batch.
+	BuildNet func() *sdn.Network
+	// State are controller tuples inserted before traffic (policy tables).
+	State []ndlog.Tuple
+	// Workload is the recorded packet trace to replay.
+	Workload []trace.Entry
+	// Effective decides whether the symptom is fixed for a tag in the
+	// replayed network.
+	Effective func(net *sdn.Network, ctl *sdn.NDlogController, tag int) bool
+}
+
+// Exploration is the outcome of the candidate-generation stage.
+type Exploration struct {
+	Symptom     Symptom
+	Explanation *provenance.Vertex
+	// Candidates are the repairs carried into backtesting, in cost order.
+	Candidates []metaprov.Candidate
+	// Generated counts candidates before any filter or cap; Filtered and
+	// Dropped account for every candidate not in Candidates.
+	Generated int
+	Filtered  int
+	Dropped   int
+	// Steps counts vertex expansions (the Figure 9 evaluation metric).
+	Steps int
+
+	historyTime time.Duration
+	solveTime   time.Duration
+	genTime     time.Duration
+}
+
+// timedHistory wraps the recorder to attribute history-lookup time (the
+// Figure 9a breakdown).
+type timedHistory struct {
+	rec     *provenance.Recorder
+	elapsed time.Duration
+}
+
+func (h *timedHistory) TuplesOf(table string) []ndlog.Tuple {
+	start := time.Now()
+	out := h.rec.TuplesOf(table)
+	h.elapsed += time.Since(start)
+	return out
+}
+
+// Explore runs the meta-provenance search for the symptom and returns the
+// cost-ordered candidate set (§3.5) without backtesting it — the first
+// pipeline stage, separated so experiments can measure or ablate it.
+func (s *Session) Explore(ctx context.Context, sym Symptom, extra ...Option) (*Exploration, error) {
+	return s.explore(ctx, sym, s.opts.with(extra))
+}
+
+func (s *Session) explore(ctx context.Context, sym Symptom, o options) (*Exploration, error) {
+	th := &timedHistory{rec: s.rec}
+	ex := metaprov.NewExplorer(meta.NewModel(s.prog), th)
+	o.budget.apply(ex)
+
+	o.emit(Event{Kind: "explore.start", Symptom: sym.String()})
+	start := time.Now()
+	expl := &Exploration{Symptom: sym}
+	var cands []metaprov.Candidate
+	var err error
+	switch {
+	case sym.Present != nil:
+		expl.Explanation = s.rec.Explain(*sym.Present)
+		cands, err = ex.RepairPositiveContext(ctx, *sym.Present, s.rec)
+	case sym.Goal.Table != "":
+		expl.Explanation = s.rec.ExplainMissing(s.prog, sym.Goal.Table, nil)
+		// The candidate cap bounds the forest search itself here: the
+		// search is cost-ordered, so stopping at N keeps the N cheapest.
+		ex.MaxCandidates = o.maxCandidates
+		cands, err = ex.ExploreContext(ctx, sym.Goal)
+	default:
+		return nil, errors.New("metarepair: empty symptom")
+	}
+	if err != nil {
+		return nil, err
+	}
+	expl.Generated = len(cands)
+	if o.filter != nil {
+		kept := make([]metaprov.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if o.filter(c) {
+				kept = append(kept, c)
+			}
+		}
+		expl.Filtered = len(cands) - len(kept)
+		cands = kept
+		if expl.Filtered > 0 {
+			o.emit(Event{Kind: "candidates.filtered", Filtered: expl.Filtered})
+		}
+	}
+	if o.maxCandidates > 0 && len(cands) > o.maxCandidates {
+		// Candidates arrive in cost order, so the cap keeps the most
+		// plausible repairs — and the drop is reported, never silent.
+		expl.Dropped = len(cands) - o.maxCandidates
+		cands = cands[:o.maxCandidates]
+		o.emit(Event{Kind: "candidates.dropped", Dropped: expl.Dropped})
+	}
+	expl.Candidates = cands
+	expl.Steps = ex.Steps
+	expl.historyTime = th.elapsed
+	expl.solveTime = ex.SolveTime
+	expl.genTime = time.Since(start)
+	o.emit(Event{Kind: "explore.done", Candidates: len(cands), Steps: ex.Steps,
+		Elapsed: ms(expl.genTime)})
+	return expl, nil
+}
+
+// Evaluate backtests a candidate set against the historical evidence and
+// returns a streaming Run. Under the default parallel strategy the set is
+// split into shared-run batches of at most the configured batch size
+// (63), evaluated concurrently on a worker pool; each batch's verdicts
+// are delivered on the Run's Suggestions channel as it completes.
+func (s *Session) Evaluate(ctx context.Context, cands []metaprov.Candidate, bt Backtest, extra ...Option) (*Run, error) {
+	o := s.opts.with(extra)
+	if bt.BuildNet == nil {
+		return nil, errors.New("metarepair: Backtest.BuildNet is required")
+	}
+	expl := &Exploration{Generated: len(cands), Candidates: cands}
+	if o.filter != nil {
+		kept := make([]metaprov.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if o.filter(c) {
+				kept = append(kept, c)
+			}
+		}
+		expl.Filtered = len(cands) - len(kept)
+		expl.Candidates = kept
+		if expl.Filtered > 0 {
+			o.emit(Event{Kind: "candidates.filtered", Filtered: expl.Filtered})
+		}
+	}
+	return s.evaluate(ctx, expl, expl.Candidates, bt, o), nil
+}
+
+// Stream runs the full pipeline — explore, then batched-parallel backtest
+// — returning as soon as exploration finishes; per-suggestion verdicts
+// stream on the Run's channel and Wait returns the final ranked Report.
+func (s *Session) Stream(ctx context.Context, sym Symptom, bt Backtest, extra ...Option) (*Run, error) {
+	o := s.opts.with(extra)
+	if bt.BuildNet == nil {
+		return nil, errors.New("metarepair: Backtest.BuildNet is required")
+	}
+	expl, err := s.explore(ctx, sym, o)
+	if err != nil {
+		return nil, err
+	}
+	return s.evaluate(ctx, expl, expl.Candidates, bt, o), nil
+}
+
+// Repair is the blocking convenience wrapper: Stream plus Wait.
+func (s *Session) Repair(ctx context.Context, sym Symptom, bt Backtest, extra ...Option) (*Report, error) {
+	run, err := s.Stream(ctx, sym, bt, extra...)
+	if err != nil {
+		return nil, err
+	}
+	return run.Wait()
+}
+
+// evaluate starts the backtesting stage in the background and returns its
+// Run handle. expl may be nil when the caller supplies candidates
+// directly.
+func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metaprov.Candidate, bt Backtest, o options) *Run {
+	run := &Run{
+		suggestions: make(chan Suggestion, len(cands)),
+		done:        make(chan struct{}),
+	}
+	job := &backtest.Job{
+		Prog:              s.prog,
+		Candidates:        cands,
+		BuildNet:          bt.BuildNet,
+		State:             bt.State,
+		Workload:          bt.Workload,
+		Effective:         bt.Effective,
+		Alpha:             o.alpha,
+		MaxPacketInFactor: o.maxPacketInFactor,
+		SkipCoalesce:      !o.coalesce,
+	}
+	batchSize := o.batchSize
+	if batchSize <= 0 || batchSize > backtest.MaxSharedCandidates {
+		batchSize = backtest.MaxSharedCandidates
+	}
+	// Sequential evaluation has no shared runs: everything is one "batch".
+	batches := (len(cands) + batchSize - 1) / batchSize
+	batchOf := func(i int) int { return i / batchSize }
+	if o.strategy == StrategySequential {
+		if len(cands) > 0 {
+			batches = 1
+		}
+		batchOf = func(int) int { return 0 }
+	}
+
+	go func() {
+		defer close(run.done)
+		defer close(run.suggestions)
+		start := time.Now()
+		o.emit(Event{Kind: "backtest.start", Candidates: len(cands), Batches: batches,
+			Parallelism: o.parallelism, Strategy: o.strategy.String()})
+
+		stream := func(b backtest.Batch) {
+			o.emit(Event{Kind: "batch.done", Batch: b.Index, Size: len(b.Results),
+				Elapsed: ms(time.Since(start))})
+			for i, res := range b.Results {
+				idx := b.Start + i
+				run.suggestions <- Suggestion{
+					Rank: idx + 1, Index: idx, Batch: b.Index,
+					Candidate: cands[idx], Result: res,
+				}
+				o.emit(Event{Kind: "suggestion", Index: idx, Desc: res.Candidate.Describe(),
+					Accepted: res.Accepted, KS: res.KS})
+			}
+		}
+
+		var results []backtest.Result
+		var err error
+		switch o.strategy {
+		case StrategySequential:
+			results, err = job.RunSequentialContext(ctx)
+			if err == nil {
+				stream(backtest.Batch{Index: 0, Start: 0, Results: results})
+			}
+		case StrategySerial:
+			results, err = job.RunBatched(ctx, 1, batchSize, stream)
+		default:
+			results, err = job.RunBatched(ctx, o.parallelism, batchSize, stream)
+		}
+		if err != nil {
+			run.err = err
+			return
+		}
+
+		rep := &Report{
+			Results:    results,
+			Candidates: cands,
+			Generated:  len(cands),
+			Batches:    batches,
+			Timing:     Timing{Replay: time.Since(start)},
+		}
+		if expl != nil {
+			rep.Explanation = expl.Explanation
+			rep.Generated = expl.Generated
+			rep.Filtered = expl.Filtered
+			rep.Dropped = expl.Dropped
+			rep.Steps = expl.Steps
+			rep.Timing.HistoryLookups = expl.historyTime
+			rep.Timing.ConstraintSolving = expl.solveTime
+			rep.Timing.PatchGeneration = expl.genTime - expl.historyTime - expl.solveTime
+		}
+		for i, res := range results {
+			rep.Suggestions = append(rep.Suggestions, Suggestion{
+				Index: i, Batch: batchOf(i), Candidate: cands[i], Result: res,
+			})
+		}
+		rep.rank()
+		run.report = rep
+		o.emit(Event{Kind: "report", Candidates: len(cands), Passed: rep.Accepted,
+			Elapsed: ms(time.Since(start))})
+	}()
+	return run
+}
+
+// ms converts a duration to fractional milliseconds for event logs.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
