@@ -17,6 +17,8 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/scenarios"
 	"repro/internal/solver"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/metarepair"
 )
 
@@ -176,6 +178,46 @@ func BenchmarkBatchedBacktest(b *testing.B) {
 	}
 }
 
+// BenchmarkReplaySource compares in-memory slice replay against
+// streaming replay from the segmented on-disk trace store (binary §5.4
+// records): the storage layer's cost for the O(segment)-memory replay
+// path that removes the workload-size ceiling.
+func BenchmarkReplaySource(b *testing.B) {
+	s := scenarios.Q1(benchScale())
+	wl := s.Workload
+	st, err := tracestore.Open(b.TempDir(), tracestore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(wl...); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net := s.BuildNet()
+			if n := trace.Replay(net, wl, 1); n != len(wl) {
+				b.Fatalf("replayed %d of %d", n, len(wl))
+			}
+		}
+	})
+	b.Run("Disk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net := s.BuildNet()
+			n, err := trace.ReplaySource(net, st.Source(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != len(wl) {
+				b.Fatalf("replayed %d of %d", n, len(wl))
+			}
+		}
+	})
+}
+
 // BenchmarkFigure9c_NetworkScalability regenerates Figure 9c: Q1
 // turnaround as the campus grows from 19 to 169 switches.
 func BenchmarkFigure9c_NetworkScalability(b *testing.B) {
@@ -250,13 +292,13 @@ func benchStress(prog *ndlog.Program, withProv bool) (any, error) {
 	return eng, nil
 }
 
-// BenchmarkStorage_LogRate measures the §5.4 logging rate (120-byte
-// records per packet).
+// BenchmarkStorage_LogRate measures the §5.4 logging rate (fixed-width
+// binary records per packet, via the trace codec's accounting).
 func BenchmarkStorage_LogRate(b *testing.B) {
 	var rate float64
 	for i := 0; i < b.N; i++ {
 		s := scenarios.Q1(benchScale())
-		rate = float64(len(s.Workload)) * 120
+		rate = float64(trace.Bytes(s.Workload))
 	}
 	b.ReportMetric(rate, "bytes/run")
 }

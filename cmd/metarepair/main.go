@@ -1,45 +1,206 @@
-// Command metarepair runs one diagnostic scenario end to end: it replays
-// the workload through the buggy controller, builds meta provenance for
-// the operator's query, generates repair candidates in cost order,
-// backtests them in batched-parallel shared runs against historical
-// traffic, and prints the ranked suggestions — the paper's §2 workflow as
-// a CLI over the metarepair.Session API.
+// Command metarepair runs the paper's §2 workflow as a CLI over the
+// metarepair.Session API, now with a durable trace log underneath:
 //
-// Usage:
-//
-//	metarepair -scenario Q1 [-switches 19] [-flows 900]
+//	metarepair [run] -scenario Q1 [-switches 19] [-flows 900]
 //	           [-lang RapidNet|Trema|Pyretic] [-parallelism N]
 //	           [-timeout 2m] [-events progress.jsonl] [-v]
+//	  run one diagnostic scenario end to end: replay the workload through
+//	  the buggy controller, build meta provenance, generate candidates,
+//	  backtest them in batched-parallel shared runs, print the ranking.
 //
-// -events streams pipeline progress (exploration, batch completion,
-// per-candidate verdicts) as JSONL to the given file; "-" writes to
-// stderr. -timeout cancels the whole pipeline via context.
+//	metarepair capture -dir ./q1.trace -scenario Q1 [-format binary|jsonl]
+//	           [-segment-entries N] [-segment-bytes B]
+//	  record the scenario's traffic into a segmented on-disk trace store
+//	  via the live capture hook (one §5.4 log record per packet).
+//
+//	metarepair trace ls -dir ./q1.trace
+//	  list the store's segments: entries, real bytes, time range, hosts.
+//
+//	metarepair replay -dir ./q1.trace -scenario Q1 [-from T] [-to T] ...
+//	  run the same pipeline but stream the backtest workload out of the
+//	  store (optionally a time window of it) instead of memory.
+//
+// -events streams pipeline progress — including capture.done and
+// replay.open — as JSONL to the given file; "-" writes to stderr.
+// -timeout cancels the whole pipeline via context.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/scenarios"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/metarepair"
 )
 
 func main() {
-	var (
-		name     = flag.String("scenario", "Q1", "scenario to run (Q1..Q5)")
-		switches = flag.Int("switches", 19, "campus switch count (19..169)")
-		flows    = flag.Int("flows", 900, "workload flow count")
-		lang     = flag.String("lang", "RapidNet", "controller language front-end (RapidNet, Trema, Pyretic)")
-		par      = flag.Int("parallelism", 0, "backtest worker-pool width (0 = all cores)")
-		timeout  = flag.Duration("timeout", 0, "cancel the pipeline after this long (0 = no limit)")
-		events   = flag.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
-		verbose  = flag.Bool("v", false, "print the candidate meta-provenance tree of the best repair")
-	)
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "run":
+		runScenario(args)
+	case "capture":
+		runCapture(args)
+	case "trace":
+		if len(args) == 0 || args[0] != "ls" {
+			fmt.Fprintln(os.Stderr, "usage: metarepair trace ls -dir <store>")
+			os.Exit(2)
+		}
+		runTraceLs(args[1:])
+	case "replay":
+		runReplay(args)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q (want run, capture, trace ls, or replay)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+// scenarioFlags are the flags shared by run, capture, and replay.
+type scenarioFlags struct {
+	fs       *flag.FlagSet
+	name     *string
+	switches *int
+	flows    *int
+}
+
+func newScenarioFlags(cmd string) scenarioFlags {
+	fs := flag.NewFlagSet("metarepair "+cmd, flag.ExitOnError)
+	return scenarioFlags{
+		fs:       fs,
+		name:     fs.String("scenario", "Q1", "scenario to run (Q1..Q5)"),
+		switches: fs.Int("switches", 19, "campus switch count (19..169)"),
+		flows:    fs.Int("flows", 900, "workload flow count"),
+	}
+}
+
+func (sf scenarioFlags) scenario() *scenarios.Scenario {
+	sc := scenarios.Scale{Switches: *sf.switches, Flows: *sf.flows}
+	s := scenarios.ByName(*sf.name, sc)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (want Q1..Q5)\n", *sf.name)
+		os.Exit(2)
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	os.Exit(1)
+}
+
+// runCapture replays the scenario's traffic through a capture-hooked
+// network, appending every injected packet to the store.
+func runCapture(args []string) {
+	sf := newScenarioFlags("capture")
+	dir := sf.fs.String("dir", "", "trace store directory (required)")
+	format := sf.fs.String("format", "binary", "record codec: binary (120-byte §5.4 records) or jsonl")
+	segEntries := sf.fs.Int("segment-entries", 0, "rotate segments after this many records (0 = default)")
+	segBytes := sf.fs.Int64("segment-bytes", 0, "rotate segments after this many bytes (0 = default)")
+	sf.fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "capture: -dir is required")
+		os.Exit(2)
+	}
+	codec, err := tracestore.CodecByName(*format)
+	if err != nil {
+		fail(err)
+	}
+	s := sf.scenario()
+	st, err := tracestore.Open(*dir, tracestore.Options{
+		Codec: codec, SegmentEntries: *segEntries, SegmentBytes: *segBytes,
+	})
+	if err != nil {
+		fail(err)
+	}
+	net := s.BuildNet()
+	rec := tracestore.NewRecorder(st)
+	net.Capture = rec
+	injected := trace.Replay(net, s.Workload, 1)
+	if err := rec.Err(); err != nil {
+		fail(err)
+	}
+	if err := st.Close(); err != nil {
+		fail(err)
+	}
+	stats := st.Stats()
+	fmt.Printf("captured %d packets of scenario %s into %s (%s codec)\n",
+		injected, s.Name, *dir, codec.Name())
+	fmt.Printf("%d segment(s), %d entries, %d bytes on disk\n",
+		stats.Segments, stats.Entries, stats.Bytes)
+}
+
+// runTraceLs lists a store's segments from their sidecar indexes.
+func runTraceLs(args []string) {
+	fs := flag.NewFlagSet("metarepair trace ls", flag.ExitOnError)
+	dir := fs.String("dir", "", "trace store directory (required)")
+	format := fs.String("format", "binary", "record codec the store was written with")
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "trace ls: -dir is required")
+		os.Exit(2)
+	}
+	codec, err := tracestore.CodecByName(*format)
+	if err != nil {
+		fail(err)
+	}
+	st, err := tracestore.Open(*dir, tracestore.Options{Codec: codec})
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+	fmt.Printf("%-14s %10s %12s %12s %12s %7s\n",
+		"SEGMENT", "ENTRIES", "BYTES", "MIN-TIME", "MAX-TIME", "HOSTS")
+	for _, si := range st.Segments() {
+		hosts := fmt.Sprintf("%d", len(si.Hosts))
+		if si.HostsOverflow {
+			// Past the index bound the exact count is not recorded.
+			hosts = fmt.Sprintf(">%d", tracestore.MaxIndexedHosts)
+		}
+		fmt.Printf("seg-%08d   %10d %12d %12d %12d %7s\n",
+			si.ID, si.Entries, si.Bytes, si.MinTime, si.MaxTime, hosts)
+	}
+	stats := st.Stats()
+	fmt.Printf("total: %d segment(s), %d entries, %d bytes, time [%d, %d]\n",
+		stats.Segments, stats.Entries, stats.Bytes, stats.MinTime, stats.MaxTime)
+}
+
+// runReplay is runScenario with the backtest workload streamed from a
+// captured store instead of memory.
+func runReplay(args []string) {
+	runPipeline("replay", args)
+}
+
+func runScenario(args []string) {
+	runPipeline("run", args)
+}
+
+func runPipeline(cmd string, args []string) {
+	sf := newScenarioFlags(cmd)
+	lang := sf.fs.String("lang", "RapidNet", "controller language front-end (RapidNet, Trema, Pyretic)")
+	par := sf.fs.Int("parallelism", 0, "backtest worker-pool width (0 = all cores)")
+	timeout := sf.fs.Duration("timeout", 0, "cancel the pipeline after this long (0 = no limit)")
+	events := sf.fs.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
+	verbose := sf.fs.Bool("v", false, "print the candidate meta-provenance tree of the best repair")
+	var dir, format *string
+	var from, to *int64
+	if cmd == "replay" {
+		dir = sf.fs.String("dir", "", "trace store directory to replay from (required)")
+		format = sf.fs.String("format", "binary", "record codec the store was written with")
+		from = sf.fs.Int64("from", math.MinInt64, "replay only records with Time >= from")
+		to = sf.fs.Int64("to", math.MaxInt64, "replay only records with Time <= to")
+	}
+	sf.fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -49,12 +210,7 @@ func main() {
 		defer cancel()
 	}
 
-	sc := scenarios.Scale{Switches: *switches, Flows: *flows}
-	s := scenarios.ByName(*name, sc)
-	if s == nil {
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (want Q1..Q5)\n", *name)
-		os.Exit(2)
-	}
+	s := sf.scenario()
 
 	var language scenarios.Language
 	for _, l := range scenarios.Languages() {
@@ -76,8 +232,7 @@ func main() {
 		if *events != "-" {
 			f, err := os.Create(*events)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "events: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 			defer f.Close()
 			w = f
@@ -85,15 +240,41 @@ func main() {
 		opts = append(opts, metarepair.WithEventSink(metarepair.NewJSONLSink(w)))
 	}
 
+	workload := fmt.Sprintf("%d packets of history", len(s.Workload))
+	if cmd == "replay" {
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "replay: -dir is required (run `metarepair capture` first)")
+			os.Exit(2)
+		}
+		codec, err := tracestore.CodecByName(*format)
+		if err != nil {
+			fail(err)
+		}
+		st, err := tracestore.Open(*dir, tracestore.Options{Codec: codec})
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		// The store becomes the scenario's workload — diagnosis and
+		// backtesting both stream this windowed view (an explicit
+		// Backtest.Source outranks the session-store option, so no
+		// WithTraceStore is needed here).
+		s.Source = st.Source().Window(*from, *to)
+		workload = fmt.Sprintf("%d entries in %d on-disk segment(s) (%d bytes)",
+			stats.Entries, stats.Segments, stats.Bytes)
+		if *from != math.MinInt64 || *to != math.MaxInt64 {
+			workload += fmt.Sprintf(", window [%d, %d]", *from, *to)
+		}
+	}
+
 	fmt.Printf("scenario %s: %s\n", s.Name, s.Query)
-	fmt.Printf("language %s, %d switches, %d packets of history\n\n",
-		language.Name, *switches, len(s.Workload))
+	fmt.Printf("language %s, %d switches, %s\n\n", language.Name, *sf.switches, workload)
 
 	start := time.Now()
 	out, err := s.RunWithLanguage(ctx, language, opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if !out.Supported {
 		fmt.Printf("scenario %s is not reproducible in %s (see §5.8)\n", s.Name, language.Name)

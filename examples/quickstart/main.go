@@ -11,10 +11,12 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/ndlog"
 	"repro/internal/sdn"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/metarepair"
 )
 
@@ -63,30 +65,61 @@ func workload() []trace.Entry {
 func main() {
 	ctx := context.Background()
 	prog := ndlog.MustParse("quickstart", buggyProgram)
-	sess, err := metarepair.NewSession(prog)
+
+	// A durable trace store holds the historical traffic: the live run
+	// captures every packet into segmented §5.4 log records, and the
+	// backtest streams them back out — replay memory is O(segment), so
+	// the same code handles traces far larger than RAM.
+	dir, err := os.MkdirTemp("", "quickstart-trace-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := tracestore.Open(dir, tracestore.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	sess, err := metarepair.NewSession(prog, metarepair.WithTraceStore(store))
 	if err != nil {
 		panic(err)
 	}
 
-	// Run the network with the session's controller attached; the
-	// provenance recorder captures everything the pipeline will need.
+	// Run the network with the session's controller attached and the
+	// capture hook recording: the provenance recorder captures the
+	// control plane, the trace store the data plane.
 	net := buildNet()
 	net.Ctrl = sess.Controller()
+	stopCapture, err := sess.Capture(net)
+	if err != nil {
+		panic(err)
+	}
 	wl := workload()
-	trace.Replay(net, wl, 1)
+	if n := trace.Replay(net, wl, 1); n != len(wl) {
+		panic(fmt.Sprintf("partial replay: %d of %d", n, len(wl)))
+	}
+	captured, err := stopCapture()
+	if err != nil {
+		panic(err)
+	}
+	stats := store.Stats()
+	fmt.Printf("captured %d packets into %d on-disk segment(s) (%d bytes)\n",
+		captured, stats.Segments, stats.Bytes)
 
 	h2 := net.Hosts["h2"]
 	fmt.Printf("symptom: backup server h2 received %d HTTP packets (primary: %d)\n\n",
 		h2.PortCountFor(sdn.PortHTTP, 0), net.Hosts["h1"].PortCountFor(sdn.PortHTTP, 0))
 
 	// The operator's query: why is there no flow entry at switch 3
-	// forwarding HTTP to port 2? Stream suggestions as the backtest's
-	// shared-run batches complete, then print the final ranked report.
+	// forwarding HTTP to port 2? The backtest workload comes from the
+	// store (no Workload slice — the session streams the captured log).
+	// Stream suggestions as the backtest's shared-run batches complete,
+	// then print the final ranked report.
 	sym := metarepair.Missing("FlowTable",
 		metarepair.Pin(3), nil, nil, nil, metarepair.Pin(80), metarepair.Pin(2))
 	run, err := sess.Stream(ctx, sym, metarepair.Backtest{
 		BuildNet: buildNet,
-		Workload: wl,
 		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
 			return n.Hosts["h2"].PortCountFor(sdn.PortHTTP, tag) > 0
 		},

@@ -38,8 +38,14 @@ type Job struct {
 	BuildNet func() *sdn.Network
 	// State are controller tuples inserted before traffic (policy tables).
 	State []ndlog.Tuple
-	// Workload is the recorded packet trace to replay.
+	// Workload is the recorded packet trace to replay, as an in-memory
+	// slice — the compatibility adapter. Source takes precedence.
 	Workload []trace.Entry
+	// Source streams the recorded workload (e.g. from a segmented
+	// on-disk trace store); replay memory is then independent of trace
+	// length. Sources are re-scanned once per simulation, so they must
+	// be rewindable (every tracestore view is).
+	Source trace.Source
 	// Effective decides whether the symptom is fixed for a tag in the
 	// replayed network (e.g. "H2 received HTTP traffic"). The controller
 	// is exposed so checks can inspect controller state (Q5's learning
@@ -89,9 +95,18 @@ func (j *Job) alpha() float64 {
 	return 0.05
 }
 
+// workloadSource resolves the streaming source: an explicit Source wins,
+// otherwise the in-memory slice is adapted.
+func (j *Job) workloadSource() trace.Source {
+	if j.Source != nil {
+		return j.Source
+	}
+	return trace.SliceSource(j.Workload)
+}
+
 // runOne replays the workload through one program variant and returns the
 // resulting network and controller (tag 0 carries the variant).
-func (j *Job) runOne(prog *ndlog.Program, inserts, deletes []ndlog.Tuple) (*sdn.Network, *sdn.NDlogController) {
+func (j *Job) runOne(prog *ndlog.Program, inserts, deletes []ndlog.Tuple) (*sdn.Network, *sdn.NDlogController, error) {
 	net := j.BuildNet()
 	eng := ndlog.MustNewEngine(prog)
 	ctl := sdn.NewNDlogController(eng)
@@ -109,15 +124,20 @@ func (j *Job) runOne(prog *ndlog.Program, inserts, deletes []ndlog.Tuple) (*sdn.
 	for _, ins := range inserts {
 		ctl.InsertState(net, ins)
 	}
-	trace.Replay(net, j.Workload, 1)
-	return net, ctl
+	if _, err := trace.ReplaySource(net, j.workloadSource(), 1); err != nil {
+		return nil, nil, fmt.Errorf("backtest: replaying workload: %w", err)
+	}
+	return net, ctl, nil
 }
 
 // Baseline replays the unmodified program and returns its per-host
 // delivery distribution and controller PacketIn count.
-func (j *Job) Baseline() ([]int64, int64) {
-	net, _ := j.runOne(j.Prog, nil, nil)
-	return net.Distribution(0), net.PacketInsByTag[0]
+func (j *Job) Baseline() ([]int64, int64, error) {
+	net, _, err := j.runOne(j.Prog, nil, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return net.Distribution(0), net.PacketInsByTag[0], nil
 }
 
 // RunSequential backtests each candidate in its own simulation (the upper
@@ -130,7 +150,10 @@ func (j *Job) RunSequential() []Result {
 // RunSequentialContext is RunSequential with cooperative cancellation
 // between candidate replays.
 func (j *Job) RunSequentialContext(ctx context.Context) ([]Result, error) {
-	baseline, basePI := j.Baseline()
+	baseline, basePI, err := j.Baseline()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Result, 0, len(j.Candidates))
 	for _, c := range j.Candidates {
 		if err := ctx.Err(); err != nil {
@@ -141,7 +164,10 @@ func (j *Job) RunSequentialContext(ctx context.Context) ([]Result, error) {
 			out = append(out, Result{Candidate: c})
 			continue
 		}
-		net, ctl := j.runOne(patch.Prog, patch.Inserts, patch.Deletes)
+		net, ctl, err := j.runOne(patch.Prog, patch.Inserts, patch.Deletes)
+		if err != nil {
+			return out, err
+		}
 		res := j.judge(c, baseline, net.Distribution(0), net, ctl, 0, basePI, net.PacketInsByTag[0])
 		out = append(out, res)
 	}
@@ -183,7 +209,9 @@ func (j *Job) RunShared() ([]Result, error) {
 			ctl.InsertState(net, t2)
 		}
 	}
-	trace.Replay(net, j.Workload, fullMask)
+	if _, err := trace.ReplaySource(net, j.workloadSource(), fullMask); err != nil {
+		return nil, fmt.Errorf("backtest: replaying workload: %w", err)
+	}
 
 	baseline := net.Distribution(0)
 	basePI := net.PacketInsByTag[0]

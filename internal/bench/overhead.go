@@ -11,6 +11,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/provenance"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 // StressResult is one stress-test measurement.
@@ -75,18 +76,37 @@ func Overhead(prog *ndlog.Program, n int) (latencyIncrease, throughputReduction 
 	return latencyIncrease, throughputReduction, on, off, nil
 }
 
-// StorageRate computes the §5.4 logging rate for a trace: bytes per
-// simulated second per switch under 120-byte records. The trace timeline
-// uses its own tick unit; ticksPerSecond calibrates it.
+// StorageRate computes the §5.4 logging rate for an in-memory trace:
+// bytes per simulated second per switch under the binary codec's
+// fixed-width records. The trace timeline uses its own tick unit;
+// ticksPerSecond calibrates it.
 func StorageRate(entries []trace.Entry, switches int, ticksPerSecond float64) (bytesPerSecPerSwitch float64) {
-	if len(entries) == 0 || switches <= 0 || ticksPerSecond <= 0 {
+	if len(entries) == 0 {
 		return 0
 	}
-	ticks := entries[len(entries)-1].Time - entries[0].Time
+	return storageRate(trace.Bytes(entries),
+		entries[len(entries)-1].Time-entries[0].Time, switches, ticksPerSecond)
+}
+
+// StorageRateFromStore computes the same rate from a durable trace
+// store, using the real on-disk segment sizes and the segment indexes'
+// timestamp range — the accountant measures what the log actually
+// costs, codec overhead included, instead of multiplying by a constant.
+func StorageRateFromStore(st *tracestore.Store, switches int, ticksPerSecond float64) (bytesPerSecPerSwitch float64) {
+	stats := st.Stats()
+	if stats.Entries == 0 {
+		return 0
+	}
+	return storageRate(stats.Bytes, stats.MaxTime-stats.MinTime, switches, ticksPerSecond)
+}
+
+func storageRate(totalBytes, ticks int64, switches int, ticksPerSecond float64) float64 {
+	if totalBytes == 0 || switches <= 0 || ticksPerSecond <= 0 {
+		return 0
+	}
 	if ticks <= 0 {
 		ticks = 1
 	}
 	seconds := float64(ticks) / ticksPerSecond
-	total := float64(trace.Bytes(entries))
-	return total / seconds / float64(switches)
+	return float64(totalBytes) / seconds / float64(switches)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/sdn"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 const stressProgram = `
@@ -54,5 +55,37 @@ func TestStorageRate(t *testing.T) {
 	}
 	if StorageRate(nil, 2, 1000) != 0 {
 		t.Fatal("empty trace should rate 0")
+	}
+}
+
+func TestStorageRateFromStore(t *testing.T) {
+	entries := trace.Generate(trace.Config{
+		Seed:     1,
+		Sources:  []trace.HostSpec{{ID: "h", IP: 1}},
+		Services: []trace.Service{{DstIP: 2, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+		Flows:    500,
+	})
+	st, err := tracestore.Open(t.TempDir(), tracestore.Options{SegmentEntries: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := StorageRateFromStore(st, 2, 1000)
+	// The binary codec's fixed-width records make the store-measured
+	// rate agree exactly with the in-memory accountant.
+	if want := StorageRate(entries, 2, 1000); got != want {
+		t.Fatalf("store rate %v != slice rate %v", got, want)
+	}
+	empty, err := tracestore.Open(t.TempDir(), tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StorageRateFromStore(empty, 2, 1000) != 0 {
+		t.Fatal("empty store should rate 0")
 	}
 }

@@ -11,6 +11,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/scenarios"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/metarepair"
 )
 
@@ -355,14 +357,31 @@ type OverheadReport struct {
 }
 
 // Overhead measures provenance-maintenance cost on the Q1 controller and
-// the storage rate of its workload.
+// the storage rate of its workload. The rate is derived from a real
+// capture: the workload is appended to a temporary segmented trace store
+// and the accountant reads the actual segment sizes off disk.
 func Overhead(sc scenarios.Scale, events int) (OverheadReport, error) {
 	s := scenarios.Q1(sc)
 	latInc, thrRed, on, off, err := bench.Overhead(s.Prog, events)
 	if err != nil {
 		return OverheadReport{}, err
 	}
-	rate := bench.StorageRate(s.Workload, 4, 1000)
+	dir, err := os.MkdirTemp("", "tracestore-overhead-*")
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := tracestore.Open(dir, tracestore.Options{})
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	if err := st.Append(s.Workload...); err != nil {
+		return OverheadReport{}, err
+	}
+	if err := st.Close(); err != nil {
+		return OverheadReport{}, err
+	}
+	rate := bench.StorageRateFromStore(st, 4, 1000)
 	return OverheadReport{
 		LatencyIncrease:     latInc,
 		ThroughputReduction: thrRed,
@@ -378,7 +397,7 @@ func FormatOverhead(r OverheadReport) string {
 		"Runtime overhead (§5.4):\n"+
 			"  latency increase with provenance:   %+.1f%% (%v -> %v per event)\n"+
 			"  throughput reduction:               %.1f%% (%.0f -> %.0f events/s)\n"+
-			"  storage rate:                       %.1f KB/s per switch (120-byte records)\n",
+			"  storage rate:                       %.1f KB/s per switch (measured from trace-store segments)\n",
 		100*r.LatencyIncrease, r.Off.MeanLat, r.On.MeanLat,
 		100*r.ThroughputReduction, r.Off.Throughput, r.On.Throughput,
 		r.StorageRate/1024)

@@ -43,8 +43,12 @@ type Scenario struct {
 	// BuildNet constructs the topology with proactive routes installed
 	// and the reactive zone wired (no controller).
 	BuildNet func() *sdn.Network
-	// Workload is the recorded traffic.
+	// Workload is the recorded traffic, generated in memory.
 	Workload []trace.Entry
+	// Source, when set, streams the recorded traffic instead — e.g. a
+	// tracestore view replaying a captured log — so scenario runs never
+	// materialize the workload. Takes precedence over Workload.
+	Source trace.Source
 	// Goal is the missing-tuple symptom (negative symptoms; all five
 	// case studies are phrased this way, as in Table 1).
 	Goal metaprov.Goal
@@ -100,7 +104,13 @@ func (s *Scenario) Diagnose(extra ...metarepair.Option) (*metarepair.Session, ti
 	for _, st := range s.State {
 		ctl.InsertState(net, st)
 	}
-	trace.Replay(net, s.Workload, 1)
+	n, err := trace.ReplaySource(net, s.workloadSource(), 1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: replaying workload: %w", s.Name, err)
+	}
+	if s.Source == nil && n != len(s.Workload) {
+		return nil, 0, fmt.Errorf("%s: partial replay: %d of %d entries", s.Name, n, len(s.Workload))
+	}
 	if s.Effective != nil && s.Effective(net, ctl, 0) {
 		return nil, 0, fmt.Errorf("%s: bug not reproduced — symptom absent in buggy run", s.Name)
 	}
@@ -112,13 +122,24 @@ func (s *Scenario) Symptom() metarepair.Symptom {
 	return metarepair.Symptom{Goal: s.Goal}
 }
 
+// workloadSource streams the scenario's traffic: a captured store view
+// when set, otherwise the generated in-memory slice.
+func (s *Scenario) workloadSource() trace.Source {
+	if s.Source != nil {
+		return s.Source
+	}
+	return trace.SliceSource(s.Workload)
+}
+
 // Backtest is the scenario's historical evidence for candidate
-// evaluation.
+// evaluation. The workload is handed over as a stream, so store-backed
+// scenarios backtest in O(segment) memory.
 func (s *Scenario) Backtest() metarepair.Backtest {
 	return metarepair.Backtest{
 		BuildNet:  s.BuildNet,
 		State:     s.State,
 		Workload:  s.Workload,
+		Source:    s.workloadSource(),
 		Effective: s.Effective,
 	}
 }

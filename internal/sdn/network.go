@@ -161,11 +161,23 @@ type Controller interface {
 	PacketIn(net *Network, sw *Switch, inPort int64, pkt Packet)
 }
 
+// PacketCapture observes every packet injected at a host — the hook a
+// durable trace store attaches to record live traffic as §5.4 log
+// records for later replay. Implementations must tolerate being called
+// from whatever goroutine drives injection.
+type PacketCapture interface {
+	CapturePacket(srcHost string, pkt Packet)
+}
+
 // Network is the simulated data plane: switches, hosts, and the controller.
 type Network struct {
 	Switches map[string]*Switch
 	Hosts    map[string]*Host
 	Ctrl     Controller
+
+	// Capture, when set, observes every injected packet before
+	// forwarding — the attachment point for durable trace recording.
+	Capture PacketCapture
 
 	// MaxHops bounds forwarding loops (default 64).
 	MaxHops int
@@ -255,6 +267,9 @@ func (n *Network) Inject(hostID string, pkt Packet) {
 	h := n.Hosts[hostID]
 	if h == nil {
 		return
+	}
+	if n.Capture != nil {
+		n.Capture.CapturePacket(hostID, pkt)
 	}
 	if pkt.Tags == 0 {
 		pkt.Tags = 1

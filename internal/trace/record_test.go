@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sdn"
+)
+
+// randEntry draws a randomized entry; hosts mix ASCII and multi-byte
+// runes up to the codec's 63-byte limit.
+func randEntry(rng *rand.Rand) Entry {
+	hostLen := rng.Intn(MaxHostLen + 1)
+	var b strings.Builder
+	alphabet := []rune("abcdefghijklmnopqrstuvwxyz0123456789-éλ")
+	for b.Len() < hostLen {
+		r := alphabet[rng.Intn(len(alphabet))]
+		if b.Len()+len(string(r)) > hostLen {
+			break
+		}
+		b.WriteRune(r)
+	}
+	return Entry{
+		Time:    rng.Int63() - rng.Int63(), // negatives too
+		SrcHost: b.String(),
+		Pkt: sdn.Packet{
+			SrcIP:   rng.Int63() - rng.Int63(),
+			DstIP:   rng.Int63() - rng.Int63(),
+			SrcPort: rng.Int63() - rng.Int63(),
+			DstPort: rng.Int63() - rng.Int63(),
+			Proto:   rng.Int63() - rng.Int63(),
+		},
+	}
+}
+
+func TestRecordRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		e := randEntry(rng)
+		rec, err := AppendRecord(nil, e)
+		if err != nil {
+			t.Fatalf("encode %v: %v", e, err)
+		}
+		if len(rec) != RecordSize {
+			t.Fatalf("record size %d, want %d", len(rec), RecordSize)
+		}
+		got, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != e {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", e, got)
+		}
+	}
+}
+
+func TestRecordRejectsOversizedHost(t *testing.T) {
+	e := Entry{SrcHost: strings.Repeat("h", MaxHostLen+1)}
+	if _, err := AppendRecord(nil, e); err == nil {
+		t.Fatal("oversized host accepted")
+	}
+}
+
+func TestDecodeRecordRejectsCorruptHostLength(t *testing.T) {
+	rec := make([]byte, RecordSize)
+	rec[recHostLen] = MaxHostLen + 1
+	if _, err := DecodeRecord(rec); err == nil {
+		t.Fatal("corrupt host length accepted")
+	}
+	if _, err := DecodeRecord(rec[:10]); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+// FuzzBinaryRecord checks that any entry the encoder accepts decodes
+// back losslessly.
+func FuzzBinaryRecord(f *testing.F) {
+	f.Add(int64(1), "h1", int64(10), int64(201), int64(4000), int64(80), int64(6))
+	f.Add(int64(-9), "", int64(0), int64(-1), int64(1<<40), int64(53), int64(17))
+	f.Fuzz(func(t *testing.T, tm int64, host string, sip, dip, spt, dpt, proto int64) {
+		e := Entry{Time: tm, SrcHost: host,
+			Pkt: sdn.Packet{SrcIP: sip, DstIP: dip, SrcPort: spt, DstPort: dpt, Proto: proto}}
+		rec, err := AppendRecord(nil, e)
+		if err != nil {
+			if len(host) <= MaxHostLen {
+				t.Fatalf("rejected valid entry: %v", err)
+			}
+			return
+		}
+		got, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != e {
+			t.Fatalf("round trip mismatch: %+v vs %+v", e, got)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package trace
+
+import "repro/internal/sdn"
+
+// Source streams a recorded workload in record order. Implementations
+// deliver entries one at a time, so replay memory is independent of
+// workload length — the contract that lets backtesting consume traces
+// far larger than RAM. Scan stops at the first error from fn or from the
+// underlying reader and returns it.
+type Source interface {
+	Scan(fn func(Entry) error) error
+}
+
+// SliceSource adapts an in-memory []Entry to the Source interface — the
+// compatibility path for workloads that were generated rather than
+// captured.
+type SliceSource []Entry
+
+// Scan visits every entry in order.
+func (s SliceSource) Scan(fn func(Entry) error) error {
+	for _, e := range s {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplaySource injects every entry streamed by src into the network with
+// the given tag set and returns how many entries were injected, so
+// callers can assert full replay. A nil source replays nothing.
+func ReplaySource(net *sdn.Network, src Source, tags uint64) (int, error) {
+	if src == nil {
+		return 0, nil
+	}
+	n := 0
+	err := src.Scan(func(e Entry) error {
+		p := e.Pkt
+		p.Tags = tags
+		net.Inject(e.SrcHost, p)
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -23,8 +23,9 @@ type Entry struct {
 }
 
 // EntrySize is the on-disk size of one log record (120 bytes: header plus
-// timestamp, per §5.4).
-const EntrySize = 120
+// timestamp, per §5.4). It aliases the binary codec's RecordSize so the
+// accounting and the encoder can never drift apart.
+const EntrySize = RecordSize
 
 // HostSpec names a traffic source or sink.
 type HostSpec struct {
@@ -85,7 +86,9 @@ func Generate(cfg Config) []Entry {
 		return cfg.Services[len(cfg.Services)-1]
 	}
 
-	var out []Entry
+	// Flow sizes average around mean, so flows×mean is a good capacity
+	// guess; the slice still grows if the Zipf draw runs hot.
+	out := make([]Entry, 0, cfg.Flows*mean)
 	var now int64
 	for f := 0; f < cfg.Flows; f++ {
 		src := cfg.Sources[rng.Intn(len(cfg.Sources))]
@@ -112,14 +115,14 @@ func Generate(cfg Config) []Entry {
 	return out
 }
 
-// Bytes returns the log's on-disk size under 120-byte records.
-func Bytes(entries []Entry) int64 { return int64(len(entries)) * EntrySize }
+// Bytes returns the log's on-disk size under the binary codec's
+// fixed-width §5.4 records.
+func Bytes(entries []Entry) int64 { return int64(len(entries)) * RecordSize }
 
-// Replay injects every entry into the network with the given tag set.
-func Replay(net *sdn.Network, entries []Entry, tags uint64) {
-	for _, e := range entries {
-		p := e.Pkt
-		p.Tags = tags
-		net.Inject(e.SrcHost, p)
-	}
+// Replay injects every entry into the network with the given tag set and
+// returns the number of entries injected, so callers can assert full
+// replay.
+func Replay(net *sdn.Network, entries []Entry, tags uint64) int {
+	n, _ := ReplaySource(net, SliceSource(entries), tags)
+	return n
 }

@@ -113,7 +113,9 @@ func TestReplayTagsPackets(t *testing.T) {
 	cfg.Services = cfg.Services[:1]
 	cfg.Flows = 10
 	entries := Generate(cfg)
-	Replay(n, entries, 0b10)
+	if injected := Replay(n, entries, 0b10); injected != len(entries) {
+		t.Fatalf("Replay injected %d of %d entries", injected, len(entries))
+	}
 	if n.Hosts["sink"].ReceivedFor(1) != int64(len(entries)) {
 		t.Fatalf("tag-1 deliveries = %d, want %d", n.Hosts["sink"].ReceivedFor(1), len(entries))
 	}

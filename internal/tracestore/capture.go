@@ -1,0 +1,71 @@
+package tracestore
+
+import (
+	"sync"
+
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+// Recorder adapts a Store to the sdn packet-capture hook: every packet
+// injected into the network becomes one trace entry, stamped by a
+// monotone tick counter (or a caller-supplied clock) and appended to the
+// store. It is safe for concurrent capture — parallel injectors
+// interleave whole records, never tear them.
+type Recorder struct {
+	mu    sync.Mutex
+	st    *Store
+	clock func() int64
+	tick  int64
+	count int64
+	err   error
+}
+
+// NewRecorder wraps a store as a capture hook.
+func NewRecorder(st *Store) *Recorder { return &Recorder{st: st} }
+
+// WithClock substitutes the timestamp source (e.g. wall-clock
+// nanoseconds); the default is a per-recorder monotone tick counter.
+func (r *Recorder) WithClock(fn func() int64) *Recorder {
+	r.clock = fn
+	return r
+}
+
+// CapturePacket implements sdn.PacketCapture. Backtesting tags are a
+// replay artifact and are not recorded. The first append error is
+// retained (and further capture stops) rather than failing injection —
+// the capture path must never break the network under observation.
+func (r *Recorder) CapturePacket(srcHost string, pkt sdn.Packet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	var t int64
+	if r.clock != nil {
+		t = r.clock()
+	} else {
+		r.tick++
+		t = r.tick
+	}
+	pkt.Tags = 0
+	if err := r.st.Append(trace.Entry{Time: t, SrcHost: srcHost, Pkt: pkt}); err != nil {
+		r.err = err
+		return
+	}
+	r.count++
+}
+
+// Count returns how many packets have been captured.
+func (r *Recorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Err returns the first append error, if capture degraded.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

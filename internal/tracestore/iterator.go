@@ -1,0 +1,133 @@
+package tracestore
+
+import (
+	"bufio"
+	"io"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// View is a filtered, streaming read of the store. It implements
+// trace.Source, so it plugs directly into backtesting as a workload:
+// segments stream one record at a time through a fixed-size buffer, and
+// the per-segment time/host index skips segments the filters exclude —
+// replay memory is O(one record), independent of trace length.
+type View struct {
+	st       *Store
+	from, to int64
+	hosts    map[string]struct{}
+}
+
+// Source returns an unfiltered view over the whole log.
+func (s *Store) Source() *View {
+	return &View{st: s, from: math.MinInt64, to: math.MaxInt64}
+}
+
+// Store returns the store the view reads, for observability (a consumer
+// can report which log, and how much of it, a replay draws from).
+func (v *View) Store() *Store { return v.st }
+
+// Bounds returns the view's time window (math.MinInt64 / math.MaxInt64
+// when unbounded).
+func (v *View) Bounds() (from, to int64) { return v.from, v.to }
+
+// Window restricts the view to entries with from <= Time <= to.
+func (v *View) Window(from, to int64) *View {
+	w := *v
+	w.from, w.to = from, to
+	return &w
+}
+
+// ForHosts restricts the view to entries injected by the given hosts.
+func (v *View) ForHosts(hosts ...string) *View {
+	w := *v
+	w.hosts = make(map[string]struct{}, len(hosts))
+	for _, h := range hosts {
+		w.hosts[h] = struct{}{}
+	}
+	return &w
+}
+
+// keep applies the record-level filters.
+func (v *View) keep(e trace.Entry) bool {
+	if e.Time < v.from || e.Time > v.to {
+		return false
+	}
+	if v.hosts != nil {
+		if _, ok := v.hosts[e.SrcHost]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// skipSegment applies the segment-level index filters.
+func (v *View) skipSegment(si SegmentInfo) bool {
+	if !si.overlapsWindow(v.from, v.to) {
+		return true
+	}
+	if v.hosts != nil {
+		any := false
+		for h := range v.hosts {
+			if si.mayContainHost(h) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan streams every matching entry, in segment order, to fn. It reads
+// a consistent snapshot — segments sealed or flushed before the call —
+// that concurrent appends, retention, and compaction cannot disturb.
+func (v *View) Scan(fn func(trace.Entry) error) error {
+	segs, err := v.st.snapshotReadable(v.skipSegment)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, seg := range segs {
+			seg.f.Close()
+		}
+	}()
+	codec := v.st.opts.Codec
+	for _, seg := range segs {
+		if err := scanSegment(seg, codec, v, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count streams the view and returns how many entries it yields.
+func (v *View) Count() (int64, error) {
+	var n int64
+	err := v.Scan(func(trace.Entry) error { n++; return nil })
+	return n, err
+}
+
+// scanSegment streams one snapshot segment, bounded to the byte extent
+// the snapshot recorded (concurrent appends past it are invisible).
+func scanSegment(seg openSegment, codec Codec, v *View, fn func(trace.Entry) error) error {
+	r := bufio.NewReaderSize(io.LimitReader(seg.f, seg.info.Bytes), 64<<10)
+	for {
+		e, err := codec.ReadRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !v.keep(e) {
+			continue
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}

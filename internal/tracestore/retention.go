@@ -1,0 +1,197 @@
+package tracestore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// RetentionPolicy bounds the log. Zero-valued fields impose no bound;
+// only sealed segments are ever dropped (the active segment is always
+// kept), and segments are dropped whole, oldest first.
+type RetentionPolicy struct {
+	// MaxSegments keeps at most this many sealed segments.
+	MaxSegments int
+	// MaxBytes drops the oldest sealed segments while the sealed total
+	// exceeds this many bytes.
+	MaxBytes int64
+	// DropBefore drops segments whose every record is older than this
+	// timestamp (MaxTime < DropBefore).
+	DropBefore int64
+}
+
+// Retain applies the policy and returns the segments removed.
+func (s *Store) Retain(p RetentionPolicy) ([]SegmentInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	drop := make(map[uint64]bool)
+	if p.DropBefore != 0 {
+		for _, si := range s.sealed {
+			if si.MaxTime < p.DropBefore {
+				drop[si.ID] = true
+			}
+		}
+	}
+	if p.MaxSegments > 0 {
+		for i := 0; i < len(s.sealed)-p.MaxSegments; i++ {
+			drop[s.sealed[i].ID] = true
+		}
+	}
+	if p.MaxBytes > 0 {
+		var total int64
+		for _, si := range s.sealed {
+			if !drop[si.ID] {
+				total += si.Bytes
+			}
+		}
+		for _, si := range s.sealed {
+			if total <= p.MaxBytes {
+				break
+			}
+			if !drop[si.ID] {
+				drop[si.ID] = true
+				total -= si.Bytes
+			}
+		}
+	}
+	if len(drop) == 0 {
+		return nil, nil
+	}
+
+	var removed []SegmentInfo
+	var kept []SegmentInfo
+	for _, si := range s.sealed {
+		if !drop[si.ID] {
+			kept = append(kept, si)
+			continue
+		}
+		if err := os.Remove(si.path); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		if err := os.Remove(filepath.Join(s.dir, indexName(si.ID))); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		removed = append(removed, si)
+	}
+	s.sealed = kept
+	return removed, nil
+}
+
+// Compact merges runs of adjacent undersized sealed segments — each
+// below half the rotation thresholds — into single segments, preserving
+// record order. Because every codec's segment is the plain concatenation
+// of its records, compaction is a byte-level copy: no decode, no
+// re-encode. It returns how many segments were merged away.
+func (s *Store) Compact() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	small := func(si SegmentInfo) bool {
+		return si.Entries < int64(s.opts.SegmentEntries)/2 && si.Bytes < s.opts.SegmentBytes/2
+	}
+
+	var out []SegmentInfo
+	merged := 0
+	for i := 0; i < len(s.sealed); {
+		if !small(s.sealed[i]) {
+			out = append(out, s.sealed[i])
+			i++
+			continue
+		}
+		// Grow the run while the next segment is also small and the
+		// combined result stays under the rotation thresholds.
+		run := []SegmentInfo{s.sealed[i]}
+		entries, bytes := s.sealed[i].Entries, s.sealed[i].Bytes
+		j := i + 1
+		for j < len(s.sealed) && small(s.sealed[j]) &&
+			entries+s.sealed[j].Entries <= int64(s.opts.SegmentEntries) &&
+			bytes+s.sealed[j].Bytes <= s.opts.SegmentBytes {
+			entries += s.sealed[j].Entries
+			bytes += s.sealed[j].Bytes
+			run = append(run, s.sealed[j])
+			j++
+		}
+		if len(run) == 1 {
+			out = append(out, s.sealed[i])
+			i++
+			continue
+		}
+		mi, err := s.mergeRunLocked(run)
+		if err != nil {
+			return merged, err
+		}
+		out = append(out, mi)
+		merged += len(run) - 1
+		i = j
+	}
+	s.sealed = out
+	return merged, nil
+}
+
+// mergeRunLocked concatenates a run of sealed segments into the first
+// segment's ID, atomically (tmp + rename), then removes the rest.
+func (s *Store) mergeRunLocked(run []SegmentInfo) (SegmentInfo, error) {
+	first := run[0]
+	tmp := first.path + ".compact"
+	w, err := os.Create(tmp)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	info := SegmentInfo{ID: first.ID, MinTime: first.MinTime, MaxTime: first.MaxTime, Sealed: true, path: first.path}
+	hosts := make(map[string]struct{})
+	for _, si := range run {
+		f, err := os.Open(si.path)
+		if err == nil {
+			_, err = io.Copy(w, f)
+			f.Close()
+		}
+		if err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return SegmentInfo{}, err
+		}
+		info.Entries += si.Entries
+		info.Bytes += si.Bytes
+		if si.MinTime < info.MinTime {
+			info.MinTime = si.MinTime
+		}
+		if si.MaxTime > info.MaxTime {
+			info.MaxTime = si.MaxTime
+		}
+		if si.HostsOverflow {
+			info.HostsOverflow = true
+		}
+		for _, h := range si.Hosts {
+			hosts[h] = struct{}{}
+		}
+	}
+	if len(hosts) > MaxIndexedHosts {
+		info.HostsOverflow = true
+	}
+	if !info.HostsOverflow {
+		info.Hosts = sortedHosts(hosts)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return SegmentInfo{}, err
+	}
+	if err := w.Close(); err != nil {
+		return SegmentInfo{}, err
+	}
+	if err := os.Rename(tmp, first.path); err != nil {
+		return SegmentInfo{}, err
+	}
+	if err := writeIndex(s.dir, info); err != nil {
+		return SegmentInfo{}, err
+	}
+	for _, si := range run[1:] {
+		if err := os.Remove(si.path); err != nil && !os.IsNotExist(err) {
+			return SegmentInfo{}, err
+		}
+		if err := os.Remove(filepath.Join(s.dir, indexName(si.ID))); err != nil && !os.IsNotExist(err) {
+			return SegmentInfo{}, err
+		}
+	}
+	return info, nil
+}

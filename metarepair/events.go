@@ -14,6 +14,9 @@ import (
 //	explore.done        Candidates, Steps, Elapsed
 //	candidates.filtered Filtered (removed by a candidate filter)
 //	candidates.dropped  Dropped (removed by the candidate cap)
+//	capture.start       Dir (live capture attached to a network)
+//	capture.done        Dir, Entries, Bytes, Segments
+//	replay.open         Dir, Entries, Bytes, Segments (store-backed workload)
 //	backtest.start      Candidates, Batches, Parallelism, Strategy
 //	batch.done          Batch, Size, Elapsed
 //	suggestion          Index, Desc, Accepted, KS
@@ -37,6 +40,14 @@ type Event struct {
 	Passed      int       `json:"passed,omitempty"`
 	KS          float64   `json:"ks,omitempty"`
 	Elapsed     float64   `json:"elapsed_ms,omitempty"`
+	Dir         string    `json:"dir,omitempty"`
+	Entries     int64     `json:"entries,omitempty"`
+	Bytes       int64     `json:"bytes,omitempty"`
+	Segments    int       `json:"segments,omitempty"`
+	// From and To bound a windowed store replay (math.MinInt64 /
+	// math.MaxInt64 when unbounded, omitted when not a replay event).
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
 }
 
 // EventSink receives pipeline progress events. Implementations must be

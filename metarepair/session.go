@@ -40,6 +40,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/sdn"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 // Session wires a controller program to the provenance and repair
@@ -135,8 +136,13 @@ type Backtest struct {
 	BuildNet func() *sdn.Network
 	// State are controller tuples inserted before traffic (policy tables).
 	State []ndlog.Tuple
-	// Workload is the recorded packet trace to replay.
+	// Workload is the recorded packet trace to replay, as an in-memory
+	// slice (the compatibility path).
 	Workload []trace.Entry
+	// Source streams the recorded workload instead; replay memory is
+	// then independent of trace length. Precedence: Source, then the
+	// session's WithTraceStore store, then Workload.
+	Source trace.Source
 	// Effective decides whether the symptom is fixed for a tag in the
 	// replayed network.
 	Effective func(net *sdn.Network, ctl *sdn.NDlogController, tag int) bool
@@ -304,6 +310,7 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 		BuildNet:          bt.BuildNet,
 		State:             bt.State,
 		Workload:          bt.Workload,
+		Source:            s.workloadSource(bt, o),
 		Effective:         bt.Effective,
 		Alpha:             o.alpha,
 		MaxPacketInFactor: o.maxPacketInFactor,
@@ -390,6 +397,65 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			Elapsed: ms(time.Since(start))})
 	}()
 	return run
+}
+
+// workloadSource resolves where backtesting streams its workload from:
+// an explicit Backtest.Source wins, then the session's trace store
+// (WithTraceStore, windowed by WithReplayWindow), then nil — leaving the
+// in-memory Workload slice to the backtest engine's adapter.
+func (s *Session) workloadSource(bt Backtest, o options) trace.Source {
+	src := bt.Source
+	if src == nil {
+		// The session store steps in only when the evidence names no
+		// workload of its own — an explicit Workload slice keeps winning
+		// over the store, as documented on WithTraceStore.
+		if o.store == nil || len(bt.Workload) > 0 {
+			return nil
+		}
+		view := o.store.Source()
+		if o.windowSet {
+			view = view.Window(o.windowFrom, o.windowTo)
+		}
+		src = view
+	}
+	// Store-backed replay is observable regardless of how the view
+	// reached the backtest (session option or explicit Backtest.Source).
+	// Entries/Bytes/Segments describe the whole log being drawn from;
+	// From/To record the window actually replayed.
+	if v, ok := src.(*tracestore.View); ok {
+		stats := v.Store().Stats()
+		from, to := v.Bounds()
+		o.emit(Event{Kind: "replay.open", Dir: v.Store().Dir(),
+			Entries: stats.Entries, Bytes: stats.Bytes, Segments: stats.Segments,
+			From: from, To: to})
+	}
+	return src
+}
+
+// Capture attaches the session's trace store (WithTraceStore) to the
+// network as its packet-capture hook: from here until stop is called,
+// every injected packet is appended to the store as one §5.4 log record.
+// stop detaches the hook, makes the captured records durable, emits a
+// capture.done event, and returns how many packets were captured along
+// with the first capture error, if any.
+func (s *Session) Capture(net *sdn.Network, extra ...Option) (stop func() (int64, error), err error) {
+	o := s.opts.with(extra)
+	if o.store == nil {
+		return nil, errors.New("metarepair: Capture needs WithTraceStore")
+	}
+	rec := tracestore.NewRecorder(o.store)
+	net.Capture = rec
+	o.emit(Event{Kind: "capture.start", Dir: o.store.Dir()})
+	return func() (int64, error) {
+		net.Capture = nil
+		if err := o.store.Sync(); err != nil {
+			return rec.Count(), err
+		}
+		stats := o.store.Stats()
+		o.emit(Event{Kind: "capture.done", Dir: o.store.Dir(),
+			Entries: stats.Entries, Bytes: stats.Bytes, Segments: stats.Segments})
+		return rec.Count(), rec.Err()
+	}, nil
 }
 
 // ms converts a duration to fractional milliseconds for event logs.
