@@ -20,6 +20,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/metarepair"
+	"repro/scenario"
 )
 
 // benchScale keeps per-iteration work around a second so the full suite
@@ -76,7 +77,11 @@ func BenchmarkTable6_Q2toQ5Candidates(b *testing.B) {
 	names := []string{"Q2", "Q3", "Q4", "Q5"}
 	for i := 0; i < b.N; i++ {
 		for _, name := range names {
-			rows, err := experiments.CandidateTable(context.Background(), scenarios.ByName(name, benchScale()))
+			s, err := scenario.Instantiate(name, benchScale())
+			if err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+			rows, err := experiments.CandidateTable(context.Background(), s)
 			if err != nil {
 				b.Fatalf("%s: %v", name, err)
 			}
@@ -216,6 +221,36 @@ func BenchmarkReplaySource(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSuiteMatrix measures the concurrent suite runner against a
+// one-worker pool on the full Q1–Q5 matrix at one scale: cells are
+// independent pipelines, so on a multi-core machine the pool width is
+// roughly the speedup (bounded by the slowest cell).
+func BenchmarkSuiteMatrix(b *testing.B) {
+	for _, bench := range []struct {
+		name     string
+		parallel int
+	}{
+		{"Sequential", 1},
+		{"Parallel", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				suite := &scenario.Suite{
+					Scales:   []scenario.Scale{benchScale()},
+					Parallel: bench.parallel,
+				}
+				m, err := suite.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure9c_NetworkScalability regenerates Figure 9c: Q1

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only table1,table2,table3,table6,fig9a,fig9b,fig9c,fig10,overhead,ablations]
+//	experiments [-quick] [-only table1,table2,table3,table6,fig9a,fig9b,fig9c,fig10,overhead,suite,ablations]
 //
 // -quick shrinks workloads and scaling series so the full run finishes in
 // well under a minute; without it the run matches EXPERIMENTS.md.
@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/scenarios"
+	"repro/scenario"
 )
 
 func main() {
@@ -74,7 +75,11 @@ func main() {
 	}
 	if run("table6") {
 		for _, name := range []string{"Q2", "Q3", "Q4", "Q5"} {
-			rows, err := experiments.CandidateTable(ctx, scenarios.ByName(name, sc))
+			s, err := scenario.Instantiate(name, sc)
+			if err != nil {
+				fail(err)
+			}
+			rows, err := experiments.CandidateTable(ctx, s)
 			if err != nil {
 				fail(err)
 			}
@@ -123,6 +128,19 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatOverhead(rep))
+	}
+	if run("suite") {
+		scales := []scenario.Scale{sc, {Switches: 49, Flows: sc.Flows}}
+		if *quick {
+			scales = scales[:1]
+		}
+		m, err := experiments.SuiteMatrix(ctx, scales, 0)
+		if m != nil {
+			fmt.Println(m.Render())
+		}
+		if err != nil {
+			fail(err)
+		}
 	}
 	if run("ablations") {
 		oSteps, fSteps, oCands, fCands, err := experiments.AblationCostOrder(ctx, sc)

@@ -1,5 +1,5 @@
 // Command metarepair runs the paper's §2 workflow as a CLI over the
-// metarepair.Session API, now with a durable trace log underneath:
+// metarepair.Session API and the scenario registry:
 //
 //	metarepair [run] -scenario Q1 [-switches 19] [-flows 900]
 //	           [-lang RapidNet|Trema|Pyretic] [-parallelism N]
@@ -7,6 +7,14 @@
 //	  run one diagnostic scenario end to end: replay the workload through
 //	  the buggy controller, build meta provenance, generate candidates,
 //	  backtest them in batched-parallel shared runs, print the ranking.
+//
+//	metarepair suite [-scenarios Q1,Q3] [-scales 19,49:1200] [-flows 900]
+//	           [-parallel N] [-check-sequential] [-timeout 10m] [-events f]
+//	  run a scenario × scale matrix concurrently on the suite worker pool
+//	  and print the aggregate matrix report. -scenarios defaults to every
+//	  registered scenario; each -scales entry is a switch count with an
+//	  optional :flows override. -check-sequential reruns the matrix on one
+//	  worker and fails unless every per-cell verdict matches.
 //
 //	metarepair capture -dir ./q1.trace -scenario Q1 [-format binary|jsonl]
 //	           [-segment-entries N] [-segment-bytes B]
@@ -20,9 +28,14 @@
 //	  run the same pipeline but stream the backtest workload out of the
 //	  store (optionally a time window of it) instead of memory.
 //
-// -events streams pipeline progress — including capture.done and
-// replay.open — as JSONL to the given file; "-" writes to stderr.
-// -timeout cancels the whole pipeline via context.
+// Scenario names resolve through the scenario package's default registry;
+// importing internal/scenarios registers the five §5.3 case studies, and
+// third-party packages register their own specs the same way. A typo
+// prints the registered menu instead of panicking.
+//
+// -events streams pipeline progress — including suite cell events,
+// capture.done, and replay.open — as JSONL to the given file; "-" writes
+// to stderr. -timeout cancels the whole pipeline via context.
 package main
 
 import (
@@ -32,13 +45,15 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/scenarios"
+	_ "repro/internal/scenarios" // register Q1–Q5 in the default registry
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/metarepair"
+	"repro/scenario"
 )
 
 func main() {
@@ -50,6 +65,8 @@ func main() {
 	switch cmd {
 	case "run":
 		runScenario(args)
+	case "suite":
+		runSuite(args)
 	case "capture":
 		runCapture(args)
 	case "trace":
@@ -61,7 +78,7 @@ func main() {
 	case "replay":
 		runReplay(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q (want run, capture, trace ls, or replay)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown command %q (want run, suite, capture, trace ls, or replay)\n", cmd)
 		os.Exit(2)
 	}
 }
@@ -77,18 +94,21 @@ type scenarioFlags struct {
 func newScenarioFlags(cmd string) scenarioFlags {
 	fs := flag.NewFlagSet("metarepair "+cmd, flag.ExitOnError)
 	return scenarioFlags{
-		fs:       fs,
-		name:     fs.String("scenario", "Q1", "scenario to run (Q1..Q5)"),
-		switches: fs.Int("switches", 19, "campus switch count (19..169)"),
-		flows:    fs.Int("flows", 900, "workload flow count"),
+		fs:   fs,
+		name: fs.String("scenario", "Q1", "scenario to run (see the registered list in errors)"),
+		switches: fs.Int("switches", 19,
+			"topology switch budget (campus: 19..169)"),
+		flows: fs.Int("flows", 900, "workload flow count"),
 	}
 }
 
-func (sf scenarioFlags) scenario() *scenarios.Scenario {
-	sc := scenarios.Scale{Switches: *sf.switches, Flows: *sf.flows}
-	s := scenarios.ByName(*sf.name, sc)
-	if s == nil {
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (want Q1..Q5)\n", *sf.name)
+// scenario instantiates the named scenario from the default registry; an
+// unknown name prints the registry's menu error.
+func (sf scenarioFlags) scenario() *scenario.Scenario {
+	sc := scenario.Scale{Switches: *sf.switches, Flows: *sf.flows}
+	s, err := scenario.Instantiate(*sf.name, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
 	}
 	return s
@@ -97,6 +117,169 @@ func (sf scenarioFlags) scenario() *scenarios.Scenario {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "error: %v\n", err)
 	os.Exit(1)
+}
+
+// pipelineContext builds the signal-aware, optionally timed context every
+// subcommand runs under.
+func pipelineContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { cancel(); stop() }
+}
+
+// eventSink opens the -events destination: nil when unset, stderr for
+// "-", a fresh file otherwise. The returned closer is a no-op where
+// nothing was opened.
+func eventSink(dest string) (metarepair.EventSink, func(), error) {
+	if dest == "" {
+		return nil, func() {}, nil
+	}
+	if dest == "-" {
+		return metarepair.NewJSONLSink(os.Stderr), func() {}, nil
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return metarepair.NewJSONLSink(f), func() { f.Close() }, nil
+}
+
+// parseScales turns "19,49:1200" into scales, applying defaultFlows to
+// entries without an explicit :flows.
+func parseScales(spec string, defaultFlows int) ([]scenario.Scale, error) {
+	var out []scenario.Scale
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sw, flows := part, ""
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			sw, flows = part[:i], part[i+1:]
+		}
+		sc := scenario.Scale{Flows: defaultFlows}
+		n, err := strconv.Atoi(sw)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", part, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("bad scale %q: switch count must be >= 1", part)
+		}
+		sc.Switches = n
+		if flows != "" {
+			if sc.Flows, err = strconv.Atoi(flows); err != nil {
+				return nil, fmt.Errorf("bad scale %q: %w", part, err)
+			}
+			if sc.Flows < 1 {
+				return nil, fmt.Errorf("bad scale %q: flow count must be >= 1", part)
+			}
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales in %q", spec)
+	}
+	return out, nil
+}
+
+// splitList parses a comma-separated name list, empty meaning "all".
+func splitList(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runSuite executes a scenario × scale matrix on the concurrent suite
+// runner.
+func runSuite(args []string) {
+	fs := flag.NewFlagSet("metarepair suite", flag.ExitOnError)
+	names := fs.String("scenarios", "", "comma-separated scenario names (default: all registered)")
+	scalesSpec := fs.String("scales", "19", "comma-separated scales: switch counts with optional :flows (e.g. 19,49:1200); shapes round to their nearest legal size (campus: >= 19)")
+	flows := fs.Int("flows", 900, "default workload flow count for scales without :flows")
+	par := fs.Int("parallel", 0, "suite worker-pool width (0 = all cores)")
+	check := fs.Bool("check-sequential", false, "rerun the matrix on one worker and fail unless all verdicts match")
+	timeout := fs.Duration("timeout", 0, "cancel the suite after this long (0 = no limit)")
+	events := fs.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
+	fs.Parse(args)
+
+	ctx, stop := pipelineContext(*timeout)
+	defer stop()
+	scales, err := parseScales(*scalesSpec, *flows)
+	if err != nil {
+		fail(err)
+	}
+	sink, closeSink, err := eventSink(*events)
+	if err != nil {
+		fail(err)
+	}
+	defer closeSink()
+
+	suite := &scenario.Suite{
+		Scenarios: splitList(*names),
+		Scales:    scales,
+		Parallel:  *par,
+		Sink:      sink,
+	}
+	start := time.Now()
+	m, err := suite.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(m.Render())
+	fmt.Printf("%d cell(s) in %v\n", len(m.Cells), time.Since(start).Round(time.Millisecond))
+	if err := m.Err(); err != nil {
+		fail(err)
+	}
+
+	if *check {
+		seq := &scenario.Suite{Scenarios: suite.Scenarios, Scales: scales, Parallel: 1}
+		sm, err := seq.Run(ctx)
+		if err != nil {
+			fail(err)
+		}
+		if err := sm.Err(); err != nil {
+			fail(err)
+		}
+		if err := compareMatrices(m, sm); err != nil {
+			fail(fmt.Errorf("concurrent/sequential divergence: %w", err))
+		}
+		fmt.Println("verdict parity: concurrent run matches sequential run")
+	}
+}
+
+// compareMatrices checks two runs of the same matrix produced identical
+// per-cell candidate counts and verdicts.
+func compareMatrices(a, b *scenario.Matrix) error {
+	if len(a.Cells) != len(b.Cells) {
+		return fmt.Errorf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := &a.Cells[i], &b.Cells[i]
+		if ca.Cell != cb.Cell {
+			return fmt.Errorf("cell %d identity differs: %s vs %s", i, ca.Cell, cb.Cell)
+		}
+		if ca.Outcome.Generated != cb.Outcome.Generated || ca.Outcome.Passed != cb.Outcome.Passed {
+			return fmt.Errorf("%s: %d/%d vs %d/%d", ca.Cell,
+				ca.Outcome.Generated, ca.Outcome.Passed, cb.Outcome.Generated, cb.Outcome.Passed)
+		}
+		va, vb := ca.Verdicts(), cb.Verdicts()
+		if len(va) != len(vb) {
+			return fmt.Errorf("%s: %d vs %d backtest results", ca.Cell, len(va), len(vb))
+		}
+		for j := range va {
+			if va[j] != vb[j] {
+				return fmt.Errorf("%s: candidate %d verdict differs", ca.Cell, j)
+			}
+		}
+	}
+	return nil
 }
 
 // runCapture replays the scenario's traffic through a capture-hooked
@@ -202,24 +385,14 @@ func runPipeline(cmd string, args []string) {
 	}
 	sf.fs.Parse(args)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := pipelineContext(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	s := sf.scenario()
 
-	var language scenarios.Language
-	for _, l := range scenarios.Languages() {
-		if l.Name == *lang {
-			language = l
-		}
-	}
-	if language.Name == "" {
-		fmt.Fprintf(os.Stderr, "unknown language %q\n", *lang)
+	language, err := scenario.LanguageByName(*lang)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -227,17 +400,13 @@ func runPipeline(cmd string, args []string) {
 	if *par > 0 {
 		opts = append(opts, metarepair.WithParallelism(*par))
 	}
-	if *events != "" {
-		w := os.Stderr
-		if *events != "-" {
-			f, err := os.Create(*events)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			w = f
-		}
-		opts = append(opts, metarepair.WithEventSink(metarepair.NewJSONLSink(w)))
+	sink, closeSink, err := eventSink(*events)
+	if err != nil {
+		fail(err)
+	}
+	defer closeSink()
+	if sink != nil {
+		opts = append(opts, metarepair.WithEventSink(sink))
 	}
 
 	workload := fmt.Sprintf("%d packets of history", len(s.Workload))
@@ -269,7 +438,8 @@ func runPipeline(cmd string, args []string) {
 	}
 
 	fmt.Printf("scenario %s: %s\n", s.Name, s.Query)
-	fmt.Printf("language %s, %d switches, %s\n\n", language.Name, *sf.switches, workload)
+	fmt.Printf("language %s, %s topology, %d switches, %s\n\n",
+		language.Name, s.Topology, *sf.switches, workload)
 
 	start := time.Now()
 	out, err := s.RunWithLanguage(ctx, language, opts...)

@@ -12,11 +12,15 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/scenarios"
+	_ "repro/internal/scenarios" // register Q1-Q5 in the default registry
+	"repro/scenario"
 )
 
 func main() {
-	s := scenarios.Q3(scenarios.Scale{Switches: 19, Flows: 900})
+	s, err := scenario.Instantiate("Q3", scenario.Scale{Switches: 19, Flows: 900})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("scenario: %s\n", s.Query)
 	fmt.Println("controller program (firewall + load balancer):")
 	fmt.Println(indent(s.Prog.String(), "  "))

@@ -11,11 +11,15 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/scenarios"
+	_ "repro/internal/scenarios" // register Q1-Q5 in the default registry
+	"repro/scenario"
 )
 
 func main() {
-	s := scenarios.Q1(scenarios.Scale{Switches: 19, Flows: 900})
+	s, err := scenario.Instantiate("Q1", scenario.Scale{Switches: 19, Flows: 900})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("scenario: %s\n", s.Query)
 	fmt.Printf("network: %d switches, %d hosts, %d packets of history\n\n",
 		len(s.BuildNet().Switches), len(s.BuildNet().Hosts), len(s.Workload))

@@ -11,12 +11,16 @@ import (
 	"fmt"
 
 	"repro/internal/pyretic"
-	"repro/internal/scenarios"
+	_ "repro/internal/scenarios" // register Q1-Q5 in the default registry
 	"repro/internal/trema"
+	"repro/scenario"
 )
 
 func main() {
-	s := scenarios.Q5(scenarios.Scale{Switches: 19, Flows: 700})
+	s, err := scenario.Instantiate("Q5", scenario.Scale{Switches: 19, Flows: 700})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("scenario: %s\n\n", s.Query)
 
 	fmt.Println("the controller in NDlog:")

@@ -23,6 +23,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/metarepair"
+	"repro/scenario"
 )
 
 // Table1Row is one row of Table 1: candidates generated vs surviving.
@@ -64,7 +65,7 @@ type CandidateRow struct {
 }
 
 // CandidateTable runs one scenario and returns its candidate rows.
-func CandidateTable(ctx context.Context, s *scenarios.Scenario) ([]CandidateRow, error) {
+func CandidateTable(ctx context.Context, s *scenario.Scenario) ([]CandidateRow, error) {
 	out, err := s.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -110,7 +111,7 @@ type Table3Row struct {
 // Table3 reruns the scenarios under the Trema and Pyretic front-ends.
 func Table3(ctx context.Context, sc scenarios.Scale) ([]Table3Row, error) {
 	var rows []Table3Row
-	for _, lang := range []scenarios.Language{scenarios.TremaLang(), scenarios.PyreticLang()} {
+	for _, lang := range []scenario.Language{scenario.TremaLang(), scenario.PyreticLang()} {
 		for _, s := range scenarios.All(sc) {
 			out, err := s.RunWithLanguage(ctx, lang)
 			if err != nil {
@@ -145,7 +146,7 @@ func FormatTable3(rows []Table3Row) string {
 // Figure9aRow is one bar of Figure 9a: the turnaround breakdown.
 type Figure9aRow struct {
 	Name   string
-	Timing scenarios.Timing
+	Timing scenario.Timing
 }
 
 // Figure9a measures repair-generation turnaround per scenario.
@@ -249,7 +250,7 @@ func FormatFigure9b(rows []Figure9bRow) string {
 type Figure9cRow struct {
 	Switches int
 	Hosts    int
-	Timing   scenarios.Timing
+	Timing   scenario.Timing
 }
 
 // Figure9c scales the Q1 network from 19 to 169 switches.
@@ -293,7 +294,7 @@ func FormatFigure9c(rows []Figure9cRow) string {
 type Figure10Row struct {
 	Lines      int
 	Candidates int
-	Timing     scenarios.Timing
+	Timing     scenario.Timing
 }
 
 // AugmentProgram appends inert operational-zone policies (ACL drop rules
@@ -485,6 +486,20 @@ func QuickCandidates(ctx context.Context, sc scenarios.Scale) (*metarepair.Sessi
 // SmallWorkload exposes a deterministic workload for external tooling.
 func SmallWorkload() []trace.Entry {
 	return scenarios.Q1(scenarios.Scale{Switches: 19, Flows: 300}).Workload
+}
+
+// SuiteMatrix evaluates the registered scenarios across the given scales
+// concurrently on the suite runner and returns the aggregate matrix —
+// the Figure 9-style turnaround/effectiveness view, one cell per
+// scenario × scale. The returned matrix is complete even when a cell
+// failed; the error surfaces the first cell failure.
+func SuiteMatrix(ctx context.Context, scales []scenario.Scale, parallel int) (*scenario.Matrix, error) {
+	suite := &scenario.Suite{Scales: scales, Parallel: parallel}
+	m, err := suite.Run(ctx)
+	if err != nil {
+		return m, err
+	}
+	return m, m.Err()
 }
 
 // ModelStats reports the meta-model sizes for the three languages (§3.2,

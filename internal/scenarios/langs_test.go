@@ -9,6 +9,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/pyretic"
 	"repro/internal/trema"
+	"repro/scenario"
 )
 
 func TestTremaTranslationQ1(t *testing.T) {
@@ -67,11 +68,11 @@ func TestPyreticDisallowsEqualityOperatorChange(t *testing.T) {
 
 func TestCrossLanguageQ1(t *testing.T) {
 	s := Q1(smallScale())
-	tremaOut, err := s.RunWithLanguage(context.Background(), TremaLang())
+	tremaOut, err := s.RunWithLanguage(context.Background(), scenario.TremaLang())
 	if err != nil {
 		t.Fatalf("trema: %v", err)
 	}
-	pyreticOut, err := s.RunWithLanguage(context.Background(), PyreticLang())
+	pyreticOut, err := s.RunWithLanguage(context.Background(), scenario.PyreticLang())
 	if err != nil {
 		t.Fatalf("pyretic: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestCrossLanguageQ1(t *testing.T) {
 
 func TestPyreticQ4Unsupported(t *testing.T) {
 	s := Q4(smallScale())
-	out, err := s.RunWithLanguage(context.Background(), PyreticLang())
+	out, err := s.RunWithLanguage(context.Background(), scenario.PyreticLang())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestPyreticQ4Unsupported(t *testing.T) {
 }
 
 func TestLanguagesComplete(t *testing.T) {
-	langs := Languages()
+	langs := scenario.Languages()
 	if len(langs) != 3 {
 		t.Fatalf("languages = %d", len(langs))
 	}

@@ -2,6 +2,7 @@ package scenarios
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/metaprov"
 	"repro/internal/ndlog"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/metarepair"
+	"repro/scenario"
 )
 
 // Q1 addresses: the load-balanced web service, its two backends, the DNS
@@ -36,19 +38,25 @@ r7 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt)
 r8 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 4, Dpt == 80, Prt := 1.
 `
 
-// q1Threshold computes the load-balancer split for a campus: the last 3
+// q1Threshold computes the load-balancer split for a fabric: the last 3
 // hosts' source IPs are offloaded to the backup server.
-func q1Threshold(c *topo.Campus) int64 {
-	last := c.Net.Hosts[c.HostIDs[len(c.HostIDs)-1]].IP
+func q1Threshold(f *topo.Fabric) int64 {
+	last := f.Net.Hosts[f.HostIDs[len(f.HostIDs)-1]].IP
 	return last - 2
 }
 
-// q1Zone attaches the four-switch reactive zone to the campus.
-func q1Zone(c *topo.Campus) {
+// q1Overrides steers the zone service IPs into the reactive zone.
+var q1Overrides = map[int64]string{
+	q1VIP: "q1s1", q1DNS: "q1s1", q1Web: "q1s1", q1H2: "q1s1",
+}
+
+// q1Attach wires the four-switch reactive zone onto the fabric and
+// installs the proactive routes around it.
+func q1Attach(f *topo.Fabric) {
 	s1, s2 := sdn.NewSwitch("q1s1", 1), sdn.NewSwitch("q1s2", 2)
 	s3, s4 := sdn.NewSwitch("q1s3", 3), sdn.NewSwitch("q1s4", 4)
 	for _, s := range []*sdn.Switch{s1, s2, s3, s4} {
-		c.Net.AddSwitch(s)
+		f.Net.AddSwitch(s)
 	}
 	s1.Wire(2, "q1s2")
 	s2.Wire(3, "q1s1")
@@ -56,73 +64,61 @@ func q1Zone(c *topo.Campus) {
 	s3.Wire(3, "q1s1")
 	s1.Wire(4, "q1s4")
 	s4.Wire(3, "q1s1")
-	c.Net.AddHostAt(sdn.NewHost("q1h1", q1VIP, "q1s2"), 1)
-	c.Net.AddHostAt(sdn.NewHost("q1dns", q1DNS, "q1s2"), 2)
-	c.Net.AddHostAt(sdn.NewHost("q1h2", q1H2, "q1s3"), 2)
-	c.Net.AddHostAt(sdn.NewHost("q1h3", q1Web, "q1s4"), 1)
-	c.Net.Link("q1s1", c.CoreIDs[0])
+	f.Net.AddHostAt(sdn.NewHost("q1h1", q1VIP, "q1s2"), 1)
+	f.Net.AddHostAt(sdn.NewHost("q1dns", q1DNS, "q1s2"), 2)
+	f.Net.AddHostAt(sdn.NewHost("q1h2", q1H2, "q1s3"), 2)
+	f.Net.AddHostAt(sdn.NewHost("q1h3", q1Web, "q1s4"), 1)
+	f.Net.Link("q1s1", f.CoreIDs[0])
+	f.InstallProactiveRoutes(q1Overrides, "q1s1", "q1s2", "q1s3", "q1s4")
 }
 
-// Q1 builds the copy-and-paste scenario of §2.3/§5.3 at the given scale.
-func Q1(sc Scale) *Scenario {
-	campus := buildCampus(sc)
-	q1Zone(campus)
-	campus.InstallProactiveRoutes(map[int64]string{
-		q1VIP: "q1s1", q1DNS: "q1s1", q1Web: "q1s1", q1H2: "q1s1",
-	}, "q1s1", "q1s2", "q1s3", "q1s4")
-	thresh := q1Threshold(campus)
-	prog := ndlog.MustParse("q1", replaceThresh(q1Program, thresh))
-
-	flows := sc.Flows
-	if flows <= 0 {
-		flows = DefaultScale().Flows
-	}
-	// The offloaded clients (the last three hosts) send their own web
-	// requests — the traffic the bug silently drops.
-	var offloaded []trace.HostSpec
-	for i := len(campus.HostIDs) - 3; i < len(campus.HostIDs); i++ {
-		id := campus.HostIDs[i]
-		offloaded = append(offloaded, trace.HostSpec{ID: id, IP: campus.Net.Hosts[id].IP})
-	}
-	symptomFlows := flows / 100
-	if symptomFlows < 6 {
-		symptomFlows = 6
-	}
-	symptomTrace := trace.Generate(trace.Config{
-		Seed:     100,
-		Sources:  offloaded,
-		Services: []trace.Service{{DstIP: q1VIP, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
-		Flows:    symptomFlows,
-	})
-	bgTrace := trace.Generate(trace.Config{
-		Seed:    101,
-		Sources: campusSources(campus),
-		Services: append([]trace.Service{
-			{DstIP: q1VIP, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 4},
-			{DstIP: q1DNS, Port: sdn.PortDNS, Proto: sdn.ProtoUDP, Weight: 3},
-			{DstIP: q1Web, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
-		}, backgroundServices(campus, 12)...),
-		Flows: flows,
-	})
-	workload := append(symptomTrace, bgTrace...)
-
-	v3, v80, v2, vip := ndlog.Int(3), ndlog.Int(80), ndlog.Int(2), ndlog.Int(q1VIP)
-	return &Scenario{
-		Name:  "Q1",
-		Query: "H2 is not receiving HTTP requests (copy-and-paste error)",
-		Prog:  prog,
-		BuildNet: func() *sdn.Network {
-			c := buildCampus(sc)
-			q1Zone(c)
-			c.InstallProactiveRoutes(map[int64]string{
-				q1VIP: "q1s1", q1DNS: "q1s1", q1Web: "q1s1", q1H2: "q1s1",
-			}, "q1s1", "q1s2", "q1s3", "q1s4")
-			return c.Net
+// Q1Spec declares the copy-and-paste scenario of §2.3/§5.3.
+func Q1Spec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "Q1",
+		Query:  "H2 is not receiving HTTP requests (copy-and-paste error)",
+		Attach: q1Attach,
+		Program: func(f *topo.Fabric) (*ndlog.Program, []ndlog.Tuple, error) {
+			prog, err := ndlog.Parse("q1", replaceThresh(q1Program, q1Threshold(f)))
+			return prog, nil, err
 		},
-		Workload: workload,
-		Goal:     metaprov.PinnedGoal("FlowTable", &v3, nil, &vip, nil, &v80, &v2),
-		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
-			return n.Hosts["q1h2"].PortCountFor(sdn.PortHTTP, tag) > 0
+		Workload: func(f *topo.Fabric, sc Scale) []trace.Entry {
+			// The offloaded clients (the last three hosts) send their own
+			// web requests — the traffic the bug silently drops.
+			offloaded := make([]trace.HostSpec, 0, 3)
+			for i := len(f.HostIDs) - 3; i < len(f.HostIDs); i++ {
+				offloaded = append(offloaded, hostSpecAt(f, i))
+			}
+			symptomFlows := sc.Flows / 100
+			if symptomFlows < 6 {
+				symptomFlows = 6
+			}
+			symptomTrace := trace.Generate(trace.Config{
+				Seed:     100,
+				Sources:  offloaded,
+				Services: []trace.Service{{DstIP: q1VIP, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+				Flows:    symptomFlows,
+			})
+			bgTrace := trace.Generate(trace.Config{
+				Seed:    101,
+				Sources: campusSources(f),
+				Services: append([]trace.Service{
+					{DstIP: q1VIP, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 4},
+					{DstIP: q1DNS, Port: sdn.PortDNS, Proto: sdn.ProtoUDP, Weight: 3},
+					{DstIP: q1Web, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
+				}, backgroundServices(f, 12)...),
+				Flows: sc.Flows,
+			})
+			return append(symptomTrace, bgTrace...)
+		},
+		Goal: func(*topo.Fabric) metaprov.Goal {
+			v3, v80, v2, vip := ndlog.Int(3), ndlog.Int(80), ndlog.Int(2), ndlog.Int(q1VIP)
+			return metaprov.PinnedGoal("FlowTable", &v3, nil, &vip, nil, &v80, &v2)
+		},
+		Oracle: func(*topo.Fabric) scenario.Effectiveness {
+			return func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+				return n.Hosts["q1h2"].PortCountFor(sdn.PortHTTP, tag) > 0
+			}
 		},
 		IntuitiveFix: "change constant 2 in r7 (sel/0/R) to 3",
 		Options: []metarepair.Option{
@@ -133,14 +129,5 @@ func Q1(sc Scale) *Scenario {
 }
 
 func replaceThresh(src string, thresh int64) string {
-	out := ""
-	for i := 0; i < len(src); i++ {
-		if i+8 <= len(src) && src[i:i+8] == "%THRESH%" {
-			out += fmt.Sprint(thresh)
-			i += 7
-			continue
-		}
-		out += string(src[i])
-	}
-	return out
+	return strings.ReplaceAll(src, "%THRESH%", fmt.Sprint(thresh))
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/metarepair"
+	"repro/scenario"
 )
 
 // Q2 addresses.
@@ -26,80 +27,76 @@ d3 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt)
 d4 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 3, Dpt == 80, Prt := 1.
 `
 
-func q2Zone(c *topo.Campus) {
+// q2Blocked computes the authorized client the bug cuts off: the seventh
+// fabric host.
+func q2Blocked(f *topo.Fabric) int64 {
+	return f.Net.Hosts[f.HostIDs[0]].IP + 6
+}
+
+func q2Attach(f *topo.Fabric) {
 	s1, s2, s3 := sdn.NewSwitch("q2s1", 1), sdn.NewSwitch("q2s2", 2), sdn.NewSwitch("q2s3", 3)
-	c.Net.AddSwitch(s1)
-	c.Net.AddSwitch(s2)
-	c.Net.AddSwitch(s3)
+	f.Net.AddSwitch(s1)
+	f.Net.AddSwitch(s2)
+	f.Net.AddSwitch(s3)
 	s1.Wire(2, "q2s2")
 	s2.Wire(3, "q2s1")
 	s1.Wire(3, "q2s3")
 	s3.Wire(3, "q2s1")
-	c.Net.AddHostAt(sdn.NewHost("q2dns", q2DNS, "q2s2"), 1)
-	c.Net.AddHostAt(sdn.NewHost("q2web", q2Web, "q2s3"), 1)
-	c.Net.Link("q2s1", c.CoreIDs[1])
-}
-
-// Q2 builds the forwarding-error scenario. The authorized client range is
-// the first seven campus hosts; the boundary host (the seventh) is cut off
-// by the off-by-one range check.
-func Q2(sc Scale) *Scenario {
-	campus := buildCampus(sc)
-	q2Zone(campus)
-	campus.InstallProactiveRoutes(map[int64]string{
+	f.Net.AddHostAt(sdn.NewHost("q2dns", q2DNS, "q2s2"), 1)
+	f.Net.AddHostAt(sdn.NewHost("q2web", q2Web, "q2s3"), 1)
+	f.Net.Link("q2s1", f.CoreIDs[1])
+	f.InstallProactiveRoutes(map[int64]string{
 		q2DNS: "q2s1", q2Web: "q2s1",
 	}, "q2s1", "q2s2", "q2s3")
-	base := campus.Net.Hosts[campus.HostIDs[0]].IP
-	blocked := base + 6 // the authorized client the bug cuts off
-	thresh := blocked   // d1 says Sip < blocked; intended Sip <= blocked
-	prog := ndlog.MustParse("q2", replaceThresh(q2Program, thresh))
+}
 
-	flows := sc.Flows
-	if flows <= 0 {
-		flows = DefaultScale().Flows
-	}
-	// Authorized clients (including the blocked one) query DNS; everyone
-	// uses the web service and background services.
-	var authorized []trace.HostSpec
-	for i := 0; i < 7; i++ {
-		id := campus.HostIDs[i]
-		authorized = append(authorized, trace.HostSpec{ID: id, IP: campus.Net.Hosts[id].IP})
-	}
-	dnsTrace := trace.Generate(trace.Config{
-		Seed:    202,
-		Sources: authorized,
-		Services: []trace.Service{
-			{DstIP: q2DNS, Port: sdn.PortDNS, Proto: sdn.ProtoUDP, Weight: 1},
+// Q2Spec declares the forwarding-error scenario. The authorized client
+// range is the first seven fabric hosts; the boundary host (the seventh)
+// is cut off by the off-by-one range check.
+func Q2Spec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "Q2",
+		Query:  "H17 is not receiving DNS queries from H1 (forwarding error)",
+		Attach: q2Attach,
+		Program: func(f *topo.Fabric) (*ndlog.Program, []ndlog.Tuple, error) {
+			// d1 says Sip < blocked; intended Sip <= blocked.
+			prog, err := ndlog.Parse("q2", replaceThresh(q2Program, q2Blocked(f)))
+			return prog, nil, err
 		},
-		Flows: flows / 12,
-	})
-	bgTrace := trace.Generate(trace.Config{
-		Seed:    203,
-		Sources: campusSources(campus),
-		Services: append([]trace.Service{
-			{DstIP: q2Web, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 5},
-		}, backgroundServices(campus, 12)...),
-		Flows: flows,
-	})
-	workload := append(dnsTrace, bgTrace...)
-
-	v1, vb, vdns, v53, v2 := ndlog.Int(1), ndlog.Int(blocked), ndlog.Int(q2DNS), ndlog.Int(53), ndlog.Int(2)
-	return &Scenario{
-		Name:  "Q2",
-		Query: "H17 is not receiving DNS queries from H1 (forwarding error)",
-		Prog:  prog,
-		BuildNet: func() *sdn.Network {
-			c := buildCampus(sc)
-			q2Zone(c)
-			c.InstallProactiveRoutes(map[int64]string{
-				q2DNS: "q2s1", q2Web: "q2s1",
-			}, "q2s1", "q2s2", "q2s3")
-			return c.Net
+		Workload: func(f *topo.Fabric, sc Scale) []trace.Entry {
+			// Authorized clients (including the blocked one) query DNS;
+			// everyone uses the web service and background services.
+			authorized := make([]trace.HostSpec, 0, 7)
+			for i := 0; i < 7; i++ {
+				authorized = append(authorized, hostSpecAt(f, i))
+			}
+			dnsTrace := trace.Generate(trace.Config{
+				Seed:    202,
+				Sources: authorized,
+				Services: []trace.Service{
+					{DstIP: q2DNS, Port: sdn.PortDNS, Proto: sdn.ProtoUDP, Weight: 1},
+				},
+				Flows: sc.Flows / 12,
+			})
+			bgTrace := trace.Generate(trace.Config{
+				Seed:    203,
+				Sources: campusSources(f),
+				Services: append([]trace.Service{
+					{DstIP: q2Web, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 5},
+				}, backgroundServices(f, 12)...),
+				Flows: sc.Flows,
+			})
+			return append(dnsTrace, bgTrace...)
 		},
-		Workload: workload,
-		Goal:     metaprov.PinnedGoal("FlowTable", &v1, &vb, &vdns, nil, &v53, &v2),
-		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
-			return n.Hosts["q2dns"].SrcCountFor(blocked, tag) > 0
+		Goal: func(f *topo.Fabric) metaprov.Goal {
+			v1, vb, vdns, v53, v2 := ndlog.Int(1), ndlog.Int(q2Blocked(f)), ndlog.Int(q2DNS), ndlog.Int(53), ndlog.Int(2)
+			return metaprov.PinnedGoal("FlowTable", &v1, &vb, &vdns, nil, &v53, &v2)
+		},
+		Oracle: func(f *topo.Fabric) scenario.Effectiveness {
+			blocked := q2Blocked(f)
+			return func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+				return n.Hosts["q2dns"].SrcCountFor(blocked, tag) > 0
+			}
 		},
 		IntuitiveFix: "change operator < to <= in d1",
 		Options: []metarepair.Option{

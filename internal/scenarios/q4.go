@@ -7,6 +7,7 @@ import (
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/metarepair"
+	"repro/scenario"
 )
 
 // Q4 addresses.
@@ -25,70 +26,72 @@ g1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt)
 g2 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dip == 232, Prt := 2.
 `
 
-func q4Zone(c *topo.Campus) {
+func q4Attach(f *topo.Fabric) {
 	s1 := sdn.NewSwitch("q4s1", 1)
-	c.Net.AddSwitch(s1)
-	c.Net.AddHostAt(sdn.NewHost("q4srva", q4SrvA, "q4s1"), 1)
-	c.Net.AddHostAt(sdn.NewHost("q4srvb", q4SrvB, "q4s1"), 2)
-	c.Net.Link("q4s1", c.CoreIDs[3])
-}
-
-// Q4 builds the forgotten-packets scenario. A probe client sends
-// single-packet flows; with the bug every one of them dies as a buffered
-// first packet, so the server never hears from the probe at all.
-func Q4(sc Scale) *Scenario {
-	campus := buildCampus(sc)
-	q4Zone(campus)
-	campus.InstallProactiveRoutes(map[int64]string{
+	f.Net.AddSwitch(s1)
+	f.Net.AddHostAt(sdn.NewHost("q4srva", q4SrvA, "q4s1"), 1)
+	f.Net.AddHostAt(sdn.NewHost("q4srvb", q4SrvB, "q4s1"), 2)
+	f.Net.Link("q4s1", f.CoreIDs[3])
+	f.InstallProactiveRoutes(map[int64]string{
 		q4SrvA: "q4s1", q4SrvB: "q4s1",
 	}, "q4s1")
-	prog := ndlog.MustParse("q4", q4Program)
-	probe := campus.Net.Hosts[campus.HostIDs[0]].IP
+}
 
-	flows := sc.Flows
-	if flows <= 0 {
-		flows = DefaultScale().Flows
-	}
-	// The probe's single-packet flows (the symptom traffic).
-	var probeTrace []trace.Entry
-	for i := 0; i < 24; i++ {
-		probeTrace = append(probeTrace, trace.Entry{
-			Time:    int64(i),
-			SrcHost: campus.HostIDs[0],
-			Pkt: sdn.Packet{
-				SrcIP: probe, DstIP: q4SrvA,
-				SrcPort: int64(20000 + i), DstPort: sdn.PortHTTP, Proto: sdn.ProtoTCP,
-			},
-		})
-	}
-	bgTrace := trace.Generate(trace.Config{
-		Seed:    401,
-		Sources: campusSources(campus),
-		Services: append([]trace.Service{
-			{DstIP: q4SrvA, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
-			{DstIP: q4SrvB, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
-		}, backgroundServices(campus, 12)...),
-		Flows: flows,
-	})
-	workload := append(probeTrace, bgTrace...)
+// q4Probe is the probe client: the first fabric host.
+func q4Probe(f *topo.Fabric) int64 {
+	return f.Net.Hosts[f.HostIDs[0]].IP
+}
 
-	v1, vp, va, v80, vprt := ndlog.Int(1), ndlog.Int(probe), ndlog.Int(q4SrvA), ndlog.Int(80), ndlog.Int(1)
-	return &Scenario{
-		Name:  "Q4",
-		Query: "First HTTP packet from H2 to H20 is not received (forgotten packets)",
-		Prog:  prog,
-		BuildNet: func() *sdn.Network {
-			c := buildCampus(sc)
-			q4Zone(c)
-			c.InstallProactiveRoutes(map[int64]string{
-				q4SrvA: "q4s1", q4SrvB: "q4s1",
-			}, "q4s1")
-			return c.Net
+// Q4Spec declares the forgotten-packets scenario. A probe client sends
+// single-packet flows; with the bug every one of them dies as a buffered
+// first packet, so the server never hears from the probe at all.
+func Q4Spec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "Q4",
+		Query:  "First HTTP packet from H2 to H20 is not received (forgotten packets)",
+		Attach: q4Attach,
+		Program: func(f *topo.Fabric) (*ndlog.Program, []ndlog.Tuple, error) {
+			prog, err := ndlog.Parse("q4", q4Program)
+			return prog, nil, err
 		},
-		Workload: workload,
-		Goal:     metaprov.PinnedGoal("PacketOut", &v1, &vp, &va, nil, &v80, &vprt),
-		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
-			return n.Hosts["q4srva"].SrcCountFor(probe, tag) > 0
+		Workload: func(f *topo.Fabric, sc Scale) []trace.Entry {
+			// The probe's single-packet flows (the symptom traffic).
+			probe := q4Probe(f)
+			probeTrace := make([]trace.Entry, 0, 24)
+			for i := 0; i < 24; i++ {
+				probeTrace = append(probeTrace, trace.Entry{
+					Time:    int64(i),
+					SrcHost: f.HostIDs[0],
+					Pkt: sdn.Packet{
+						SrcIP: probe, DstIP: q4SrvA,
+						SrcPort: int64(20000 + i), DstPort: sdn.PortHTTP, Proto: sdn.ProtoTCP,
+					},
+				})
+			}
+			// The probe is excluded from the background sources: its only
+			// traffic toward server A is the single-packet symptom flows,
+			// so a multi-packet background flow can never mask the
+			// forgotten-first-packet symptom at any scale.
+			bgTrace := trace.Generate(trace.Config{
+				Seed:    401,
+				Sources: campusSources(f)[1:],
+				Services: append([]trace.Service{
+					{DstIP: q4SrvA, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
+					{DstIP: q4SrvB, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 3},
+				}, backgroundServices(f, 12)...),
+				Flows: sc.Flows,
+			})
+			return append(probeTrace, bgTrace...)
+		},
+		Goal: func(f *topo.Fabric) metaprov.Goal {
+			v1, vp, va, v80, vprt := ndlog.Int(1), ndlog.Int(q4Probe(f)), ndlog.Int(q4SrvA), ndlog.Int(80), ndlog.Int(1)
+			return metaprov.PinnedGoal("PacketOut", &v1, &vp, &va, nil, &v80, &vprt)
+		},
+		Oracle: func(f *topo.Fabric) scenario.Effectiveness {
+			probe := q4Probe(f)
+			return func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+				return n.Hosts["q4srva"].SrcCountFor(probe, tag) > 0
+			}
 		},
 		IntuitiveFix: "add rule g1~PacketOut",
 		Options: []metarepair.Option{

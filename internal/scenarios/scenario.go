@@ -1,232 +1,103 @@
-// Package scenarios reproduces the five case studies of §5.3: Q1
-// (copy-and-paste error, [31]), Q2 (forwarding error, [57]), Q3
-// (uncoordinated policy update, [13]), Q4 (forgotten packets, [7]), and
-// Q5 (incorrect MAC learning, [4]). Each scenario embeds a buggy NDlog
-// controller program in a reactive zone attached to the Stanford-style
-// campus topology of §5.2, generates a workload in which the symptom
-// traffic is a small fraction of the total, and exposes the diagnostic
-// query as a missing-tuple goal plus an effectiveness predicate. The
-// pipeline itself runs through the metarepair.Session API.
+// Package scenarios defines the five built-in case studies of §5.3 as
+// registered scenario.Specs: Q1 (copy-and-paste error, [31]), Q2
+// (forwarding error, [57]), Q3 (uncoordinated policy update, [13]), Q4
+// (forgotten packets, [7]), and Q5 (incorrect MAC learning, [4]). Each
+// spec embeds a buggy NDlog controller program in a reactive zone
+// attached to the Stanford-style campus topology of §5.2, generates a
+// workload in which the symptom traffic is a small fraction of the
+// total, and exposes the diagnostic query as a missing-tuple goal plus
+// an effectiveness predicate.
+//
+// Importing this package registers Q1–Q5 in the scenario package's
+// default registry; the Q1..Q5 and All constructors are convenience
+// wrappers that instantiate the same specs directly. Third-party
+// scenarios are defined the same way — build a scenario.Spec and
+// register it.
 package scenarios
 
 import (
-	"context"
-	"fmt"
-	"time"
-
-	"repro/internal/backtest"
-	"repro/internal/metaprov"
-	"repro/internal/ndlog"
 	"repro/internal/sdn"
 	"repro/internal/topo"
 	"repro/internal/trace"
-	"repro/metarepair"
+	"repro/scenario"
 )
 
-// Scale sizes a scenario: the campus switch count (19 reproduces the
-// paper's base setting; up to 169 for Figure 9c) and the workload volume.
-type Scale struct {
-	Switches int
-	Flows    int
-}
+// Scale aliases the public scale type so existing call sites read
+// naturally: scenarios.Q1(scenarios.Scale{...}).
+type Scale = scenario.Scale
 
 // DefaultScale is the base evaluation setting.
-func DefaultScale() Scale { return Scale{Switches: 19, Flows: 900} }
+func DefaultScale() Scale { return scenario.DefaultScale() }
 
-// Scenario is one §5.3 case study.
-type Scenario struct {
-	Name  string
-	Query string // the operator's diagnostic question (Table 1)
-	Prog  *ndlog.Program
-	State []ndlog.Tuple
-
-	// BuildNet constructs the topology with proactive routes installed
-	// and the reactive zone wired (no controller).
-	BuildNet func() *sdn.Network
-	// Workload is the recorded traffic, generated in memory.
-	Workload []trace.Entry
-	// Source, when set, streams the recorded traffic instead — e.g. a
-	// tracestore view replaying a captured log — so scenario runs never
-	// materialize the workload. Takes precedence over Workload.
-	Source trace.Source
-	// Goal is the missing-tuple symptom (negative symptoms; all five
-	// case studies are phrased this way, as in Table 1).
-	Goal metaprov.Goal
-	// Effective checks whether the symptom is fixed under a tag.
-	Effective func(*sdn.Network, *sdn.NDlogController, int) bool
-	// IntuitiveFix is a substring of the repair a human operator would
-	// choose; it must be generated and accepted.
-	IntuitiveFix string
-	// Options are the scenario's session options (search budget, candidate
-	// cap), matching the paper's per-query cost bounds.
-	Options []metarepair.Option
-	// MaxPacketInFactor enables the controller-load metric (Q4).
-	MaxPacketInFactor float64
+// Specs returns the five §5.3 case-study specs in paper order.
+func Specs() []scenario.Spec {
+	return []scenario.Spec{Q1Spec(), Q2Spec(), Q3Spec(), Q4Spec(), Q5Spec()}
 }
 
-// Timing is the Figure 9a turnaround breakdown.
-type Timing = metarepair.Timing
-
-// Outcome is one end-to-end run: diagnose → generate → backtest.
-type Outcome struct {
-	Scenario   *Scenario
-	Session    *metarepair.Session
-	Report     *metarepair.Report
-	Candidates []metaprov.Candidate
-	Results    []backtest.Result
-	Generated  int
-	Passed     int
-	Timing     Timing
-}
-
-// sessionOptions merges scenario tuning with per-call extras.
-func (s *Scenario) sessionOptions(extra []metarepair.Option) []metarepair.Option {
-	opts := append([]metarepair.Option{}, s.Options...)
-	if s.MaxPacketInFactor > 0 {
-		opts = append(opts, metarepair.WithMaxPacketInFactor(s.MaxPacketInFactor))
-	}
-	return append(opts, extra...)
-}
-
-// Diagnose replays the workload through the buggy program inside a fresh
-// repair session, recording provenance — the run in which the operator
-// observes the symptom. The returned session holds the history every
-// later pipeline stage consumes.
-func (s *Scenario) Diagnose(extra ...metarepair.Option) (*metarepair.Session, time.Duration, error) {
-	start := time.Now()
-	sess, err := metarepair.NewSession(s.Prog, s.sessionOptions(extra)...)
-	if err != nil {
-		return nil, 0, err
-	}
-	net := s.BuildNet()
-	ctl := sess.Controller()
-	net.Ctrl = ctl
-	for _, st := range s.State {
-		ctl.InsertState(net, st)
-	}
-	n, err := trace.ReplaySource(net, s.workloadSource(), 1)
-	if err != nil {
-		return nil, 0, fmt.Errorf("%s: replaying workload: %w", s.Name, err)
-	}
-	if s.Source == nil && n != len(s.Workload) {
-		return nil, 0, fmt.Errorf("%s: partial replay: %d of %d entries", s.Name, n, len(s.Workload))
-	}
-	if s.Effective != nil && s.Effective(net, ctl, 0) {
-		return nil, 0, fmt.Errorf("%s: bug not reproduced — symptom absent in buggy run", s.Name)
-	}
-	return sess, time.Since(start), nil
-}
-
-// Symptom is the scenario's diagnostic query as a pipeline symptom.
-func (s *Scenario) Symptom() metarepair.Symptom {
-	return metarepair.Symptom{Goal: s.Goal}
-}
-
-// workloadSource streams the scenario's traffic: a captured store view
-// when set, otherwise the generated in-memory slice.
-func (s *Scenario) workloadSource() trace.Source {
-	if s.Source != nil {
-		return s.Source
-	}
-	return trace.SliceSource(s.Workload)
-}
-
-// Backtest is the scenario's historical evidence for candidate
-// evaluation. The workload is handed over as a stream, so store-backed
-// scenarios backtest in O(segment) memory.
-func (s *Scenario) Backtest() metarepair.Backtest {
-	return metarepair.Backtest{
-		BuildNet:  s.BuildNet,
-		State:     s.State,
-		Workload:  s.Workload,
-		Source:    s.workloadSource(),
-		Effective: s.Effective,
+func init() {
+	for _, spec := range Specs() {
+		scenario.MustRegister(spec)
 	}
 }
 
-// Run executes the full pipeline and collects the Figure 9a breakdown.
-func (s *Scenario) Run(ctx context.Context, extra ...metarepair.Option) (*Outcome, error) {
-	sess, replayTime, err := s.Diagnose(extra...)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := sess.Repair(ctx, s.Symptom(), s.Backtest())
-	if err != nil {
-		return nil, err
-	}
-	return s.outcome(sess, rep, replayTime), nil
-}
+// Q1 builds the copy-and-paste scenario of §2.3/§5.3 at the given scale.
+func Q1(sc Scale) *scenario.Scenario { return Q1Spec().MustInstantiate(sc) }
 
-// outcome folds a report and the diagnostic replay time into the
-// scenario-level view.
-func (s *Scenario) outcome(sess *metarepair.Session, rep *metarepair.Report, replayTime time.Duration) *Outcome {
-	t := rep.Timing
-	t.Replay += replayTime
-	return &Outcome{
-		Scenario:   s,
-		Session:    sess,
-		Report:     rep,
-		Candidates: rep.Candidates,
-		Results:    rep.Results,
-		Generated:  len(rep.Candidates),
-		Passed:     rep.Accepted,
-		Timing:     t,
-	}
-}
+// Q2 builds the forwarding-error scenario.
+func Q2(sc Scale) *scenario.Scenario { return Q2Spec().MustInstantiate(sc) }
 
-// All returns the five scenarios at the given scale.
-func All(sc Scale) []*Scenario {
-	return []*Scenario{Q1(sc), Q2(sc), Q3(sc), Q4(sc), Q5(sc)}
-}
+// Q3 builds the uncoordinated-policy-update scenario.
+func Q3(sc Scale) *scenario.Scenario { return Q3Spec().MustInstantiate(sc) }
 
-// ByName returns a scenario by its Q-number name, or nil.
-func ByName(name string, sc Scale) *Scenario {
-	for _, s := range All(sc) {
-		if s.Name == name {
-			return s
-		}
-	}
-	return nil
-}
+// Q4 builds the forgotten-packets scenario.
+func Q4(sc Scale) *scenario.Scenario { return Q4Spec().MustInstantiate(sc) }
 
-// zone bundles the shared reactive-zone construction: a campus at the
-// requested scale plus scenario switches steered via route overrides.
-type zone struct {
-	campus *topo.Campus
-}
+// Q5 builds the incorrect-MAC-learning scenario.
+func Q5(sc Scale) *scenario.Scenario { return Q5Spec().MustInstantiate(sc) }
 
-// buildCampus builds the campus and returns it; scenario builders attach
-// their zone switches and then install proactive routes with overrides.
-func buildCampus(sc Scale) *topo.Campus {
-	n := sc.Switches
-	if n < 19 {
-		n = 19
-	}
-	return topo.Build(topo.Scaled(n))
-}
-
-// campusSources returns trace sources for every campus host.
-func campusSources(c *topo.Campus) []trace.HostSpec {
-	var out []trace.HostSpec
-	for _, id := range c.HostIDs {
-		out = append(out, trace.HostSpec{ID: id, IP: c.Net.Hosts[id].IP})
+// All returns the five scenarios at the given scale, in paper order.
+func All(sc Scale) []*scenario.Scenario {
+	specs := Specs()
+	out := make([]*scenario.Scenario, 0, len(specs))
+	for _, spec := range specs {
+		out = append(out, spec.MustInstantiate(sc))
 	}
 	return out
 }
 
-// backgroundServices spreads background traffic across a sample of campus
-// hosts, so the per-host distribution has enough mass that symptom-sized
-// changes stay under the KS significance threshold while over-general
-// repairs do not.
-func backgroundServices(c *topo.Campus, count int) []trace.Service {
-	var out []trace.Service
-	step := len(c.HostIDs) / count
-	if step == 0 {
-		step = 1
+// campusSources returns trace sources for every fabric host.
+func campusSources(f *topo.Fabric) []trace.HostSpec {
+	out := make([]trace.HostSpec, 0, len(f.HostIDs))
+	for _, id := range f.HostIDs {
+		out = append(out, trace.HostSpec{ID: id, IP: f.Net.Hosts[id].IP})
 	}
-	for i := 0; i < len(c.HostIDs) && len(out) < count; i += step {
-		h := c.Net.Hosts[c.HostIDs[i]]
+	return out
+}
+
+// backgroundServices spreads background traffic across an evenly spaced
+// sample of fabric hosts, so the per-host distribution has enough mass
+// that symptom-sized changes stay under the KS significance threshold
+// while over-general repairs do not. The sample is exact: min(count,
+// hosts) distinct hosts, spread across the whole ID range rather than
+// clustered at its start.
+func backgroundServices(f *topo.Fabric, count int) []trace.Service {
+	n := len(f.HostIDs)
+	if count > n {
+		count = n
+	}
+	if count <= 0 {
+		return nil
+	}
+	out := make([]trace.Service, 0, count)
+	for i := 0; i < count; i++ {
+		h := f.Net.Hosts[f.HostIDs[i*n/count]]
 		out = append(out, trace.Service{DstIP: h.IP, Port: 9000, Proto: sdn.ProtoTCP, Weight: 1})
 	}
 	return out
+}
+
+// hostSpecAt returns the trace source for the fabric host at index i.
+func hostSpecAt(f *topo.Fabric, i int) trace.HostSpec {
+	id := f.HostIDs[i]
+	return trace.HostSpec{ID: id, IP: f.Net.Hosts[id].IP}
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/topo"
+	"repro/scenario"
 )
 
 // smallScale keeps unit-test runtimes reasonable while preserving the
@@ -13,7 +16,7 @@ func smallScale() Scale { return Scale{Switches: 19, Flows: 700} }
 // runScenario executes the full pipeline and applies the Table 1 shape
 // checks: candidates generated, a few accepted, the intuitive fix among
 // the accepted ones.
-func runScenario(t *testing.T, s *Scenario) *Outcome {
+func runScenario(t *testing.T, s *scenario.Scenario) *scenario.Outcome {
 	t.Helper()
 	out, err := s.Run(context.Background())
 	if err != nil {
@@ -49,6 +52,9 @@ func runScenario(t *testing.T, s *Scenario) *Outcome {
 			t.Logf("%s candidate: %s", s.Name, c.Describe())
 		}
 		t.Fatalf("%s: intuitive fix %q not among candidates", s.Name, s.IntuitiveFix)
+	}
+	if !out.IntuitiveFixAccepted() {
+		t.Fatalf("%s: IntuitiveFixAccepted disagrees with the per-result scan", s.Name)
 	}
 	return out
 }
@@ -106,7 +112,145 @@ func TestAllScenariosDistinct(t *testing.T) {
 			t.Fatalf("%s incomplete", s.Name)
 		}
 	}
-	if ByName("Q3", sc) == nil || ByName("nope", sc) != nil {
-		t.Fatal("ByName lookup broken")
+}
+
+// TestSpecsRegistered asserts importing this package registers the five
+// case studies in the default registry, lookups resolve them, and a typo
+// produces the descriptive menu error instead of a nil scenario.
+func TestSpecsRegistered(t *testing.T) {
+	names := scenario.Names()
+	for _, want := range []string{"Q1", "Q2", "Q3", "Q4", "Q5"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not registered (registry: %v)", want, names)
+		}
+		if _, err := scenario.Lookup(want); err != nil {
+			t.Fatalf("Lookup(%s): %v", want, err)
+		}
+	}
+	_, err := scenario.Lookup("Q6")
+	if err == nil {
+		t.Fatal("Lookup(Q6) must error")
+	}
+	for _, want := range []string{"Q1", "Q5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("lookup error %q does not list %s", err, want)
+		}
+	}
+}
+
+// TestSpecParity asserts the registry path and the direct constructors
+// instantiate identical scenarios: same program, goal, workload, and
+// zone wiring — the guarantee that migrating Q1–Q5 onto Specs changed
+// nothing about what runs.
+func TestSpecParity(t *testing.T) {
+	sc := smallScale()
+	direct := All(sc)
+	for _, want := range direct {
+		got, err := scenario.Instantiate(want.Name, sc)
+		if err != nil {
+			t.Fatalf("Instantiate(%s): %v", want.Name, err)
+		}
+		if got.Prog.String() != want.Prog.String() {
+			t.Fatalf("%s: registry program differs from direct constructor", want.Name)
+		}
+		if got.Goal.String() != want.Goal.String() {
+			t.Fatalf("%s: goal differs: %s vs %s", want.Name, got.Goal, want.Goal)
+		}
+		if len(got.Workload) != len(want.Workload) {
+			t.Fatalf("%s: workload %d vs %d entries", want.Name, len(got.Workload), len(want.Workload))
+		}
+		for i := range got.Workload {
+			if got.Workload[i] != want.Workload[i] {
+				t.Fatalf("%s: workload entry %d differs", want.Name, i)
+			}
+		}
+		if len(got.State) != len(want.State) {
+			t.Fatalf("%s: state %d vs %d tuples", want.Name, len(got.State), len(want.State))
+		}
+		gn, wn := got.BuildNet(), want.BuildNet()
+		if len(gn.Switches) != len(wn.Switches) || len(gn.Hosts) != len(wn.Hosts) {
+			t.Fatalf("%s: networks differ: %d/%d switches, %d/%d hosts",
+				want.Name, len(gn.Switches), len(wn.Switches), len(gn.Hosts), len(wn.Hosts))
+		}
+	}
+}
+
+// TestSpecOutcomeParity runs one migrated spec end to end via the
+// registry and asserts the outcome matches the direct constructor's:
+// same generated and passed counts and the same accepted intuitive fix —
+// the seed behaviour, reproduced through the new API.
+func TestSpecOutcomeParity(t *testing.T) {
+	sc := smallScale()
+	ctx := context.Background()
+	direct, err := Q1(sc).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRegistry, err := scenario.Instantiate("Q1", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := viaRegistry.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Generated != direct.Generated || out.Passed != direct.Passed {
+		t.Fatalf("registry run %d/%d, direct run %d/%d",
+			out.Generated, out.Passed, direct.Generated, direct.Passed)
+	}
+	if out.IntuitiveFixAccepted() != direct.IntuitiveFixAccepted() {
+		t.Fatal("intuitive-fix verdicts differ between registry and direct runs")
+	}
+	for i := range out.Results {
+		if out.Results[i].Accepted != direct.Results[i].Accepted {
+			t.Fatalf("candidate %d verdict differs", i)
+		}
+	}
+}
+
+// TestBackgroundServicesSampling pins the satellite fix: the sample is
+// exact at small host counts (all hosts when count >= hosts) and evenly
+// spread with no duplicates otherwise.
+func TestBackgroundServicesSampling(t *testing.T) {
+	build := func(hosts int) *topo.Fabric {
+		return topo.Linear{}.Generate(topo.Size{Switches: 2, Hosts: hosts})
+	}
+	for _, tc := range []struct {
+		hosts, count, want int
+	}{
+		{hosts: 5, count: 12, want: 5},   // fewer hosts than services: take all
+		{hosts: 12, count: 12, want: 12}, // exact fit
+		{hosts: 13, count: 12, want: 12}, // the old step==0 path clustered here
+		{hosts: 259, count: 12, want: 12},
+	} {
+		svcs := backgroundServices(build(tc.hosts), tc.count)
+		if len(svcs) != tc.want {
+			t.Fatalf("hosts=%d count=%d: got %d services, want %d",
+				tc.hosts, tc.count, len(svcs), tc.want)
+		}
+		seen := map[int64]bool{}
+		for _, s := range svcs {
+			if seen[s.DstIP] {
+				t.Fatalf("hosts=%d count=%d: duplicate service host %d", tc.hosts, tc.count, s.DstIP)
+			}
+			seen[s.DstIP] = true
+		}
+	}
+	// Spread: with 2x hosts the sample must span the whole range, not
+	// cluster at its start.
+	svcs := backgroundServices(build(24), 12)
+	last := svcs[len(svcs)-1].DstIP
+	first := svcs[0].DstIP
+	if last-first < 20 {
+		t.Fatalf("sample clustered: spans [%d, %d] of 24 hosts", first, last)
+	}
+	if backgroundServices(build(4), 0) != nil {
+		t.Fatal("count<=0 must yield no services")
 	}
 }

@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+)
+
+// Fabric is a built topology: the network plus the naming and routing
+// helpers scenario packages compose on. Every generated shape — campus,
+// fat-tree, linear — produces one, so a reactive zone written against a
+// Fabric runs unchanged on any of them: CoreIDs are the backbone switches
+// zones attach to, EdgeIDs the host-bearing switches, and HostIDs every
+// host in attachment order.
+type Fabric struct {
+	Net     *sdn.Network
+	CoreIDs []string
+	EdgeIDs []string
+	HostIDs []string
+}
+
+// InstallProactiveRoutes computes shortest paths and installs one
+// DstIP-match entry per (switch, host) pair — the proactive core
+// configuration of §5.2, topology-independent because it BFSes the built
+// graph. Overrides route chosen destination IPs toward a designated
+// switch instead (used to steer scenario service IPs into the reactive
+// zone). Switches named in reactive get no proactive entries at all, and
+// hosts attached to them are reachable only via overrides — the reactive
+// zone is the controller program's exclusive responsibility.
+func (f *Fabric) InstallProactiveRoutes(overrides map[int64]string, reactive ...string) {
+	skip := make(map[string]bool, len(reactive))
+	for _, id := range reactive {
+		skip[id] = true
+	}
+	next := f.nextHops()
+	for _, h := range f.Net.Hosts {
+		if skip[h.Switch] {
+			continue
+		}
+		if _, overridden := overrides[h.IP]; overridden {
+			continue
+		}
+		f.installRoutesTo(h.IP, h.Switch, next, skip)
+	}
+	for ip, swID := range overrides {
+		f.installRoutesTo(ip, swID, next, skip)
+	}
+}
+
+// installRoutesTo installs DstIP entries on every non-reactive switch
+// toward target.
+func (f *Fabric) installRoutesTo(ip int64, targetSw string, next map[string]map[string]string, skip map[string]bool) {
+	for swID, sw := range f.Net.Switches {
+		if skip[swID] {
+			continue
+		}
+		if swID == targetSw {
+			// Final hop: deliver to the locally attached host if present.
+			if h := f.Net.HostByIP(ip); h != nil && h.Switch == swID {
+				dst := ip
+				sw.Install(sdn.FlowEntry{
+					Priority: 10,
+					Match:    sdn.Match{DstIP: &dst},
+					Action:   sdn.Action{Kind: sdn.ActionOutput, Port: sw.PortTo(h.ID)},
+					Tags:     ndlog.AllTags,
+				})
+			}
+			continue
+		}
+		hop, ok := next[swID][targetSw]
+		if !ok {
+			continue
+		}
+		dst := ip
+		sw.Install(sdn.FlowEntry{
+			Priority: 10,
+			Match:    sdn.Match{DstIP: &dst},
+			Action:   sdn.Action{Kind: sdn.ActionOutput, Port: sw.PortTo(hop)},
+			Tags:     ndlog.AllTags,
+		})
+	}
+}
+
+// nextHops runs BFS from every switch, returning next[src][dst] = the
+// neighbouring switch on a shortest path from src to dst.
+func (f *Fabric) nextHops() map[string]map[string]string {
+	adj := make(map[string][]string)
+	for id, sw := range f.Net.Switches {
+		for _, p := range sw.Ports() {
+			n := sw.Neighbour(p)
+			if _, isSwitch := f.Net.Switches[n]; isSwitch {
+				adj[id] = append(adj[id], n)
+			}
+		}
+	}
+	next := make(map[string]map[string]string)
+	for src := range f.Net.Switches {
+		next[src] = make(map[string]string)
+	}
+	// BFS from each destination, recording each node's parent toward dst.
+	for dst := range f.Net.Switches {
+		visited := map[string]bool{dst: true}
+		queue := []string{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				next[nb][dst] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return next
+}
+
+// SwitchCount returns the number of switches in the fabric.
+func (f *Fabric) SwitchCount() int { return len(f.Net.Switches) }
+
+// HostCount returns the number of hosts.
+func (f *Fabric) HostCount() int { return len(f.Net.Hosts) }

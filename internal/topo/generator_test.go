@@ -1,0 +1,126 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/sdn"
+)
+
+// probeReachability installs proactive routes and checks the first host
+// can reach a sample of the others — the property every generated shape
+// must provide before a scenario zone is attached.
+func probeReachability(t *testing.T, f *Fabric) {
+	t.Helper()
+	f.InstallProactiveRoutes(nil)
+	src := f.HostIDs[0]
+	n := len(f.HostIDs)
+	if n > 10 {
+		n = 10
+	}
+	for _, dstID := range f.HostIDs[1:n] {
+		dst := f.Net.Hosts[dstID]
+		before := f.Net.Delivered
+		f.Net.Inject(src, sdn.Packet{
+			SrcIP: f.Net.Hosts[src].IP, DstIP: dst.IP, DstPort: sdn.PortHTTP,
+		})
+		if f.Net.Delivered != before+1 {
+			t.Fatalf("host %s unreachable from %s", dstID, src)
+		}
+	}
+	if f.Net.Missed != 0 {
+		t.Fatalf("missed = %d, want 0 on a proactive fabric", f.Net.Missed)
+	}
+}
+
+func TestCampusGenerator(t *testing.T) {
+	f := Campus{}.Generate(Size{Switches: 19})
+	if f.SwitchCount() != 19 || f.HostCount() != 259 {
+		t.Fatalf("campus: %d switches, %d hosts", f.SwitchCount(), f.HostCount())
+	}
+	probeReachability(t, f)
+}
+
+func TestFatTreeGenerator(t *testing.T) {
+	f := FatTree{}.Generate(Size{Switches: 20})
+	// k=4: 4 core + 4 pods x (2 agg + 2 edge) = 20 switches, 16 hosts.
+	if f.SwitchCount() != 20 {
+		t.Fatalf("fat-tree switches = %d, want 20", f.SwitchCount())
+	}
+	if f.HostCount() != 16 {
+		t.Fatalf("fat-tree hosts = %d, want 16", f.HostCount())
+	}
+	if len(f.CoreIDs) != 4 || len(f.EdgeIDs) != 8 {
+		t.Fatalf("fat-tree layers: %d core, %d edge", len(f.CoreIDs), len(f.EdgeIDs))
+	}
+	probeReachability(t, f)
+
+	// A bigger budget derives a bigger k: 5k²/4 <= 45 gives k=6.
+	big := FatTree{}.Generate(Size{Switches: 45})
+	if big.SwitchCount() != 45 {
+		t.Fatalf("fat-tree k=6 switches = %d, want 45", big.SwitchCount())
+	}
+	// Host override wins over the k³/4 default.
+	sized := FatTree{}.Generate(Size{Switches: 20, Hosts: 40})
+	if sized.HostCount() != 40 {
+		t.Fatalf("fat-tree hosts = %d, want 40", sized.HostCount())
+	}
+}
+
+func TestLinearGenerator(t *testing.T) {
+	f := Linear{}.Generate(Size{Switches: 8})
+	if f.SwitchCount() != 8 || f.HostCount() != 32 {
+		t.Fatalf("linear: %d switches, %d hosts", f.SwitchCount(), f.HostCount())
+	}
+	probeReachability(t, f)
+
+	dense := Linear{HostsPerSwitch: 10}.Generate(Size{Switches: 3})
+	if dense.HostCount() != 30 {
+		t.Fatalf("linear dense hosts = %d, want 30", dense.HostCount())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Generators() {
+		a := g.Generate(Size{Switches: 20})
+		b := g.Generate(Size{Switches: 20})
+		if a.SwitchCount() != b.SwitchCount() || a.HostCount() != b.HostCount() {
+			t.Fatalf("%s: non-deterministic sizes", g.Name())
+		}
+		for i, id := range a.HostIDs {
+			if b.HostIDs[i] != id || a.Net.Hosts[id].IP != b.Net.Hosts[id].IP {
+				t.Fatalf("%s: host %d differs between builds", g.Name(), i)
+			}
+		}
+	}
+}
+
+func TestGeneratorByName(t *testing.T) {
+	for _, name := range []string{"campus", "fattree", "linear"} {
+		g, err := GeneratorByName(name)
+		if err != nil || g.Name() != name {
+			t.Fatalf("GeneratorByName(%q) = %v, %v", name, g, err)
+		}
+	}
+	if _, err := GeneratorByName("torus"); err == nil {
+		t.Fatal("unknown shape must error")
+	}
+}
+
+// TestZonePortable attaches the same reactive zone to every shape and
+// checks the override steering works identically — the property the
+// scenario layer's topology pluggability rests on.
+func TestZonePortable(t *testing.T) {
+	for _, g := range Generators() {
+		f := g.Generate(Size{Switches: 20})
+		zone := sdn.NewSwitch("zone", 1)
+		f.Net.AddSwitch(zone)
+		f.Net.Link("zone", f.CoreIDs[0])
+		f.InstallProactiveRoutes(map[int64]string{5555: "zone"})
+		f.Net.Inject(f.HostIDs[0], sdn.Packet{
+			SrcIP: f.Net.Hosts[f.HostIDs[0]].IP, DstIP: 5555, DstPort: sdn.PortHTTP,
+		})
+		if f.Net.Missed != 1 {
+			t.Fatalf("%s: missed = %d, want 1 (steered to the zone switch)", g.Name(), f.Net.Missed)
+		}
+	}
+}

@@ -1,15 +1,17 @@
-// Package topo builds the evaluation topologies of §5.2: a Stanford-
-// campus-style network with 16 operational-zone/backbone core routers,
-// edge networks hanging off the core, and 1–15 hosts per edge network.
-// The core is proactively configured (shortest-path forwarding entries for
-// every host); scenario packages attach small reactive zones that the
-// controller program manages.
+// Package topo builds evaluation topologies. The original shape is the
+// §5.2 Stanford-campus-style network — 16 operational-zone/backbone core
+// routers, edge networks hanging off the core, and 1–15 hosts per edge
+// network — and the Generator interface makes the shape pluggable:
+// Campus, FatTree, and Linear all produce a Fabric with the same naming
+// and proactive-routing helpers, so scenario packages compose a bug and
+// workload with any of them. The core is proactively configured
+// (shortest-path forwarding entries for every host); scenario packages
+// attach small reactive zones that the controller program manages.
 package topo
 
 import (
 	"fmt"
 
-	"repro/internal/ndlog"
 	"repro/internal/sdn"
 )
 
@@ -47,19 +49,10 @@ func Scaled(switches int) Config {
 	return Config{CoreSwitches: 16, EdgeSwitches: edges, Hosts: hosts}
 }
 
-// Campus is a built topology: the network plus naming helpers.
-type Campus struct {
-	Net     *sdn.Network
-	CoreIDs []string
-	EdgeIDs []string
-	HostIDs []string
-	cfg     Config
-}
-
 // Build constructs the campus: a two-level core (ring plus chords, the
 // usual campus backbone abstraction), one switch per edge network, and
 // hosts round-robined across edges.
-func Build(cfg Config) *Campus {
+func Build(cfg Config) *Fabric {
 	if cfg.CoreSwitches <= 0 {
 		cfg.CoreSwitches = 16
 	}
@@ -72,139 +65,47 @@ func Build(cfg Config) *Campus {
 	if cfg.BaseHostIP == 0 {
 		cfg.BaseHostIP = 1000
 	}
-	c := &Campus{Net: sdn.NewNetwork(), cfg: cfg}
+	f := &Fabric{Net: sdn.NewNetwork()}
 	num := cfg.BaseSwitchNum
 	for i := 0; i < cfg.CoreSwitches; i++ {
 		id := fmt.Sprintf("core%d", i)
-		c.Net.AddSwitch(sdn.NewSwitch(id, num))
-		c.CoreIDs = append(c.CoreIDs, id)
+		f.Net.AddSwitch(sdn.NewSwitch(id, num))
+		f.CoreIDs = append(f.CoreIDs, id)
 		num++
 	}
 	// Ring plus cross-links every 4th router: redundant paths like a
 	// campus backbone.
 	for i := 0; i < cfg.CoreSwitches; i++ {
-		c.Net.Link(c.CoreIDs[i], c.CoreIDs[(i+1)%cfg.CoreSwitches])
+		f.Net.Link(f.CoreIDs[i], f.CoreIDs[(i+1)%cfg.CoreSwitches])
 		if i%4 == 0 && cfg.CoreSwitches > 8 {
-			c.Net.Link(c.CoreIDs[i], c.CoreIDs[(i+cfg.CoreSwitches/2)%cfg.CoreSwitches])
+			f.Net.Link(f.CoreIDs[i], f.CoreIDs[(i+cfg.CoreSwitches/2)%cfg.CoreSwitches])
 		}
 	}
 	for i := 0; i < cfg.EdgeSwitches; i++ {
 		id := fmt.Sprintf("edge%d", i)
-		c.Net.AddSwitch(sdn.NewSwitch(id, num))
+		f.Net.AddSwitch(sdn.NewSwitch(id, num))
 		num++
-		c.EdgeIDs = append(c.EdgeIDs, id)
-		c.Net.Link(id, c.CoreIDs[i%cfg.CoreSwitches])
+		f.EdgeIDs = append(f.EdgeIDs, id)
+		f.Net.Link(id, f.CoreIDs[i%cfg.CoreSwitches])
 	}
-	ip := cfg.BaseHostIP
-	for i := 0; i < cfg.Hosts; i++ {
+	attachHosts(f, cfg.Hosts, cfg.BaseHostIP)
+	return f
+}
+
+// attachHosts round-robins count hosts across the fabric's edge switches,
+// assigning consecutive IPs from baseIP — the host-attachment convention
+// every generator shares.
+func attachHosts(f *Fabric, count int, baseIP int64) {
+	if len(f.EdgeIDs) == 0 {
+		return
+	}
+	ip := baseIP
+	f.HostIDs = make([]string, 0, count)
+	for i := 0; i < count; i++ {
 		id := fmt.Sprintf("h%d", i)
-		edge := c.EdgeIDs[i%len(c.EdgeIDs)]
-		c.Net.AddHost(sdn.NewHost(id, ip, edge))
-		c.HostIDs = append(c.HostIDs, id)
+		edge := f.EdgeIDs[i%len(f.EdgeIDs)]
+		f.Net.AddHost(sdn.NewHost(id, ip, edge))
+		f.HostIDs = append(f.HostIDs, id)
 		ip++
 	}
-	return c
 }
-
-// InstallProactiveRoutes computes shortest paths and installs one
-// DstIP-match entry per (switch, host) pair — the proactive core
-// configuration of §5.2. Overrides route chosen destination IPs toward a
-// designated switch instead (used to steer scenario service IPs into the
-// reactive zone). Switches named in reactive get no proactive entries at
-// all, and hosts attached to them are reachable only via overrides — the
-// reactive zone is the controller program's exclusive responsibility.
-func (c *Campus) InstallProactiveRoutes(overrides map[int64]string, reactive ...string) {
-	skip := make(map[string]bool, len(reactive))
-	for _, id := range reactive {
-		skip[id] = true
-	}
-	next := c.nextHops()
-	for _, h := range c.Net.Hosts {
-		if skip[h.Switch] {
-			continue
-		}
-		if _, overridden := overrides[h.IP]; overridden {
-			continue
-		}
-		c.installRoutesTo(h.IP, h.Switch, next, skip)
-	}
-	for ip, swID := range overrides {
-		c.installRoutesTo(ip, swID, next, skip)
-	}
-}
-
-// installRoutesTo installs DstIP entries on every non-reactive switch
-// toward target.
-func (c *Campus) installRoutesTo(ip int64, targetSw string, next map[string]map[string]string, skip map[string]bool) {
-	for swID, sw := range c.Net.Switches {
-		if skip[swID] {
-			continue
-		}
-		if swID == targetSw {
-			// Final hop: deliver to the locally attached host if present.
-			if h := c.Net.HostByIP(ip); h != nil && h.Switch == swID {
-				dst := ip
-				sw.Install(sdn.FlowEntry{
-					Priority: 10,
-					Match:    sdn.Match{DstIP: &dst},
-					Action:   sdn.Action{Kind: sdn.ActionOutput, Port: sw.PortTo(h.ID)},
-					Tags:     ndlog.AllTags,
-				})
-			}
-			continue
-		}
-		hop, ok := next[swID][targetSw]
-		if !ok {
-			continue
-		}
-		dst := ip
-		sw.Install(sdn.FlowEntry{
-			Priority: 10,
-			Match:    sdn.Match{DstIP: &dst},
-			Action:   sdn.Action{Kind: sdn.ActionOutput, Port: sw.PortTo(hop)},
-			Tags:     ndlog.AllTags,
-		})
-	}
-}
-
-// nextHops runs BFS from every switch, returning next[src][dst] = the
-// neighbouring switch on a shortest path from src to dst.
-func (c *Campus) nextHops() map[string]map[string]string {
-	adj := make(map[string][]string)
-	for id, sw := range c.Net.Switches {
-		for _, p := range sw.Ports() {
-			n := sw.Neighbour(p)
-			if _, isSwitch := c.Net.Switches[n]; isSwitch {
-				adj[id] = append(adj[id], n)
-			}
-		}
-	}
-	next := make(map[string]map[string]string)
-	for src := range c.Net.Switches {
-		next[src] = make(map[string]string)
-	}
-	// BFS from each destination, recording each node's parent toward dst.
-	for dst := range c.Net.Switches {
-		visited := map[string]bool{dst: true}
-		queue := []string{dst}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, nb := range adj[cur] {
-				if visited[nb] {
-					continue
-				}
-				visited[nb] = true
-				next[nb][dst] = cur
-				queue = append(queue, nb)
-			}
-		}
-	}
-	return next
-}
-
-// SwitchCount returns the number of switches in the campus.
-func (c *Campus) SwitchCount() int { return len(c.Net.Switches) }
-
-// HostCount returns the number of hosts.
-func (c *Campus) HostCount() int { return len(c.Net.Hosts) }

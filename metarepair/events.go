@@ -21,6 +21,15 @@ import (
 //	batch.done          Batch, Size, Elapsed
 //	suggestion          Index, Desc, Accepted, KS
 //	report              Candidates, Accepted, Elapsed
+//
+// The scenario suite runner emits cell-level events through the same
+// envelope and stamps Scenario and Scale onto every event a cell's
+// pipeline produces:
+//
+//	suite.start         Candidates (cells), Parallelism
+//	cell.start          Scenario, Scale
+//	cell.done           Scenario, Scale, Candidates, Passed, Accepted, Elapsed
+//	suite.done          Candidates (cells), Passed (ok cells), Elapsed
 type Event struct {
 	Time        time.Time `json:"time"`
 	Kind        string    `json:"kind"`
@@ -48,6 +57,10 @@ type Event struct {
 	// math.MaxInt64 when unbounded, omitted when not a replay event).
 	From int64 `json:"from,omitempty"`
 	To   int64 `json:"to,omitempty"`
+	// Scenario and Scale label events produced inside one suite cell, so
+	// interleaved streams from concurrent cells stay attributable.
+	Scenario string `json:"scenario,omitempty"`
+	Scale    string `json:"scale,omitempty"`
 }
 
 // EventSink receives pipeline progress events. Implementations must be

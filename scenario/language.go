@@ -1,4 +1,4 @@
-package scenarios
+package scenario
 
 import (
 	"context"
@@ -79,6 +79,19 @@ func PyreticLang() Language {
 // Languages returns all three front-ends in the paper's order.
 func Languages() []Language {
 	return []Language{NDlogLang(), TremaLang(), PyreticLang()}
+}
+
+// LanguageByName resolves a front-end by name; the error lists the
+// supported languages.
+func LanguageByName(name string) (Language, error) {
+	var names []string
+	for _, l := range Languages() {
+		if l.Name == name {
+			return l, nil
+		}
+		names = append(names, l.Name)
+	}
+	return Language{}, fmt.Errorf("scenario: unknown language %q (supported: %v)", name, names)
 }
 
 // LangOutcome extends Outcome with language-level bookkeeping.

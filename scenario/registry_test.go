@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// validSpec returns a minimal spec that passes validation (it is not
+// meant to run).
+func validSpec(name string) Spec {
+	return Spec{
+		Name: name,
+		Program: func(*topo.Fabric) (*ndlog.Program, []ndlog.Tuple, error) {
+			p, err := ndlog.Parse(name, `r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Prt := 2.`)
+			return p, nil, err
+		},
+		Workload: func(*topo.Fabric, Scale) []trace.Entry { return nil },
+		Goal:     func(*topo.Fabric) metaprov.Goal { return metaprov.Goal{} },
+		Oracle:   func(*topo.Fabric) Effectiveness { return nil },
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(validSpec("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(validSpec("beta")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("alpha")
+	if err != nil || got.Name != "alpha" {
+		t.Fatalf("Lookup(alpha) = %q, %v", got.Name, err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Names() = %v, want registration order", names)
+	}
+	specs := r.Specs()
+	if len(specs) != 2 || specs[0].Name != "alpha" {
+		t.Fatalf("Specs() broken: %d entries", len(specs))
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(validSpec("dup")); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(validSpec("dup"))
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration error = %v", err)
+	}
+}
+
+func TestRegistryUnknownLookupListsNames(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(validSpec("alpha"))
+	r.MustRegister(validSpec("beta"))
+	_, err := r.Lookup("gamma")
+	if err == nil {
+		t.Fatal("unknown lookup must error")
+	}
+	for _, want := range []string{`"gamma"`, "alpha", "beta"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// Empty registry: still a descriptive error, no panic.
+	if _, err := NewRegistry().Lookup("x"); err == nil || !strings.Contains(err.Error(), "none registered") {
+		t.Fatalf("empty-registry error = %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := validSpec("ok")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	missingGoal := validSpec("no-goal")
+	missingGoal.Goal = nil
+	err := missingGoal.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Goal") {
+		t.Fatalf("missing Goal error = %v", err)
+	}
+	missingOracle := validSpec("no-oracle")
+	missingOracle.Oracle = nil
+	err = missingOracle.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Oracle") {
+		t.Fatalf("missing Oracle error = %v", err)
+	}
+	// All missing: every field named at once.
+	err = Spec{}.Validate()
+	if err == nil {
+		t.Fatal("empty spec must fail validation")
+	}
+	for _, want := range []string{"Name", "Program", "Workload", "Goal", "Oracle"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("empty-spec error %q missing %q", err, want)
+		}
+	}
+	// Registration enforces validation too.
+	if err := NewRegistry().Register(Spec{Name: "partial"}); err == nil {
+		t.Fatal("Register must reject invalid specs")
+	}
+	// Instantiate surfaces validation errors instead of panicking.
+	if _, err := missingGoal.Instantiate(DefaultScale()); err == nil {
+		t.Fatal("Instantiate must reject invalid specs")
+	}
+}
+
+func TestRegistryInstantiateUnknown(t *testing.T) {
+	if _, err := NewRegistry().Instantiate("nope", DefaultScale()); err == nil {
+		t.Fatal("Instantiate of unknown scenario must error")
+	}
+}

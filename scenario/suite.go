@@ -1,0 +1,285 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/metarepair"
+)
+
+// Cell identifies one scenario × scale pair in a suite matrix.
+type Cell struct {
+	Scenario string
+	Scale    Scale
+}
+
+// String labels the cell in errors and event logs.
+func (c Cell) String() string { return c.Scenario + "@" + c.Scale.String() }
+
+// CellResult is the outcome of one cell: the end-to-end Outcome on
+// success, the error otherwise.
+type CellResult struct {
+	Cell
+	Topology string
+	Outcome  *Outcome
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Verdicts returns the per-candidate accepted flags in cost order —
+// the comparison key for parallel-vs-sequential parity checks.
+func (c *CellResult) Verdicts() []bool {
+	if c.Outcome == nil {
+		return nil
+	}
+	out := make([]bool, len(c.Outcome.Results))
+	for i, r := range c.Outcome.Results {
+		out[i] = r.Accepted
+	}
+	return out
+}
+
+// Suite runs a scenario × scale matrix concurrently on a worker pool.
+// Each cell is one full diagnose → generate → backtest pipeline; cells
+// are independent, so the pool evaluates them in parallel while the
+// per-cell results stay identical to sequential Scenario.Run.
+type Suite struct {
+	// Registry resolves scenario names (nil: the default registry).
+	Registry *Registry
+	// Scenarios are the names to run (empty: every registered scenario).
+	Scenarios []string
+	// Scales are the matrix columns (empty: DefaultScale only).
+	Scales []Scale
+	// Parallel is the worker-pool width (<= 0: GOMAXPROCS).
+	Parallel int
+	// Options are extra session options applied to every cell.
+	Options []metarepair.Option
+	// Sink receives suite progress (suite.start, cell.start, cell.done,
+	// suite.done) and every event a cell's pipeline emits, each stamped
+	// with the cell's Scenario and Scale labels.
+	Sink metarepair.EventSink
+}
+
+// Matrix is the aggregate suite report: every cell result, row-major in
+// the order (scenario, scale).
+type Matrix struct {
+	Scenarios []string
+	Scales    []Scale
+	Cells     []CellResult
+	Elapsed   time.Duration
+}
+
+// At returns the cell result for a scenario name and scale, or nil.
+func (m *Matrix) At(name string, sc Scale) *CellResult {
+	for i := range m.Cells {
+		if m.Cells[i].Scenario == name && m.Cells[i].Scale == sc {
+			return &m.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Err returns the first cell error in matrix order, wrapped with its
+// cell label, or nil when every cell completed.
+func (m *Matrix) Err() error {
+	for i := range m.Cells {
+		if m.Cells[i].Err != nil {
+			return fmt.Errorf("%s: %w", m.Cells[i].Cell, m.Cells[i].Err)
+		}
+	}
+	return nil
+}
+
+// Render formats the Figure 9-style aggregate: one row per scenario, one
+// column per scale, each cell showing generated/accepted candidates, the
+// intuitive-fix verdict, and turnaround.
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	b.WriteString("Suite matrix: generated/accepted [intuitive fix] (turnaround)\n")
+	fmt.Fprintf(&b, "  %-12s", "scenario")
+	for _, sc := range m.Scales {
+		fmt.Fprintf(&b, " %-24s", sc)
+	}
+	b.WriteByte('\n')
+	for _, name := range m.Scenarios {
+		fmt.Fprintf(&b, "  %-12s", name)
+		for _, sc := range m.Scales {
+			cell := m.At(name, sc)
+			switch {
+			case cell == nil:
+				fmt.Fprintf(&b, " %-24s", "-")
+			case cell.Err != nil:
+				fmt.Fprintf(&b, " %-24s", "ERROR")
+			default:
+				fix := "fix:ok"
+				if !cell.Outcome.IntuitiveFixAccepted() {
+					fix = "fix:MISSING"
+				}
+				fmt.Fprintf(&b, " %-24s", fmt.Sprintf("%d/%d %s (%v)",
+					cell.Outcome.Generated, cell.Outcome.Passed, fix,
+					cell.Elapsed.Round(time.Millisecond)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if err := m.Err(); err != nil {
+		fmt.Fprintf(&b, "  first error: %v\n", err)
+	}
+	return b.String()
+}
+
+// cellSink stamps a cell's identity onto every event its pipeline emits,
+// so concurrent cells share one sink without losing attribution.
+type cellSink struct {
+	cell  Cell
+	inner metarepair.EventSink
+}
+
+func (cs cellSink) Emit(e metarepair.Event) {
+	e.Scenario = cs.cell.Scenario
+	e.Scale = cs.cell.Scale.String()
+	cs.inner.Emit(e)
+}
+
+// Run executes the matrix and returns the aggregate report. Name
+// resolution happens before any work starts, so a typo fails fast with
+// the registry's descriptive error. Per-cell pipeline errors do not
+// abort the suite — they land in the matrix (see Matrix.Err); Run itself
+// errors only on configuration problems or context cancellation.
+func (s *Suite) Run(ctx context.Context) (*Matrix, error) {
+	reg := s.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	names := s.Scenarios
+	if len(names) == 0 {
+		names = reg.Names()
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenario: suite has no scenarios (none registered)")
+	}
+	specs := make([]Spec, len(names))
+	for i, name := range names {
+		spec, err := reg.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	scales := s.Scales
+	if len(scales) == 0 {
+		scales = []Scale{DefaultScale()}
+	}
+	parallel := s.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+
+	m := &Matrix{
+		Scenarios: append([]string(nil), names...),
+		Scales:    append([]Scale(nil), scales...),
+		Cells:     make([]CellResult, 0, len(names)*len(scales)),
+	}
+	for i, name := range names {
+		for _, sc := range scales {
+			m.Cells = append(m.Cells, CellResult{
+				Cell:     Cell{Scenario: name, Scale: sc},
+				Topology: topologyName(specs[i]),
+			})
+		}
+	}
+	if parallel > len(m.Cells) {
+		parallel = len(m.Cells)
+	}
+
+	emit := func(e metarepair.Event) {
+		if s.Sink != nil {
+			e.Time = time.Now()
+			s.Sink.Emit(e)
+		}
+	}
+	start := time.Now()
+	emit(metarepair.Event{Kind: "suite.start", Candidates: len(m.Cells), Parallelism: parallel})
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				cell := &m.Cells[idx]
+				if err := ctx.Err(); err != nil {
+					cell.Err = err
+					continue
+				}
+				s.runCell(ctx, specAt(specs, names, cell.Scenario), cell, emit)
+			}
+		}()
+	}
+	for idx := range m.Cells {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	m.Elapsed = time.Since(start)
+	ok := 0
+	for i := range m.Cells {
+		if m.Cells[i].Err == nil {
+			ok++
+		}
+	}
+	emit(metarepair.Event{Kind: "suite.done", Candidates: len(m.Cells), Passed: ok,
+		Elapsed: float64(m.Elapsed) / float64(time.Millisecond)})
+	if err := ctx.Err(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// runCell executes one cell's pipeline and records its result.
+func (s *Suite) runCell(ctx context.Context, spec Spec, cell *CellResult, emit func(metarepair.Event)) {
+	start := time.Now()
+	emit(metarepair.Event{Kind: "cell.start", Scenario: cell.Scenario, Scale: cell.Scale.String()})
+	opts := append([]metarepair.Option(nil), s.Options...)
+	if s.Sink != nil {
+		opts = append(opts, metarepair.WithEventSink(cellSink{cell: cell.Cell, inner: s.Sink}))
+	}
+	inst, err := spec.Instantiate(cell.Scale)
+	if err == nil {
+		cell.Outcome, err = inst.Run(ctx, opts...)
+	}
+	cell.Err = err
+	cell.Elapsed = time.Since(start)
+	done := metarepair.Event{Kind: "cell.done", Scenario: cell.Scenario, Scale: cell.Scale.String(),
+		Elapsed: float64(cell.Elapsed) / float64(time.Millisecond)}
+	if cell.Outcome != nil {
+		done.Candidates = cell.Outcome.Generated
+		done.Passed = cell.Outcome.Passed
+		done.Accepted = cell.Outcome.IntuitiveFixAccepted()
+	}
+	emit(done)
+}
+
+// topologyName resolves a spec's shape label without instantiating it.
+func topologyName(s Spec) string {
+	if s.Topology == nil {
+		return "campus"
+	}
+	return s.Topology.Name()
+}
+
+// specAt finds the spec for a cell's scenario name.
+func specAt(specs []Spec, names []string, name string) Spec {
+	for i, n := range names {
+		if n == name {
+			return specs[i]
+		}
+	}
+	return Spec{} // unreachable: cells are built from names
+}

@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/metarepair"
+)
+
+// tinyLBSpec is a fast end-to-end scenario for suite tests: a Q1-style
+// copy-and-paste load-balancer bug in a reactive zone hanging off a
+// linear chain. Small enough that a cell runs in well under a second.
+func tinyLBSpec() Spec {
+	const vip, backup = 601, 602
+	prog := `
+materialize(FlowTable, 1, 6, keys(0,1,2,3,4)).
+r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Sip < %T%, Prt := 2.
+r2 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Dpt == 80, Sip >= %T%, Prt := 3.
+r5 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 2, Dpt == 80, Prt := 1.
+r7 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 2, Dpt == 80, Prt := 2.
+`
+	thresh := func(f *topo.Fabric) int64 {
+		return f.Net.Hosts[f.HostIDs[0]].IP + int64(3*len(f.HostIDs)/4)
+	}
+	return Spec{
+		Name:     "tiny-lb",
+		Query:    "backup server starves behind a copied switch guard",
+		Topology: topo.Linear{HostsPerSwitch: 2},
+		Attach: func(f *topo.Fabric) {
+			gw, srv, bak := sdn.NewSwitch("gw", 1), sdn.NewSwitch("srv", 2), sdn.NewSwitch("bak", 3)
+			f.Net.AddSwitch(gw)
+			f.Net.AddSwitch(srv)
+			f.Net.AddSwitch(bak)
+			gw.Wire(2, "srv")
+			srv.Wire(3, "gw")
+			gw.Wire(3, "bak")
+			bak.Wire(3, "gw")
+			f.Net.AddHostAt(sdn.NewHost("vip", vip, "srv"), 1)
+			f.Net.AddHostAt(sdn.NewHost("backup", backup, "bak"), 2)
+			f.Net.Link("gw", f.CoreIDs[0])
+			f.InstallProactiveRoutes(map[int64]string{vip: "gw", backup: "gw"}, "gw", "srv", "bak")
+		},
+		Program: func(f *topo.Fabric) (*ndlog.Program, []ndlog.Tuple, error) {
+			p, err := ndlog.Parse("tiny-lb", strings.ReplaceAll(prog, "%T%", fmt.Sprint(thresh(f))))
+			return p, nil, err
+		},
+		Workload: func(f *topo.Fabric, sc Scale) []trace.Entry {
+			t := thresh(f)
+			var offloaded, everyone []trace.HostSpec
+			for _, id := range f.HostIDs {
+				hs := trace.HostSpec{ID: id, IP: f.Net.Hosts[id].IP}
+				everyone = append(everyone, hs)
+				if hs.IP >= t {
+					offloaded = append(offloaded, hs)
+				}
+			}
+			symptom := trace.Generate(trace.Config{
+				Seed:     11,
+				Sources:  offloaded,
+				Services: []trace.Service{{DstIP: vip, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+				Flows:    6,
+			})
+			bg := trace.Generate(trace.Config{
+				Seed:     12,
+				Sources:  everyone,
+				Services: []trace.Service{{DstIP: vip, Port: sdn.PortHTTP, Proto: sdn.ProtoTCP, Weight: 1}},
+				Flows:    sc.Flows,
+			})
+			return append(symptom, bg...)
+		},
+		Goal: func(*topo.Fabric) metaprov.Goal {
+			v3, v80, v2 := ndlog.Int(3), ndlog.Int(80), ndlog.Int(2)
+			return metaprov.PinnedGoal("FlowTable", &v3, nil, nil, nil, &v80, &v2)
+		},
+		Oracle: func(*topo.Fabric) Effectiveness {
+			return func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
+				return n.Hosts["backup"].PortCountFor(sdn.PortHTTP, tag) > 0
+			}
+		},
+		IntuitiveFix: "change constant 2 in r7 (sel/0/R) to 3",
+		Options: []metarepair.Option{
+			metarepair.WithBudget(metarepair.Budget{CostCutoff: 3.2, MaxPerStructure: 2}),
+			metarepair.WithMaxCandidates(13),
+		},
+	}
+}
+
+// collectSink is a concurrency-safe event collector.
+type collectSink struct {
+	mu     sync.Mutex
+	events []metarepair.Event
+}
+
+func (c *collectSink) Emit(e metarepair.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+func (c *collectSink) kinds() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{}
+	for _, e := range c.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func TestSuiteRunsMatrixConcurrently(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(tinyLBSpec())
+	scales := []Scale{{Switches: 3, Flows: 60}, {Switches: 4, Flows: 80}}
+	sink := &collectSink{}
+	suite := &Suite{Registry: reg, Scales: scales, Parallel: 4, Sink: sink}
+	m, err := suite.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(m.Cells))
+	}
+	for _, sc := range scales {
+		cell := m.At("tiny-lb", sc)
+		if cell == nil || cell.Outcome == nil {
+			t.Fatalf("missing cell for %v", sc)
+		}
+		if cell.Outcome.Generated == 0 {
+			t.Fatalf("%v: no candidates", sc)
+		}
+		if cell.Topology != "linear" {
+			t.Fatalf("%v: topology = %q", sc, cell.Topology)
+		}
+	}
+	kinds := sink.kinds()
+	for _, want := range []string{"suite.start", "cell.start", "cell.done", "suite.done", "explore.done", "report"} {
+		if kinds[want] == 0 {
+			t.Fatalf("no %s events (got %v)", want, kinds)
+		}
+	}
+	if kinds["cell.done"] != 2 {
+		t.Fatalf("cell.done = %d, want 2", kinds["cell.done"])
+	}
+	// Pipeline events inside a cell must carry the cell's labels.
+	for _, e := range sink.events {
+		if e.Kind == "explore.done" && (e.Scenario != "tiny-lb" || e.Scale == "") {
+			t.Fatalf("unlabelled cell event: %+v", e)
+		}
+	}
+	rendered := m.Render()
+	if !strings.Contains(rendered, "tiny-lb") || !strings.Contains(rendered, "3sw/60fl") {
+		t.Fatalf("render missing cells:\n%s", rendered)
+	}
+}
+
+// TestSuiteParallelMatchesSequential is the parity contract: per-cell
+// results from the concurrent pool equal sequential Scenario.Run.
+func TestSuiteParallelMatchesSequential(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(tinyLBSpec())
+	scales := []Scale{{Switches: 3, Flows: 60}, {Switches: 4, Flows: 80}}
+	run := func(parallel int) *Matrix {
+		m, err := (&Suite{Registry: reg, Scales: scales, Parallel: parallel}).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	par, seq := run(4), run(1)
+	for i := range par.Cells {
+		a, b := &par.Cells[i], &seq.Cells[i]
+		if a.Cell != b.Cell {
+			t.Fatalf("cell order differs: %v vs %v", a.Cell, b.Cell)
+		}
+		if a.Outcome.Generated != b.Outcome.Generated || a.Outcome.Passed != b.Outcome.Passed {
+			t.Fatalf("%v: %d/%d vs %d/%d", a.Cell,
+				a.Outcome.Generated, a.Outcome.Passed, b.Outcome.Generated, b.Outcome.Passed)
+		}
+		va, vb := a.Verdicts(), b.Verdicts()
+		if len(va) != len(vb) {
+			t.Fatalf("%v: verdict counts differ", a.Cell)
+		}
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatalf("%v: verdict %d differs", a.Cell, j)
+			}
+		}
+	}
+	// And the direct scenario run agrees with the suite cell.
+	direct, err := tinyLBSpec().MustInstantiate(scales[0]).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := par.At("tiny-lb", scales[0])
+	if direct.Generated != cell.Outcome.Generated || direct.Passed != cell.Outcome.Passed {
+		t.Fatalf("suite cell %d/%d differs from direct run %d/%d",
+			cell.Outcome.Generated, cell.Outcome.Passed, direct.Generated, direct.Passed)
+	}
+}
+
+func TestSuiteUnknownScenarioFailsFast(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(tinyLBSpec())
+	_, err := (&Suite{Registry: reg, Scenarios: []string{"nope"}}).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "tiny-lb") {
+		t.Fatalf("unknown scenario error = %v (must list registered names)", err)
+	}
+}
+
+func TestSuiteCellErrorDoesNotAbort(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(tinyLBSpec())
+	broken := validSpec("broken")
+	broken.Program = func(*topo.Fabric) (*ndlog.Program, []ndlog.Tuple, error) {
+		return nil, nil, errors.New("boom")
+	}
+	reg.MustRegister(broken)
+	m, err := (&Suite{Registry: reg, Scales: []Scale{{Switches: 3, Flows: 60}}, Parallel: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err() == nil || !strings.Contains(m.Err().Error(), "broken") {
+		t.Fatalf("Matrix.Err() = %v, want the broken cell", m.Err())
+	}
+	good := m.At("tiny-lb", Scale{Switches: 3, Flows: 60})
+	if good == nil || good.Err != nil || good.Outcome == nil {
+		t.Fatal("healthy cell must complete despite the broken one")
+	}
+	if !strings.Contains(m.Render(), "ERROR") {
+		t.Fatalf("render must mark the failed cell:\n%s", m.Render())
+	}
+}
+
+func TestSuiteCancelled(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(tinyLBSpec())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := (&Suite{Registry: reg, Scales: []Scale{{Switches: 3, Flows: 60}}}).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m == nil {
+		t.Fatal("cancelled run must still return the partial matrix")
+	}
+}
