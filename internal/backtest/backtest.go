@@ -195,10 +195,12 @@ func (j *Job) RunShared() ([]Result, error) {
 	net.Ctrl = ctl
 
 	// Seed controller state: a tuple deleted by candidate i is inserted
-	// with i's tag bit cleared.
+	// with i's tag bit cleared. The key is computed on the clone so the
+	// interned string stays goroutine-local when batches run in parallel
+	// over shared state slices.
 	for _, st := range j.State {
 		tp := st.Clone()
-		tp.Tags = fullMask &^ deletes[st.Key()]
+		tp.Tags = fullMask &^ deletes[tp.Key()]
 		ctl.InsertState(net, tp)
 	}
 	// Candidate-specific manual insertions.

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/ndlog"
@@ -20,6 +21,9 @@ type StressResult struct {
 	Elapsed    time.Duration
 	Throughput float64       // events per second
 	MeanLat    time.Duration // mean per-event controller latency
+	// Eval are the engine's work counters for the run — firings, and the
+	// index-lookup vs full-scan split introduced by the join planner.
+	Eval ndlog.EngineStats
 }
 
 // StressController streams n synthetic PacketIn events through a fresh
@@ -47,10 +51,54 @@ func StressController(prog *ndlog.Program, n int, withProvenance bool) (StressRe
 		))
 	}
 	elapsed := time.Since(start)
-	res := StressResult{Events: n, Elapsed: elapsed}
+	res := StressResult{Events: n, Elapsed: elapsed, Eval: eng.Stats}
 	if elapsed > 0 {
 		res.Throughput = float64(n) / elapsed.Seconds()
 		res.MeanLat = elapsed / time.Duration(n)
+	}
+	return res, nil
+}
+
+// JoinStressProgram is a 3-way join driven by probe events — the single
+// source of truth for the join shape both BenchmarkEngineJoin and
+// JoinStress measure; it exercises the planner and hash indexes so the
+// engine's index-lookup/scan counters are meaningful (scenario controllers
+// are mostly single-atom reactive rules, which never extend a join).
+const JoinStressProgram = `
+materialize(Link, 1, 2, keys(0,1)).
+materialize(Cost, 1, 2, keys(0,1)).
+materialize(TwoHop, 1, 3, keys(0,1,2)).
+j TwoHop(@X,Z,C) :- Probe(@X), Link(@X,Y), Link(@Y,Z), Cost(@Z,C).
+`
+
+// JoinStress streams probe events through the 3-way-join program over
+// tables of the given size and returns the measurement, including the
+// engine's evaluation counters (index lookups vs scans).
+func JoinStress(rows, probes int) (StressResult, error) {
+	if rows <= 0 || probes <= 0 {
+		return StressResult{}, fmt.Errorf("bench: JoinStress needs positive rows and probes, got %d/%d", rows, probes)
+	}
+	prog, err := ndlog.Parse("joinstress", JoinStressProgram)
+	if err != nil {
+		return StressResult{}, err
+	}
+	eng, err := ndlog.NewEngine(prog)
+	if err != nil {
+		return StressResult{}, err
+	}
+	for n := 0; n < rows; n++ {
+		eng.Insert(ndlog.NewTuple("Link", ndlog.Int(int64(n)), ndlog.Int(int64((n+1)%rows))))
+		eng.Insert(ndlog.NewTuple("Cost", ndlog.Int(int64(n)), ndlog.Int(int64(10*n))))
+	}
+	start := time.Now()
+	for p := 0; p < probes; p++ {
+		eng.Insert(ndlog.NewTuple("Probe", ndlog.Int(int64(p%rows))))
+	}
+	elapsed := time.Since(start)
+	res := StressResult{Events: probes, Elapsed: elapsed, Eval: eng.Stats}
+	if elapsed > 0 {
+		res.Throughput = float64(probes) / elapsed.Seconds()
+		res.MeanLat = elapsed / time.Duration(probes)
 	}
 	return res, nil
 }

@@ -349,12 +349,14 @@ func FormatFigure10(rows []Figure10Row) string {
 	return b.String()
 }
 
-// OverheadReport bundles the §5.4 runtime-overhead measurements.
+// OverheadReport bundles the §5.4 runtime-overhead measurements plus the
+// evaluation-core counters from a join-heavy stress run.
 type OverheadReport struct {
 	LatencyIncrease     float64
 	ThroughputReduction float64
 	On, Off             bench.StressResult
-	StorageRate         float64 // bytes per second per switch
+	Join                bench.StressResult // 3-way-join stress: index vs scan counters
+	StorageRate         float64            // bytes per second per switch
 }
 
 // Overhead measures provenance-maintenance cost on the Q1 controller and
@@ -383,25 +385,43 @@ func Overhead(sc scenarios.Scale, events int) (OverheadReport, error) {
 		return OverheadReport{}, err
 	}
 	rate := bench.StorageRateFromStore(st, 4, 1000)
+	probes := events / 20
+	if probes < 50 {
+		probes = 50
+	}
+	join, err := bench.JoinStress(600, probes)
+	if err != nil {
+		return OverheadReport{}, err
+	}
 	return OverheadReport{
 		LatencyIncrease:     latInc,
 		ThroughputReduction: thrRed,
 		On:                  on,
 		Off:                 off,
+		Join:                join,
 		StorageRate:         rate,
 	}, nil
 }
 
-// FormatOverhead renders the §5.4 numbers.
+// FormatOverhead renders the §5.4 numbers plus the evaluation-core work
+// counters: the controller run's firings (Q1's reactive rules are
+// single-atom, so it extends no joins) and the 3-way-join stress showing
+// how many extensions the compile-time planner answered from hash indexes
+// versus full table scans.
 func FormatOverhead(r OverheadReport) string {
+	on, jn := r.On.Eval, r.Join.Eval
 	return fmt.Sprintf(
 		"Runtime overhead (§5.4):\n"+
 			"  latency increase with provenance:   %+.1f%% (%v -> %v per event)\n"+
 			"  throughput reduction:               %.1f%% (%.0f -> %.0f events/s)\n"+
-			"  storage rate:                       %.1f KB/s per switch (measured from trace-store segments)\n",
+			"  storage rate:                       %.1f KB/s per switch (measured from trace-store segments)\n"+
+			"  controller evaluation:              %d firings, %d derivations, %d index lookups, %d scans\n"+
+			"  3-way-join stress (%d probes):      %v/event; %d index lookups (%d rows) vs %d scans (%d rows)\n",
 		100*r.LatencyIncrease, r.Off.MeanLat, r.On.MeanLat,
 		100*r.ThroughputReduction, r.Off.Throughput, r.On.Throughput,
-		r.StorageRate/1024)
+		r.StorageRate/1024,
+		on.Firings, on.Derivations, on.IndexLookups, on.Scans,
+		r.Join.Events, r.Join.MeanLat, jn.IndexLookups, jn.IndexRows, jn.Scans, jn.ScanRows)
 }
 
 // AblationCostOrder compares cost-ordered exploration against naive FIFO

@@ -3,6 +3,8 @@ package ndlog
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync/atomic"
 )
 
 // Listener observes engine events; the provenance recorder implements it.
@@ -36,10 +38,57 @@ func (BaseListener) OnAppear(int64, Tuple)                      {}
 func (BaseListener) OnDisappear(int64, Tuple)                   {}
 func (BaseListener) OnSend(int64, Value, Value, Tuple)          {}
 
-// ruleTrigger indexes a rule by one of its body predicates.
-type ruleTrigger struct {
-	rule *Rule
-	pred int
+// JoinStrategy selects how the engine extends a partial rule binding across
+// the remaining body atoms.
+type JoinStrategy uint8
+
+const (
+	// JoinIndexed (the default) runs the compile-time plan: body atoms in
+	// bound-variable-coverage order, each extension answered from a hash
+	// index when the plan bound any of the atom's columns.
+	JoinIndexed JoinStrategy = iota
+	// JoinScan runs the same plan but answers every extension with a full
+	// sequential scan in insertion order. Because index buckets preserve
+	// insertion order, JoinScan is event-for-event identical to JoinIndexed
+	// — it is the differential oracle proving the indexes prune nothing.
+	JoinScan
+	// JoinLegacySorted reproduces the seed engine's join: body atoms in
+	// source order, every extension scanning the whole partner table in
+	// primary-key-sorted order (the sort-per-join this refactor removes).
+	// Verdicts and provenance must agree with JoinIndexed up to within-round
+	// enumeration order; the scenario-level differential test checks it.
+	JoinLegacySorted
+)
+
+var defaultJoinStrategy atomic.Uint32
+
+// DefaultJoinStrategy returns the strategy NewEngine gives new engines.
+func DefaultJoinStrategy() JoinStrategy { return JoinStrategy(defaultJoinStrategy.Load()) }
+
+// SetDefaultJoinStrategy sets the strategy for subsequently constructed
+// engines and returns the previous default. It exists so differential tests
+// can run whole pipelines — which construct engines many layers down —
+// against the scan or legacy oracle.
+func SetDefaultJoinStrategy(s JoinStrategy) JoinStrategy {
+	return JoinStrategy(defaultJoinStrategy.Swap(uint32(s)))
+}
+
+// EngineStats counts engine work for the evaluation experiments.
+type EngineStats struct {
+	Firings     int64
+	Derivations int64
+	Inserts     int64
+	Deletes     int64
+	Sends       int64
+	// IndexLookups counts join extensions answered from a hash index, and
+	// IndexRows the rows those lookups yielded.
+	IndexLookups int64
+	IndexRows    int64
+	// Scans counts join extensions that fell back to a full table scan
+	// (unplanned columns or a non-indexed strategy), and ScanRows the rows
+	// those scans visited.
+	Scans    int64
+	ScanRows int64
 }
 
 // aggState holds per-rule aggregation state: distinct aggregated values per
@@ -49,43 +98,46 @@ type aggState struct {
 	heads  map[string][]Value // group key -> evaluated non-agg head args
 }
 
-// Engine evaluates an NDlog program bottom-up with semi-naive firing.
-// The engine is single-goroutine; callers requiring concurrency run one
-// engine per goroutine (programs and tuples are never shared mutably).
+// Engine evaluates an NDlog program bottom-up with semi-naive firing over
+// indexed table stores and compile-time join plans (see plan.go and
+// storage.go). The engine is single-goroutine; callers requiring
+// concurrency run one engine per goroutine (programs and tuples are never
+// shared mutably).
 type Engine struct {
 	prog     *Program
 	decls    map[string]*TableDecl
 	locIdx   map[string]int
-	tables   map[string]map[string]*Row
-	triggers map[string][]ruleTrigger
+	tables   map[string]*table
+	triggers map[string][]*rulePlan
 	aggs     map[string]*aggState // rule ID -> aggregation state
 	Funcs    map[string]Func
 
+	strategy  JoinStrategy
 	listeners []Listener
 	fresh     int64
 	now       int64
 
+	keyBuf   []byte // scratch for join-step index keys
+	groupBuf []byte // scratch for aggregate group keys
+
 	// Stats counts engine work for the evaluation experiments.
-	Stats struct {
-		Firings     int64
-		Derivations int64
-		Inserts     int64
-		Deletes     int64
-		Sends       int64
-	}
+	Stats EngineStats
 }
 
-// NewEngine compiles a program into an engine. It validates that every
-// table is used with a consistent arity and location position.
+// NewEngine compiles a program into an engine: it validates that every
+// table is used with a consistent arity and location position, creates the
+// indexed store for each materialized table, and compiles a join plan (and
+// the hash indexes it needs) for every rule × trigger-predicate pair.
 func NewEngine(prog *Program) (*Engine, error) {
 	e := &Engine{
 		prog:     prog,
 		decls:    make(map[string]*TableDecl),
 		locIdx:   make(map[string]int),
-		tables:   make(map[string]map[string]*Row),
-		triggers: make(map[string][]ruleTrigger),
+		tables:   make(map[string]*table),
+		triggers: make(map[string][]*rulePlan),
 		aggs:     make(map[string]*aggState),
 		Funcs:    make(map[string]Func),
+		strategy: DefaultJoinStrategy(),
 	}
 	RegisterBuiltins(e)
 	for _, d := range prog.Decls {
@@ -93,6 +145,9 @@ func NewEngine(prog *Program) (*Engine, error) {
 			return nil, fmt.Errorf("ndlog: duplicate declaration for table %s", d.Name)
 		}
 		e.decls[d.Name] = d
+		if d.Timeout != 0 {
+			e.tables[d.Name] = newTable(d.Name, d.Keys)
+		}
 	}
 	for _, r := range prog.Rules {
 		if r.Head == nil || len(r.Body) == 0 {
@@ -105,7 +160,7 @@ func NewEngine(prog *Program) (*Engine, error) {
 			if err := e.noteLoc(b); err != nil {
 				return nil, err
 			}
-			e.triggers[b.Table] = append(e.triggers[b.Table], ruleTrigger{rule: r, pred: i})
+			e.triggers[b.Table] = append(e.triggers[b.Table], e.planRule(r, i))
 		}
 		if hasAgg(r.Head) {
 			e.aggs[r.ID] = &aggState{
@@ -155,6 +210,14 @@ func (e *Engine) Program() *Program { return e.prog }
 // Listen registers a listener.
 func (e *Engine) Listen(l Listener) { e.listeners = append(e.listeners, l) }
 
+// JoinStrategy returns the engine's active join strategy.
+func (e *Engine) JoinStrategy() JoinStrategy { return e.strategy }
+
+// SetJoinStrategy switches the engine's join strategy. All strategies share
+// the same stores and plans, so switching is valid at any point; it exists
+// for the differential tests and the engine benchmarks.
+func (e *Engine) SetJoinStrategy(s JoinStrategy) { e.strategy = s }
+
 // Now returns the engine's logical clock.
 func (e *Engine) Now() int64 { return e.now }
 
@@ -202,8 +265,11 @@ func (e *Engine) Insert(t Tuple) []Tuple {
 	if t.Tags == 0 {
 		t.Tags = AllTags
 	}
-	for _, l := range e.listeners {
-		l.OnInsert(e.now, t)
+	if len(e.listeners) > 0 {
+		t.Key() // intern once; every listener copy inherits the cache
+		for _, l := range e.listeners {
+			l.OnInsert(e.now, t)
+		}
 	}
 	return e.run([]workItem{{tuple: t, base: true}})
 }
@@ -222,8 +288,11 @@ func (e *Engine) InsertAll(ts []Tuple) []Tuple {
 // underivations. Deleting an absent tuple is a no-op.
 func (e *Engine) Delete(t Tuple) {
 	e.Tick()
-	key := t.PrimaryKey(e.keysOf(t.Table))
-	row, ok := e.tables[t.Table][key]
+	tbl := e.tables[t.Table]
+	if tbl == nil {
+		return
+	}
+	row, ok := tbl.lookup(t.PrimaryKey(e.keysOf(t.Table)))
 	if !ok || !row.Base {
 		return
 	}
@@ -241,8 +310,9 @@ func (e *Engine) unsupport(row *Row) {
 	if row.Support > 0 {
 		return
 	}
-	key := row.Tuple.PrimaryKey(e.keysOf(row.Tuple.Table))
-	delete(e.tables[row.Tuple.Table], key)
+	if tbl := e.tables[row.Tuple.Table]; tbl != nil {
+		tbl.remove(row)
+	}
 	for _, l := range e.listeners {
 		l.OnDisappear(e.now, row.Tuple)
 	}
@@ -274,6 +344,9 @@ func (e *Engine) run(work []workItem) []Tuple {
 		var row *Row
 		fireTags := t.Tags
 		if e.isEvent(t.Table) {
+			if len(e.listeners) > 0 {
+				t.Key()
+			}
 			appeared = append(appeared, t)
 			for _, l := range e.listeners {
 				l.OnAppear(e.now, t)
@@ -283,13 +356,9 @@ func (e *Engine) run(work []workItem) []Tuple {
 				item.via.head = row
 			}
 		} else {
-			key := t.PrimaryKey(e.keysOf(t.Table))
 			tbl := e.tables[t.Table]
-			if tbl == nil {
-				tbl = make(map[string]*Row)
-				e.tables[t.Table] = tbl
-			}
-			if exist, ok := tbl[key]; ok {
+			key := t.PrimaryKey(tbl.keyCols)
+			if exist, ok := tbl.lookup(key); ok {
 				if exist.Tuple.Equal(t) {
 					// Same fact: add support; fire only for new tags.
 					exist.Support++
@@ -311,7 +380,9 @@ func (e *Engine) run(work []workItem) []Tuple {
 					// The fact is new for these tags: report it so
 					// listeners and callers (e.g. the controller) see the
 					// tag expansion, and fire rules for the delta only.
-					nt := exist.Tuple.Clone()
+					// A shallow copy keeps the interned keys; stored
+					// argument slices are immutable by contract.
+					nt := exist.Tuple
 					nt.Tags = fireTags
 					appeared = append(appeared, nt)
 					for _, l := range e.listeners {
@@ -323,11 +394,11 @@ func (e *Engine) run(work []workItem) []Tuple {
 					exist.Base = false
 					exist.Support = 1
 					e.unsupport(exist)
-					row = e.storeNew(tbl, key, t, item)
+					row = e.storeNew(tbl, t, item)
 					appeared = append(appeared, t)
 				}
 			} else {
-				row = e.storeNew(tbl, key, t, item)
+				row = e.storeNew(tbl, t, item)
 				appeared = append(appeared, t)
 			}
 		}
@@ -336,7 +407,10 @@ func (e *Engine) run(work []workItem) []Tuple {
 	return appeared
 }
 
-func (e *Engine) storeNew(tbl map[string]*Row, key string, t Tuple, item workItem) *Row {
+func (e *Engine) storeNew(tbl *table, t Tuple, item workItem) *Row {
+	if len(e.listeners) > 0 {
+		t.Key()
+	}
 	row := &Row{Tuple: t, Support: 1, Base: item.base}
 	if item.via != nil {
 		item.via.head = row
@@ -345,7 +419,7 @@ func (e *Engine) storeNew(tbl map[string]*Row, key string, t Tuple, item workIte
 			b.usedBy = append(b.usedBy, item.via)
 		}
 	}
-	tbl[key] = row
+	tbl.insert(row)
 	for _, l := range e.listeners {
 		l.OnAppear(e.now, t)
 	}
@@ -353,45 +427,111 @@ func (e *Engine) storeNew(tbl map[string]*Row, key string, t Tuple, item workIte
 }
 
 // fire evaluates every rule triggered by the new row, restricted to tags.
+// bound is positional: bound[i] is the row matched to body atom i.
 func (e *Engine) fire(row *Row, tags uint64) []workItem {
 	var out []workItem
-	for _, tr := range e.triggers[row.Tuple.Table] {
-		rtags := tags & tr.rule.TagMask
+	for _, p := range e.triggers[row.Tuple.Table] {
+		rtags := tags & p.rule.TagMask
 		if rtags == 0 {
 			continue
 		}
-		env, ok := e.unify(Env{}, tr.rule.Body[tr.pred], row.Tuple)
+		env, ok := e.unify(Env{}, p.rule.Body[p.pred], row.Tuple)
 		if !ok {
 			continue
 		}
-		out = append(out, e.join(tr.rule, tr.pred, env, rtags, []*Row{row}, 0)...)
+		bound := make([]*Row, len(p.rule.Body))
+		bound[p.pred] = row
+		if e.strategy == JoinLegacySorted {
+			out = append(out, e.joinLegacy(p.rule, p.pred, env, rtags, bound, 0)...)
+		} else {
+			out = append(out, e.joinStep(p, 0, env, rtags, bound)...)
+		}
 	}
 	return out
 }
 
-// join extends the partial binding across the remaining body predicates.
-// pred is the trigger predicate (already bound); idx scans body positions.
-func (e *Engine) join(r *Rule, pred int, env Env, tags uint64, bound []*Row, idx int) []workItem {
+// joinStep extends the partial binding along the compiled plan: each step
+// answers from its hash index when the plan bound columns (JoinIndexed), or
+// from a sequential scan in the same insertion order (JoinScan).
+func (e *Engine) joinStep(p *rulePlan, step int, env Env, tags uint64, bound []*Row) []workItem {
+	if step == len(p.steps) {
+		return e.emit(p.rule, p.pred, env, tags, bound)
+	}
+	st := &p.steps[step]
+	if st.tbl == nil || st.tbl.live == 0 {
+		return nil
+	}
+	var rows []*Row
+	if st.idx != nil && e.strategy == JoinIndexed {
+		if hasWildKey(st.key, env) {
+			// A bound variable carrying a wildcard matches only stored
+			// wildcards, which live outside the buckets: scan.
+			rows = st.tbl.rows
+			e.Stats.Scans++
+			e.Stats.ScanRows += int64(st.tbl.live)
+		} else {
+			e.keyBuf = appendStepKey(e.keyBuf[:0], st.key, env)
+			rows = st.idx.rowsFor(string(e.keyBuf))
+			e.Stats.IndexLookups++
+			e.Stats.IndexRows += int64(len(rows))
+		}
+	} else {
+		rows = st.tbl.rows
+		e.Stats.Scans++
+		e.Stats.ScanRows += int64(st.tbl.live)
+	}
+	var out []workItem
+	for _, other := range rows {
+		if other.gone {
+			continue
+		}
+		jt := tags & other.Tuple.Tags
+		if jt == 0 {
+			continue
+		}
+		env2, ok := e.unify(env, st.f, other.Tuple)
+		if !ok {
+			continue
+		}
+		bound[st.body] = other
+		out = append(out, e.joinStep(p, step+1, env2, jt, bound)...)
+	}
+	bound[st.body] = nil
+	return out
+}
+
+// hasWildKey reports whether any planned key variable is bound to a
+// wildcard value under env.
+func hasWildKey(key []keyCol, env Env) bool {
+	for _, kc := range key {
+		if kc.varName != "" && env[kc.varName].Kind == KindWild {
+			return true
+		}
+	}
+	return false
+}
+
+// joinLegacy reproduces the seed's join for the JoinLegacySorted oracle:
+// body positions in source order, the partner table sorted by primary key
+// and scanned in full on every extension.
+func (e *Engine) joinLegacy(r *Rule, pred int, env Env, tags uint64, bound []*Row, idx int) []workItem {
 	if idx == len(r.Body) {
-		return e.emit(r, env, tags, bound)
+		return e.emit(r, pred, env, tags, bound)
 	}
 	if idx == pred {
-		return e.join(r, pred, env, tags, bound, idx+1)
+		return e.joinLegacy(r, pred, env, tags, bound, idx+1)
 	}
 	f := r.Body[idx]
 	tbl := e.tables[f.Table]
-	if len(tbl) == 0 {
+	if tbl == nil || tbl.live == 0 {
 		return nil
 	}
+	rows := tbl.snapshot()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	e.Stats.Scans++
+	e.Stats.ScanRows += int64(len(rows))
 	var out []workItem
-	// Deterministic iteration keeps runs reproducible.
-	keys := make([]string, 0, len(tbl))
-	for k := range tbl {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		other := tbl[k]
+	for _, other := range rows {
 		jt := tags & other.Tuple.Tags
 		if jt == 0 {
 			continue
@@ -400,13 +540,17 @@ func (e *Engine) join(r *Rule, pred int, env Env, tags uint64, bound []*Row, idx
 		if !ok {
 			continue
 		}
-		out = append(out, e.join(r, pred, env2, jt, append(bound[:len(bound):len(bound)], other), idx+1)...)
+		bound[idx] = other
+		out = append(out, e.joinLegacy(r, pred, env2, jt, bound, idx+1)...)
 	}
+	bound[idx] = nil
 	return out
 }
 
 // emit checks guards and derives the head for a fully-bound rule body.
-func (e *Engine) emit(r *Rule, env Env, tags uint64, bound []*Row) []workItem {
+// bound is positional over r.Body with every slot filled; pred marks the
+// trigger atom.
+func (e *Engine) emit(r *Rule, pred int, env Env, tags uint64, bound []*Row) []workItem {
 	e.Stats.Firings++
 	env, ok, err := e.checkGuards(r, env)
 	if err != nil || !ok {
@@ -431,17 +575,30 @@ func (e *Engine) emit(r *Rule, env Env, tags uint64, bound []*Row) []workItem {
 	head.Tags = tags
 	e.Stats.Derivations++
 
-	bodyTuples := make([]Tuple, len(bound))
+	// Body rows in the seed's reporting order: the trigger first, then the
+	// remaining atoms in source order — provenance shape is independent of
+	// the planned join order.
+	ordered := make([]*Row, 0, len(bound))
+	ordered = append(ordered, bound[pred])
 	for i, b := range bound {
-		bodyTuples[i] = b.Tuple
+		if i != pred {
+			ordered = append(ordered, b)
+		}
 	}
-	for _, l := range e.listeners {
-		l.OnDerive(e.now, r, head, bodyTuples, env)
+	if len(e.listeners) > 0 {
+		head.Key()
+		bodyTuples := make([]Tuple, len(ordered))
+		for i, b := range ordered {
+			bodyTuples[i] = b.Tuple
+		}
+		for _, l := range e.listeners {
+			l.OnDerive(e.now, r, head, bodyTuples, env)
+		}
 	}
 	// Cross-node routing: if the head's location differs from the trigger
 	// body tuple's location, record a send.
-	if r.Head.Loc >= 0 && len(bound) > 0 {
-		from := e.locationOf(bound[0].Tuple)
+	if r.Head.Loc >= 0 {
+		from := e.locationOf(bound[pred].Tuple)
 		to := head.Args[r.Head.Loc]
 		if from.Kind != KindWild && !from.Equal(to) {
 			e.Stats.Sends++
@@ -450,12 +607,14 @@ func (e *Engine) emit(r *Rule, env Env, tags uint64, bound []*Row) []workItem {
 			}
 		}
 	}
-	d := &derivation{rule: r, body: append([]*Row(nil), bound...)}
+	d := &derivation{rule: r, body: ordered}
 	return []workItem{{tuple: head, via: d}}
 }
 
 // aggregate updates the rule's aggregation state and produces the head with
-// the aggregate argument replaced by the current distinct count.
+// the aggregate argument replaced by the current distinct count. Group keys
+// use the shared length-prefixed value encoding, so string values
+// containing the old separator can no longer merge distinct groups.
 func (e *Engine) aggregate(r *Rule, st *aggState, env Env) (Tuple, bool) {
 	groupVals := make([]Value, 0, len(r.Head.Args))
 	aggIdx := -1
@@ -477,17 +636,17 @@ func (e *Engine) aggregate(r *Rule, st *aggState, env Env) (Tuple, bool) {
 		}
 		groupVals = append(groupVals, v)
 	}
-	gk := ""
+	e.groupBuf = e.groupBuf[:0]
 	for i, v := range groupVals {
 		if i == aggIdx {
 			continue
 		}
-		gk += "|" + v.Key()
+		e.groupBuf = v.AppendKey(e.groupBuf)
 	}
-	set := st.groups[gk]
+	set := st.groups[string(e.groupBuf)]
 	if set == nil {
 		set = make(map[string]struct{})
-		st.groups[gk] = set
+		st.groups[string(e.groupBuf)] = set
 	}
 	set[aggVal.Key()] = struct{}{}
 	groupVals[aggIdx] = Int(int64(len(set)))
@@ -504,26 +663,49 @@ func (e *Engine) locationOf(t Tuple) Value {
 }
 
 // Rows returns a snapshot of all stored rows of a table, in deterministic
-// order.
+// insertion order.
 func (e *Engine) Rows(table string) []Tuple {
 	tbl := e.tables[table]
-	keys := make([]string, 0, len(tbl))
-	for k := range tbl {
-		keys = append(keys, k)
+	if tbl == nil {
+		return nil
 	}
-	sort.Strings(keys)
-	out := make([]Tuple, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, tbl[k].Tuple)
+	out := make([]Tuple, 0, tbl.live)
+	for _, r := range tbl.rows {
+		if !r.gone {
+			out = append(out, r.Tuple)
+		}
 	}
 	return out
 }
 
-// Lookup returns stored tuples of a table matching the given filter; nil
-// filter values match anything.
+// Lookup returns stored tuples of a table matching the given filter, in
+// insertion order; nil filter values match anything. When the filter binds
+// the columns of one of the planner's indexes, the lookup is answered from
+// that index's bucket instead of scanning every row.
 func (e *Engine) Lookup(table string, filter []*Value) []Tuple {
+	tbl := e.tables[table]
+	if tbl == nil {
+		return nil
+	}
+	rows := tbl.rows
+	if best := lookupIndex(tbl, filter); best != nil {
+		buf := make([]byte, 0, 8*len(best.cols))
+		for _, c := range best.cols {
+			buf = appendHashKey(buf, *filter[c])
+		}
+		rows = best.rowsFor(string(buf))
+		e.Stats.IndexLookups++
+		e.Stats.IndexRows += int64(len(rows))
+	} else {
+		e.Stats.Scans++
+		e.Stats.ScanRows += int64(tbl.live)
+	}
 	var out []Tuple
-	for _, t := range e.Rows(table) {
+	for _, r := range rows {
+		if r.gone {
+			continue
+		}
+		t := r.Tuple
 		if len(filter) > len(t.Args) {
 			continue
 		}
@@ -541,8 +723,32 @@ func (e *Engine) Lookup(table string, filter []*Value) []Tuple {
 	return out
 }
 
+// lookupIndex picks the most selective index whose columns the filter binds
+// to concrete (non-nil, non-wildcard) values.
+func lookupIndex(tbl *table, filter []*Value) *index {
+	var best *index
+	for _, x := range tbl.indexes {
+		usable := true
+		for _, c := range x.cols {
+			if c >= len(filter) || filter[c] == nil || filter[c].Kind == KindWild {
+				usable = false
+				break
+			}
+		}
+		if usable && (best == nil || len(x.cols) > len(best.cols)) {
+			best = x
+		}
+	}
+	return best
+}
+
 // Count returns the number of stored tuples in a table.
-func (e *Engine) Count(table string) int { return len(e.tables[table]) }
+func (e *Engine) Count(table string) int {
+	if tbl := e.tables[table]; tbl != nil {
+		return tbl.live
+	}
+	return 0
+}
 
 // RegisterBuiltins installs the dialect's built-in functions on an engine:
 // f_unique, f_match, f_join, f_concat, f_hash, f_max, f_min.
@@ -566,20 +772,22 @@ func RegisterBuiltins(e *Engine) {
 		return args[1], nil
 	}
 	e.Funcs["f_concat"] = func(_ *Engine, args []Value) (Value, error) {
-		s := ""
+		var b strings.Builder
 		for _, a := range args {
 			if a.Kind == KindString {
-				s += a.Str
+				b.WriteString(a.Str)
 			} else {
-				s += a.String()
+				b.WriteString(a.String())
 			}
 		}
-		return Str(s), nil
+		return Str(b.String()), nil
 	}
 	e.Funcs["f_hash"] = func(_ *Engine, args []Value) (Value, error) {
 		var h uint64 = 1469598103934665603 // FNV-1a offset basis
+		var buf []byte
 		for _, a := range args {
-			for _, b := range []byte(a.Key()) {
+			buf = a.AppendKey(buf[:0])
+			for _, b := range buf {
 				h ^= uint64(b)
 				h *= 1099511628211
 			}

@@ -1,0 +1,135 @@
+package ndlog
+
+// Compile-time join planning. At NewEngine time every (rule, trigger
+// predicate) pair is compiled into a rulePlan: the remaining body atoms are
+// ordered greedily by bound-variable coverage — the atom whose columns are
+// most constrained by already-bound variables and constants joins first —
+// and each step records the column set the engine should index the atom's
+// table on. The matching hash indexes are created on the table stores
+// before any tuple is inserted, so at runtime a join extension is a single
+// bucket lookup instead of a scan-and-sort over the whole partner table.
+
+// keyCol describes one component of a step's index key: either a constant
+// from the rule text or a variable that is guaranteed bound by the time the
+// step runs (it appears in the trigger atom or an earlier step).
+type keyCol struct {
+	col      int
+	varName  string // "" when constant
+	constVal Value
+}
+
+// joinStep is one planned body-atom extension.
+type joinStep struct {
+	body int      // position in rule.Body
+	f    *Functor // == rule.Body[body]
+	tbl  *table   // nil: transient event table, never stored, joins empty
+	idx  *index   // nil: no bound columns, full sequential scan
+	key  []keyCol // index-key recipe, aligned with idx.cols
+}
+
+// rulePlan is the compiled join program for one rule triggered at one body
+// position.
+type rulePlan struct {
+	rule  *Rule
+	pred  int
+	steps []joinStep
+}
+
+// planRule compiles the (rule, trigger) join order and registers the
+// required indexes on the engine's table stores.
+func (e *Engine) planRule(r *Rule, pred int) *rulePlan {
+	bound := make(map[string]bool)
+	bindAtomVars(bound, r.Body[pred])
+
+	remaining := make([]int, 0, len(r.Body)-1)
+	for i := range r.Body {
+		if i != pred {
+			remaining = append(remaining, i)
+		}
+	}
+
+	p := &rulePlan{rule: r, pred: pred}
+	// Never-stored atoms first: a transient event table in a non-trigger
+	// body position is always empty, so the whole join short-circuits
+	// before any scan or lookup happens.
+	kept := remaining[:0]
+	for _, bi := range remaining {
+		f := r.Body[bi]
+		if e.tables[f.Table] == nil {
+			p.steps = append(p.steps, joinStep{body: bi, f: f})
+			bindAtomVars(bound, f)
+			continue
+		}
+		kept = append(kept, bi)
+	}
+	remaining = kept
+	for len(remaining) > 0 {
+		bestPos, bestCols := -1, []keyCol(nil)
+		for pos, bi := range remaining {
+			cols := boundCols(bound, r.Body[bi])
+			if bestPos == -1 || len(cols) > len(bestCols) {
+				bestPos, bestCols = pos, cols
+			}
+		}
+		bi := remaining[bestPos]
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+
+		f := r.Body[bi]
+		step := joinStep{body: bi, f: f, tbl: e.tables[f.Table], key: bestCols}
+		if len(bestCols) > 0 {
+			cols := make([]int, len(bestCols))
+			for i, kc := range bestCols {
+				cols[i] = kc.col
+			}
+			step.idx = step.tbl.ensureIndex(cols)
+		}
+		p.steps = append(p.steps, step)
+		bindAtomVars(bound, f)
+	}
+	return p
+}
+
+// bindAtomVars marks every variable the atom binds on unification.
+func bindAtomVars(bound map[string]bool, f *Functor) {
+	for _, a := range f.Args {
+		if v, ok := a.(*Var); ok && v.Name != "_" {
+			bound[v.Name] = true
+		}
+	}
+}
+
+// boundCols returns the atom's equality-constrained columns given the
+// currently bound variable set: constant arguments and already-bound
+// variables. Computed expressions stay filter-only (unify evaluates them),
+// matching the seed's semantics.
+func boundCols(bound map[string]bool, f *Functor) []keyCol {
+	var cols []keyCol
+	for i, a := range f.Args {
+		switch a := a.(type) {
+		case *Var:
+			if a.Name != "_" && bound[a.Name] {
+				cols = append(cols, keyCol{col: i, varName: a.Name})
+			}
+		case *ConstExpr:
+			// Wildcard constants match anything; they constrain nothing.
+			if a.Val.Kind != KindWild {
+				cols = append(cols, keyCol{col: i, constVal: a.Val})
+			}
+		}
+	}
+	return cols
+}
+
+// appendStepKey evaluates a step's index-key recipe under env, in the
+// index's normalized hash encoding (appendHashKey, not the identity
+// encoding: buckets must unite the int/bool values Equal unites).
+func appendStepKey(dst []byte, key []keyCol, env Env) []byte {
+	for _, kc := range key {
+		if kc.varName != "" {
+			dst = appendHashKey(dst, env[kc.varName])
+		} else {
+			dst = appendHashKey(dst, kc.constVal)
+		}
+	}
+	return dst
+}

@@ -166,16 +166,36 @@ func (v Value) String() string {
 }
 
 // Key renders a canonical, collision-free encoding used for map keys.
+// The encoding is uniquely decodable even under plain concatenation (see
+// AppendKey), so composite keys — tuple identities, index keys, aggregate
+// group keys — never collide.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the value's canonical key encoding to dst and returns
+// the extended buffer. Every encoding starts with a kind marker that is not
+// a digit or ':', making concatenated encodings uniquely decodable:
+//
+//	ints    i<decimal>        (digits end at the next kind marker)
+//	strings s<len>:<bytes>    (length prefix: "a|b" encodes as s3:a|b)
+//	bools   b0 / b1
+//	wild    *
+//
+// The length prefix on strings is what makes composite keys collision-free
+// — the seed's "s"+raw encoding let a string containing the tuple-key
+// separator merge distinct aggregate groups.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.Kind {
 	case KindInt:
-		return "i" + strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(append(dst, 'i'), v.Int, 10)
 	case KindString:
-		return "s" + v.Str
+		dst = strconv.AppendInt(append(dst, 's'), int64(len(v.Str)), 10)
+		return append(append(dst, ':'), v.Str...)
 	case KindBool:
-		return "b" + strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(append(dst, 'b'), v.Int, 10)
 	case KindWild:
-		return "*"
+		return append(dst, '*')
 	}
-	return "?"
+	return append(dst, '?')
 }

@@ -29,6 +29,11 @@ type Interval struct {
 // underlying log: derivations indexed by head, validity intervals, base
 // insertions, and message sends. It doubles as the "historical information"
 // store that repair generation and backtesting query (§4.3).
+//
+// Every tuple the engine hands a listener arrives with its identity key
+// already interned (the engine computes it once per insertion/derivation),
+// so the Key() calls below are cache reads — recording no longer
+// re-stringifies tuples on the hot path.
 type Recorder struct {
 	ndlog.BaseListener
 	derivs    map[string][]*Derivation // head tuple key -> derivations
@@ -37,6 +42,7 @@ type Recorder struct {
 	inserts   map[string][]int64       // base tuple key -> insert times
 	tuples    map[string][]ndlog.Tuple // table -> every distinct tuple seen
 	seen      map[string]struct{}      // tuple keys already in tuples
+	byKey     map[string]ndlog.Tuple   // tuple key -> canonical tuple
 	sends     []SendRecord
 	// BytesLogged approximates on-disk storage: LogEntrySize per insert.
 	BytesLogged int64
@@ -60,12 +66,14 @@ func NewRecorder() *Recorder {
 		inserts:   make(map[string][]int64),
 		tuples:    make(map[string][]ndlog.Tuple),
 		seen:      make(map[string]struct{}),
+		byKey:     make(map[string]ndlog.Tuple),
 	}
 }
 
 // OnInsert implements ndlog.Listener.
 func (r *Recorder) OnInsert(t int64, tp ndlog.Tuple) {
-	r.inserts[tp.Key()] = append(r.inserts[tp.Key()], t)
+	key := tp.Key()
+	r.inserts[key] = append(r.inserts[key], t)
 	r.BytesLogged += LogEntrySize
 }
 
@@ -93,7 +101,9 @@ func (r *Recorder) OnAppear(t int64, tp ndlog.Tuple) {
 	r.intervals[k] = append(r.intervals[k], Interval{From: t, To: -1})
 	if _, ok := r.seen[k]; !ok {
 		r.seen[k] = struct{}{}
-		r.tuples[tp.Table] = append(r.tuples[tp.Table], tp.Clone())
+		c := tp.Clone()
+		r.tuples[tp.Table] = append(r.tuples[tp.Table], c)
+		r.byKey[k] = c
 	}
 }
 
@@ -167,6 +177,8 @@ func (r *Recorder) Sends() []SendRecord { return r.sends }
 
 // BaseInserts returns all recorded base insertions of a table, ordered by
 // insertion time; used by backtesting to reconstruct the input workload.
+// The canonical-tuple map makes this a single pass over the table's insert
+// log instead of the seed's nested rescan of every tuple ever seen.
 func (r *Recorder) BaseInserts(table string) []ndlog.Tuple {
 	r.Lookups++
 	type rec struct {
@@ -178,13 +190,12 @@ func (r *Recorder) BaseInserts(table string) []ndlog.Tuple {
 		if !keyHasTable(key, table) {
 			continue
 		}
-		for _, tp := range r.tuples[table] {
-			if tp.Key() == key {
-				for _, tm := range times {
-					all = append(all, rec{t: tm, tp: tp})
-				}
-				break
-			}
+		tp, ok := r.byKey[key]
+		if !ok {
+			continue
+		}
+		for _, tm := range times {
+			all = append(all, rec{t: tm, tp: tp})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })

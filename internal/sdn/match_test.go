@@ -77,6 +77,63 @@ func TestMatchStringStable(t *testing.T) {
 	}
 }
 
+// Match.Equal must agree exactly with the String-rendering comparison it
+// replaced on the switch install path.
+func TestMatchEqualAgreesWithStringEquality(t *testing.T) {
+	gen := func(bits uint8, v int64) Match {
+		var m Match
+		if bits&1 != 0 {
+			m.InPort = ptr(v)
+		}
+		if bits&2 != 0 {
+			m.SrcIP = ptr(v + 1)
+		}
+		if bits&4 != 0 {
+			m.DstIP = ptr(v)
+		}
+		if bits&8 != 0 {
+			m.SrcPort = ptr(2 * v)
+		}
+		if bits&16 != 0 {
+			m.DstPort = ptr(80)
+		}
+		if bits&32 != 0 {
+			m.Proto = ptr(v % 3)
+		}
+		return m
+	}
+	f := func(aBits, bBits uint8, av, bv int64) bool {
+		a, b := gen(aBits, av), gen(bBits, bv)
+		return a.Equal(b) == (a.String() == b.String())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The binary-search insert must keep the seed's order: descending priority,
+// ties in installation order.
+func TestInstallKeepsStableTieOrder(t *testing.T) {
+	s := NewSwitch("s", 1)
+	mk := func(prio int, port int) FlowEntry {
+		return FlowEntry{Priority: prio, Match: Match{DstPort: ptr(int64(port))}, Action: Action{Kind: ActionOutput, Port: port}, Tags: 1}
+	}
+	s.Install(mk(1, 10))
+	s.Install(mk(3, 20))
+	s.Install(mk(1, 30)) // ties with the first: must land after it
+	s.Install(mk(2, 40))
+	var got []int
+	for _, e := range s.Table() {
+		got = append(got, e.Action.Port)
+	}
+	want := []int{20, 40, 10, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("table order = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestFieldPtrWildcard(t *testing.T) {
 	if FieldPtr(ndlog.Wild()) != nil {
 		t.Fatal("wildcard must become a nil match field")

@@ -54,13 +54,17 @@ func (s *Switch) Ports() []int {
 func (s *Switch) Install(e FlowEntry) {
 	for i := range s.table {
 		t := &s.table[i]
-		if t.Priority == e.Priority && t.Action == e.Action && t.Match.String() == e.Match.String() &&
+		if t.Priority == e.Priority && t.Action == e.Action && t.Match.Equal(e.Match) &&
 			e.Tags&^t.Tags == 0 {
 			return // fully covered: idempotent re-install
 		}
 	}
-	s.table = append(s.table, e)
-	sort.SliceStable(s.table, func(i, j int) bool { return s.table[i].Priority > s.table[j].Priority })
+	// Insert after every entry of >= priority: identical order to the
+	// seed's append + stable sort, without re-sorting the whole table.
+	i := sort.Search(len(s.table), func(i int) bool { return s.table[i].Priority < e.Priority })
+	s.table = append(s.table, FlowEntry{})
+	copy(s.table[i+1:], s.table[i:])
+	s.table[i] = e
 }
 
 // ClearTable removes all flow entries.

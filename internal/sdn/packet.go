@@ -87,6 +87,25 @@ func (m Match) Matches(inPort int64, p Packet) bool {
 		check(m.Proto, p.Proto)
 }
 
+// Equal reports whether two matches cover exactly the same header space:
+// the same fields wildcarded and the same values on the concrete fields.
+// It is the allocation-free equivalent of comparing String() renderings,
+// which the switch install path did before the evaluation-core refactor.
+func (m Match) Equal(o Match) bool {
+	eq := func(a, b *int64) bool {
+		if a == nil || b == nil {
+			return a == b
+		}
+		return *a == *b
+	}
+	return eq(m.InPort, o.InPort) &&
+		eq(m.SrcIP, o.SrcIP) &&
+		eq(m.DstIP, o.DstIP) &&
+		eq(m.SrcPort, o.SrcPort) &&
+		eq(m.DstPort, o.DstPort) &&
+		eq(m.Proto, o.Proto)
+}
+
 // Specificity counts non-wildcard fields; used as the default priority so
 // more specific entries win, as in OpenFlow exact-match precedence.
 func (m Match) Specificity() int {
