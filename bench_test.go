@@ -184,6 +184,99 @@ func BenchmarkBatchedBacktest(b *testing.B) {
 	}
 }
 
+// BenchmarkExplorePipeline measures the end-to-end explore+backtest
+// pipeline on Q1 under a widened search budget (64 candidates, cutoff
+// 4.6) that puts constraint solving at the top of the profile — the
+// paper's Figure 9a regime, and where PR 4's join work left this
+// codebase. Three comparisons, all against the Barrier baseline
+// (sequential forest search, then batched backtesting — the pre-streaming
+// architecture):
+//
+//   - StreamN: the full report through the streaming pipeline with N
+//     explore workers. Candidates and verdicts are identical (see
+//     TestStreamingPipelineMatchesBarrier); wall clock improves with
+//     hardware parallelism, so on a single-core host this is flat.
+//   - FirstAccepted: the early-stop mode — the search and the unstarted
+//     batches are cancelled once a repair passes, cutting evaluated work
+//     from 64 candidates to one small probe batch.
+//   - FirstVerdict/*: latency to the first streamed verdict, the
+//     operator-facing number — the streaming pipeline backtests the
+//     cheapest batch while the search is still running, instead of
+//     waiting for the whole candidate set.
+func BenchmarkExplorePipeline(b *testing.B) {
+	ctx := context.Background()
+	s := scenarios.Q1(scenarios.Scale{Switches: 19, Flows: 300})
+	sess, _, err := s.Diagnose()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wide := []metarepair.Option{
+		metarepair.WithMaxCandidates(64),
+		metarepair.WithBudget(metarepair.Budget{CostCutoff: 4.6, MaxPerStructure: 3}),
+	}
+	repair := func(b *testing.B, opts ...metarepair.Option) *metarepair.Report {
+		rep, err := sess.Repair(ctx, s.Symptom(), s.Backtest(),
+			append(append([]metarepair.Option{}, wide...), opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Accepted == 0 {
+			b.Fatal("no accepted repair")
+		}
+		return rep
+	}
+	b.Run("Barrier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repair(b, metarepair.WithPipelineMode(metarepair.PipelineBarrier))
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Stream%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repair(b, metarepair.WithPipelineMode(metarepair.PipelineStreaming),
+					metarepair.WithExploreWorkers(workers))
+			}
+		})
+	}
+	b.Run("FirstAccepted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep := repair(b, metarepair.WithPipelineMode(metarepair.PipelineFirstAccepted),
+				metarepair.WithBatchSize(8))
+			if !rep.EarlyStopped {
+				b.Fatal("first-accepted run did not stop early")
+			}
+		}
+	})
+	firstVerdict := func(b *testing.B, opts ...metarepair.Option) {
+		run, err := sess.Stream(ctx, s.Symptom(), s.Backtest(),
+			append(append([]metarepair.Option{}, wide...), opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := <-run.Suggestions(); !ok {
+			b.Fatal("no suggestion streamed")
+		}
+		b.StopTimer()
+		for range run.Suggestions() {
+		}
+		if _, err := run.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.Run("FirstVerdict/Barrier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			firstVerdict(b, metarepair.WithPipelineMode(metarepair.PipelineBarrier))
+		}
+	})
+	b.Run("FirstVerdict/Stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			firstVerdict(b, metarepair.WithPipelineMode(metarepair.PipelineStreaming),
+				metarepair.WithBatchSize(8))
+		}
+	})
+}
+
 // BenchmarkReplaySource compares in-memory slice replay against
 // streaming replay from the segmented on-disk trace store (binary §5.4
 // records): the storage layer's cost for the O(segment)-memory replay

@@ -153,7 +153,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("Ablation (coalescing): shared backtest %v with, %v without\n\n", with, without)
+		fmt.Printf("Ablation (coalescing): shared backtest %v with, %v without\n", with, without)
+		barrier, streaming, overlap, err := experiments.AblationPipeline(ctx, sc, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Ablation (pipeline): barrier %v, streaming %v (%v explore/replay overlap)\n\n",
+			barrier.Round(time.Millisecond), streaming.Round(time.Millisecond), overlap.Round(time.Millisecond))
 	}
 
 	fmt.Printf("all experiments completed in %v\n", time.Since(total).Round(time.Millisecond))

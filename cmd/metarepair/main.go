@@ -3,10 +3,16 @@
 //
 //	metarepair [run] -scenario Q1 [-switches 19] [-flows 900]
 //	           [-lang RapidNet|Trema|Pyretic] [-parallelism N]
-//	           [-timeout 2m] [-events progress.jsonl] [-v]
+//	           [-explore-workers N] [-pipeline streaming|barrier|first-accepted]
+//	           [-batch N] [-timeout 2m] [-events progress.jsonl] [-v]
 //	  run one diagnostic scenario end to end: replay the workload through
-//	  the buggy controller, build meta provenance, generate candidates,
-//	  backtest them in batched-parallel shared runs, print the ranking.
+//	  the buggy controller, build meta provenance with the concurrent
+//	  forest search, and backtest candidates in shared-run batches that
+//	  launch while exploration is still producing (-pipeline streaming,
+//	  the default). -pipeline first-accepted stops everything at the first
+//	  passing repair; -pipeline barrier restores the explore-first
+//	  composition. Prints the ranking and the Figure 9a-style phase
+//	  breakdown including explore/replay overlap.
 //
 //	metarepair suite [-scenarios Q1,Q3] [-scales 19,49:1200] [-flows 900]
 //	           [-parallel N] [-check-sequential] [-timeout 10m] [-events f]
@@ -372,6 +378,10 @@ func runPipeline(cmd string, args []string) {
 	sf := newScenarioFlags(cmd)
 	lang := sf.fs.String("lang", "RapidNet", "controller language front-end (RapidNet, Trema, Pyretic)")
 	par := sf.fs.Int("parallelism", 0, "backtest worker-pool width (0 = all cores)")
+	exploreWorkers := sf.fs.Int("explore-workers", 0, "concurrent forest-search worker count (0 = all cores)")
+	pipeline := sf.fs.String("pipeline", "streaming",
+		"explore→backtest composition: streaming (overlapped), barrier (explore first), or first-accepted (stop at the first passing repair)")
+	batch := sf.fs.Int("batch", 0, "candidates per shared-run batch (0 = the 63-tag maximum)")
 	timeout := sf.fs.Duration("timeout", 0, "cancel the pipeline after this long (0 = no limit)")
 	events := sf.fs.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
 	verbose := sf.fs.Bool("v", false, "print the candidate meta-provenance tree of the best repair")
@@ -399,6 +409,23 @@ func runPipeline(cmd string, args []string) {
 	var opts []metarepair.Option
 	if *par > 0 {
 		opts = append(opts, metarepair.WithParallelism(*par))
+	}
+	if *exploreWorkers > 0 {
+		opts = append(opts, metarepair.WithExploreWorkers(*exploreWorkers))
+	}
+	if *batch > 0 {
+		opts = append(opts, metarepair.WithBatchSize(*batch))
+	}
+	switch *pipeline {
+	case "streaming":
+		opts = append(opts, metarepair.WithPipelineMode(metarepair.PipelineStreaming))
+	case "barrier":
+		opts = append(opts, metarepair.WithPipelineMode(metarepair.PipelineBarrier))
+	case "first-accepted":
+		opts = append(opts, metarepair.WithPipelineMode(metarepair.PipelineFirstAccepted))
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown -pipeline %q (want streaming, barrier, or first-accepted)\n", *pipeline)
+		os.Exit(2)
 	}
 	sink, closeSink, err := eventSink(*events)
 	if err != nil {
@@ -453,9 +480,16 @@ func runPipeline(cmd string, args []string) {
 
 	fmt.Printf("generated %d candidate repairs (%d filtered as inexpressible in %s)\n",
 		out.Generated, out.Filtered, language.Name)
+	if out.Report.EarlyStopped {
+		fmt.Printf("stopped at the first accepted repair: %d of %d candidates backtested\n",
+			out.Report.Evaluated, len(out.Report.Candidates))
+	}
 	fmt.Printf("backtesting accepted %d (%d shared-run batch(es))\n\n",
 		out.Passed, out.Report.Batches)
 	for i, r := range out.Results {
+		if !out.Report.IsEvaluated(i) {
+			continue // first-accepted stop cancelled this candidate's batch
+		}
 		mark := " "
 		if r.Accepted {
 			mark = "*"
@@ -466,12 +500,16 @@ func runPipeline(cmd string, args []string) {
 		}
 		fmt.Printf(" %s [cost %.1f, KS %.5f] %s\n", mark, r.Candidate.Cost, r.KS, desc)
 	}
-	fmt.Printf("\nturnaround: %v (history %v, solving %v, patch generation %v, replay %v)\n",
+	fmt.Printf("\nturnaround: %v (history %v, solving %v, patch generation %v, replay %v",
 		time.Since(start).Round(time.Millisecond),
 		out.Timing.HistoryLookups.Round(time.Millisecond),
 		out.Timing.ConstraintSolving.Round(time.Millisecond),
 		out.Timing.PatchGeneration.Round(time.Millisecond),
 		out.Timing.Replay.Round(time.Millisecond))
+	if out.Timing.Overlap > 0 {
+		fmt.Printf("; %v overlapped", out.Timing.Overlap.Round(time.Millisecond))
+	}
+	fmt.Println(")")
 
 	if *verbose && len(out.Candidates) > 0 && out.Candidates[0].Tree != nil {
 		fmt.Printf("\nmeta-provenance tree of the top candidate:\n%s\n", out.Candidates[0].Tree.Render())

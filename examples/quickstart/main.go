@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/ndlog"
 	"repro/internal/sdn"
@@ -114,8 +115,11 @@ func main() {
 	// The operator's query: why is there no flow entry at switch 3
 	// forwarding HTTP to port 2? The backtest workload comes from the
 	// store (no Workload slice — the session streams the captured log).
-	// Stream suggestions as the backtest's shared-run batches complete,
-	// then print the final ranked report.
+	// Under the default streaming pipeline the concurrent forest search
+	// feeds candidates straight into small shared-run batches that launch
+	// while exploration is still producing, so the first verdicts arrive
+	// long before the search finishes; suggestions stream as each batch
+	// completes, then the final ranked report prints.
 	sym := metarepair.Missing("FlowTable",
 		metarepair.Pin(3), nil, nil, nil, metarepair.Pin(80), metarepair.Pin(2))
 	run, err := sess.Stream(ctx, sym, metarepair.Backtest{
@@ -123,7 +127,7 @@ func main() {
 		Effective: func(n *sdn.Network, _ *sdn.NDlogController, tag int) bool {
 			return n.Hosts["h2"].PortCountFor(sdn.PortHTTP, tag) > 0
 		},
-	})
+	}, metarepair.WithBatchSize(4))
 	if err != nil {
 		panic(err)
 	}
@@ -140,5 +144,8 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(report.Render())
+	if report.Timing.Overlap > 0 {
+		fmt.Printf("exploration and backtesting overlapped for %v\n", report.Timing.Overlap.Round(time.Millisecond))
+	}
 	fmt.Println("\nthe top suggestion is the paper's fix: change Swi == 2 in r7 to Swi == 3")
 }

@@ -1,0 +1,211 @@
+package backtest
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metaprov"
+)
+
+// Pipeline backtests a *stream* of repair candidates: it fills ≤63-tag
+// shared-run batches straight from the candidate channel and launches each
+// batch on a worker pool while the producer (typically the meta-provenance
+// stream search) is still exploring — the explore and replay phases of the
+// Figure 9a breakdown overlap instead of meeting at a barrier.
+//
+// Batches are cut exactly where RunBatched would cut a materialized list
+// (every BatchSize candidates, in arrival order, remainder on stream
+// close), and each batch is one Job.RunShared with its own tag-0 baseline,
+// so per-candidate verdicts are identical to the barrier path.
+type Pipeline struct {
+	// Job is the backtesting template; its Candidates field is ignored —
+	// candidates come from the stream.
+	Job *Job
+	// BatchSize caps candidates per shared run (clamped to
+	// MaxSharedCandidates; <=0 means the maximum).
+	BatchSize int
+	// Parallelism is the batch worker-pool width (<=0: GOMAXPROCS).
+	Parallelism int
+	// FirstAccepted stops the pipeline as soon as any batch reports an
+	// accepted repair: CancelSearch is invoked, unstarted batches are
+	// dropped, and Run returns with the verdicts computed so far.
+	FirstAccepted bool
+	// CancelSearch, when non-nil, is called exactly once when
+	// FirstAccepted triggers (or a batch fails) so the candidate producer
+	// stops exploring. The pipeline always drains the candidate channel,
+	// so a producer that honors the cancellation never blocks.
+	CancelSearch func()
+	// OnBatch, when non-nil, observes each finished batch in completion
+	// order (calls are serialized) — callers stream incremental verdicts
+	// from it.
+	OnBatch func(Batch)
+}
+
+// PipelineResult is the outcome of one streamed backtesting run.
+type PipelineResult struct {
+	// Candidates are every candidate consumed from the stream, in arrival
+	// order; Results is index-aligned with it. Under FirstAccepted some
+	// batches may never run: those entries carry the candidate with a
+	// zero verdict and Evaluated[i] is false.
+	Candidates []metaprov.Candidate
+	Results    []Result
+	Evaluated  []bool
+	// Batches counts the shared runs that completed.
+	Batches int
+	// EarlyStopped reports that FirstAccepted cut the run short.
+	EarlyStopped bool
+	// FirstBatchStart is when the first shared run launched (zero if none
+	// did) — the overlap measurement point.
+	FirstBatchStart time.Time
+}
+
+// EvaluatedCount returns how many candidates actually have verdicts.
+func (pr *PipelineResult) EvaluatedCount() int {
+	n := 0
+	for _, ok := range pr.Evaluated {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Run consumes the candidate stream until it closes (or the run stops
+// early), backtesting batches as they fill. It returns the arrival-order
+// verdicts; ctx cancellation stops unstarted batches and surfaces
+// ctx.Err().
+func (p *Pipeline) Run(ctx context.Context, cands <-chan metaprov.Candidate) (*PipelineResult, error) {
+	batchSize := p.BatchSize
+	if batchSize <= 0 || batchSize > MaxSharedCandidates {
+		batchSize = MaxSharedCandidates
+	}
+	parallelism := p.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type span struct {
+		idx, start int
+		cands      []metaprov.Candidate
+	}
+	// Generously buffered so a burst of small batches never blocks the
+	// dispatcher (and therefore the explorer) behind busy workers.
+	work := make(chan span, 256)
+
+	res := &PipelineResult{}
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		firstErr   error
+		searchDone bool
+	)
+	stopSearch := func() {
+		if !searchDone {
+			searchDone = true
+			if p.CancelSearch != nil {
+				p.CancelSearch()
+			}
+		}
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				if runCtx.Err() != nil {
+					continue // drain: the batch stays unevaluated
+				}
+				sub := *p.Job
+				sub.Candidates = sp.cands
+				out, err := sub.RunShared()
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("backtest: batch %d: %w", sp.idx, err)
+						stopSearch()
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				copy(res.Results[sp.start:sp.start+len(out)], out)
+				for i := range out {
+					res.Evaluated[sp.start+i] = true
+				}
+				res.Batches++
+				if p.OnBatch != nil {
+					p.OnBatch(Batch{Index: sp.idx, Start: sp.start, Results: out})
+				}
+				if p.FirstAccepted && !res.EarlyStopped {
+					for _, r := range out {
+						if r.Accepted {
+							res.EarlyStopped = true
+							stopSearch()
+							cancel()
+							break
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Dispatcher: accumulate arrivals, flush full batches immediately, and
+	// flush the remainder when the stream closes. The slices backing
+	// Results/Evaluated are only ever grown here; workers write disjoint
+	// committed spans under mu.
+	pendingFrom := 0
+	batchIdx := 0
+	flush := func() {
+		mu.Lock()
+		n := len(res.Candidates)
+		if n > pendingFrom && runCtx.Err() == nil {
+			sp := span{idx: batchIdx, start: pendingFrom, cands: res.Candidates[pendingFrom:n:n]}
+			if res.FirstBatchStart.IsZero() {
+				res.FirstBatchStart = time.Now()
+			}
+			batchIdx++
+			pendingFrom = n
+			mu.Unlock()
+			select {
+			case work <- sp:
+			case <-runCtx.Done():
+			}
+			return
+		}
+		mu.Unlock()
+	}
+	for c := range cands {
+		mu.Lock()
+		res.Candidates = append(res.Candidates, c)
+		res.Results = append(res.Results, Result{Candidate: c})
+		res.Evaluated = append(res.Evaluated, false)
+		n := len(res.Candidates)
+		mu.Unlock()
+		if n-pendingFrom >= batchSize {
+			flush()
+		}
+	}
+	flush()
+	close(work)
+	wg.Wait()
+
+	mu.Lock()
+	stopSearch()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

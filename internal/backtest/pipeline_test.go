@@ -1,0 +1,219 @@
+package backtest
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+)
+
+// pipelineJob builds the Q1-mini job plus a candidate list for pipeline
+// tests, reusing one diagnostic replay for both.
+func pipelineJob(t *testing.T, max int) (*Job, []metaprov.Candidate) {
+	t.Helper()
+	job, rec := q1Job(t)
+	ex := metaprov.NewExplorer(meta.NewModel(job.Prog), rec)
+	ex.Cutoff = 3.2
+	ex.MaxCandidates = max
+	v3, v80, v2 := ndlog.Int(3), ndlog.Int(80), ndlog.Int(2)
+	cands := ex.Explore(metaprov.PinnedGoal("FlowTable", &v3, nil, nil, nil, &v80, &v2))
+	if len(cands) < 4 {
+		t.Fatalf("too few candidates: %d", len(cands))
+	}
+	return job, cands
+}
+
+// feed turns a slice into a candidate stream.
+func feed(cands []metaprov.Candidate) <-chan metaprov.Candidate {
+	ch := make(chan metaprov.Candidate)
+	go func() {
+		defer close(ch)
+		for _, c := range cands {
+			ch <- c
+		}
+	}()
+	return ch
+}
+
+// TestPipelineMatchesBatched: filling batches from a stream must produce
+// exactly the verdicts of the materialized batched run.
+func TestPipelineMatchesBatched(t *testing.T) {
+	job, cands := pipelineJob(t, 12)
+
+	job.Candidates = cands
+	ref, err := job.RunBatched(context.Background(), 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := &Pipeline{Job: job, BatchSize: 4, Parallelism: 2}
+	res, err := p.Run(context.Background(), feed(cands))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != len(ref) {
+		t.Fatalf("pipeline results = %d, batched = %d", len(res.Results), len(ref))
+	}
+	if res.EvaluatedCount() != len(cands) {
+		t.Fatalf("evaluated %d of %d", res.EvaluatedCount(), len(cands))
+	}
+	wantBatches := (len(cands) + 3) / 4
+	if res.Batches != wantBatches {
+		t.Fatalf("batches = %d, want %d", res.Batches, wantBatches)
+	}
+	for i := range ref {
+		if res.Results[i].Accepted != ref[i].Accepted || res.Results[i].Effective != ref[i].Effective {
+			t.Errorf("candidate %d (%s): pipeline accepted=%v effective=%v, batched accepted=%v effective=%v",
+				i, ref[i].Candidate.Describe(),
+				res.Results[i].Accepted, res.Results[i].Effective, ref[i].Accepted, ref[i].Effective)
+		}
+		if res.Results[i].KS != ref[i].KS {
+			t.Errorf("candidate %d: pipeline KS %v != batched %v", i, res.Results[i].KS, ref[i].KS)
+		}
+	}
+}
+
+// TestPipelineOverlapsProducer: a batch must complete while the producer
+// is still emitting — the whole point of the streamed pipeline.
+func TestPipelineOverlapsProducer(t *testing.T) {
+	job, cands := pipelineJob(t, 12)
+
+	var batchesSeen atomic.Int32
+	release := make(chan struct{})
+	ch := make(chan metaprov.Candidate)
+	go func() {
+		defer close(ch)
+		for i, c := range cands {
+			if i == len(cands)-1 {
+				// Hold the last candidate back until a batch of the
+				// earlier ones has finished.
+				<-release
+			}
+			ch <- c
+		}
+	}()
+	p := &Pipeline{
+		Job: job, BatchSize: 2, Parallelism: 2,
+		OnBatch: func(b Batch) {
+			if batchesSeen.Add(1) == 1 {
+				close(release)
+			}
+		},
+	}
+	res, err := p.Run(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvaluatedCount() != len(cands) {
+		t.Fatalf("evaluated %d of %d", res.EvaluatedCount(), len(cands))
+	}
+	if res.FirstBatchStart.IsZero() {
+		t.Fatal("no batch launch recorded")
+	}
+}
+
+// TestPipelineFirstAccepted: the first accepted repair stops the search
+// and the remaining batches, without leaking goroutines.
+func TestPipelineFirstAccepted(t *testing.T) {
+	job, cands := pipelineJob(t, 12)
+
+	before := runtime.NumGoroutine()
+	var searchCancelled atomic.Bool
+	produced := 0
+	stop := make(chan struct{})
+	ch := make(chan metaprov.Candidate)
+	go func() {
+		defer close(ch)
+		for _, c := range cands {
+			select {
+			case ch <- c:
+				produced++
+			case <-stop:
+				return
+			}
+		}
+	}()
+	p := &Pipeline{
+		Job: job, BatchSize: 2, Parallelism: 1,
+		FirstAccepted: true,
+		CancelSearch: func() {
+			if searchCancelled.CompareAndSwap(false, true) {
+				close(stop)
+			}
+		},
+	}
+	res, err := p.Run(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStopped {
+		t.Fatal("pipeline did not stop early despite an accepted repair")
+	}
+	if !searchCancelled.Load() {
+		t.Fatal("CancelSearch was not invoked")
+	}
+	accepted := false
+	for i, ok := range res.Evaluated {
+		if ok && res.Results[i].Accepted {
+			accepted = true
+		}
+	}
+	if !accepted {
+		t.Fatal("early stop without an accepted verdict")
+	}
+	if res.EvaluatedCount() == len(cands) && len(res.Candidates) == len(cands) {
+		// All candidates may evaluate if the accept lands in the last
+		// batch; with the intuitive fix cheap and first, it must not.
+		t.Fatalf("early stop evaluated everything: %d candidates", res.EvaluatedCount())
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestPipelineCancellation: parent-context cancellation surfaces and stops
+// unstarted batches.
+func TestPipelineCancellation(t *testing.T) {
+	job, cands := pipelineJob(t, 12)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var batches atomic.Int32
+	p := &Pipeline{
+		Job: job, BatchSize: 1, Parallelism: 1,
+		OnBatch: func(Batch) {
+			if batches.Add(1) == 1 {
+				cancel()
+			}
+		},
+	}
+	res, err := p.Run(ctx, feed(cands))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.EvaluatedCount() >= len(cands) {
+		t.Fatalf("cancellation did not stop the pipeline: %d evaluated", res.EvaluatedCount())
+	}
+}
+
+// TestPipelineEmptyStream: an empty candidate stream is a clean no-op.
+func TestPipelineEmptyStream(t *testing.T) {
+	job, _ := q1Job(t)
+	p := &Pipeline{Job: job}
+	res, err := p.Run(context.Background(), feed(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 0 || res.Batches != 0 {
+		t.Fatalf("unexpected work on empty stream: %+v", res)
+	}
+}

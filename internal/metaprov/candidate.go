@@ -20,6 +20,22 @@ type Candidate struct {
 	// (nil for positive-symptom candidates, which are extracted from the
 	// positive provenance graph directly).
 	Tree *Vertex
+
+	// sig and shape memoize Signature and Structure. The emitter's dedup
+	// probes one candidate against every prior one, so rebuilding the
+	// strings (one ch.String() per change plus a sort) per probe was the
+	// hot path; extraction caches them once and copies carry the cache.
+	sig   string
+	shape string
+}
+
+// cached returns a copy with the Signature and Structure strings
+// precomputed; every extraction path calls it before publishing a
+// candidate.
+func (c Candidate) cached() Candidate {
+	c.sig = c.buildSignature()
+	c.shape = c.buildStructure()
+	return c
 }
 
 // Describe renders the candidate in Table 2 style, e.g.
@@ -33,8 +49,16 @@ func (c Candidate) Describe() string {
 }
 
 // Signature returns a canonical identity for deduplication: the sorted
-// change descriptions.
+// change descriptions. Candidates published by the explorer carry the
+// string precomputed; hand-built ones fall back to computing it.
 func (c Candidate) Signature() string {
+	if c.sig != "" {
+		return c.sig
+	}
+	return c.buildSignature()
+}
+
+func (c Candidate) buildSignature() string {
 	parts := make([]string, len(c.Changes))
 	for i, ch := range c.Changes {
 		parts[i] = ch.String()
@@ -45,8 +69,16 @@ func (c Candidate) Signature() string {
 
 // Structure identifies the candidate's change shape, ignoring concrete
 // values: which rules, paths, and change kinds it touches. Candidates with
-// equal structure differ only in solver-chosen constants.
+// equal structure differ only in solver-chosen constants. Like Signature,
+// explorer-published candidates carry it precomputed.
 func (c Candidate) Structure() string {
+	if c.shape != "" {
+		return c.shape
+	}
+	return c.buildStructure()
+}
+
+func (c Candidate) buildStructure() string {
 	parts := make([]string, len(c.Changes))
 	for i, ch := range c.Changes {
 		switch ch := ch.(type) {
@@ -84,11 +116,14 @@ func (c Candidate) Apply(prog *ndlog.Program) (*meta.Patch, error) {
 // extract turns a completed tree into a candidate (the missing-tuple
 // branch of Fig. 5): solve the constraint pool, fill pending constant
 // changes and tuple insertions from the satisfying assignment, and check
-// syntactic validity of the patched program.
-func (ex *Explorer) extract(t *Tree) (Candidate, bool) {
+// syntactic validity of the patched program. The solver is a parameter so
+// stream workers extract with goroutine-local solvers (solver.Solver
+// accumulates Stats); results are identical for any solver with the same
+// backtrack bound.
+func (ex *Explorer) extract(t *Tree, sv *solver.Solver) (Candidate, bool) {
 	start := time.Now()
-	asg, ok := ex.Solver.Solve(t.Pool)
-	ex.SolveTime += time.Since(start)
+	asg, ok := sv.Solve(t.Pool)
+	ex.solveNanos.Add(int64(time.Since(start)))
 	if !ok {
 		return Candidate{}, false
 	}
@@ -126,7 +161,7 @@ func (ex *Explorer) extract(t *Tree) (Candidate, bool) {
 	if _, err := meta.Apply(ex.Model.Prog, changes); err != nil {
 		return Candidate{}, false
 	}
-	return Candidate{Changes: changes, Cost: t.Cost, Tree: t.Root}, true
+	return Candidate{Changes: changes, Cost: t.Cost, Tree: t.Root}.cached(), true
 }
 
 // checkDeferred grounds untranslatable guards with the assignment and

@@ -3,6 +3,7 @@ package metaprov
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
@@ -65,12 +66,35 @@ type Explorer struct {
 	// tuples otherwise yield long runs of same-shape repairs, cf. the
 	// Sip<16 / Sip<99 / Sip<2009 variants in Table 6(a).
 	MaxPerStructure int
+	// Workers sizes the ExploreStream worker pool (0 = GOMAXPROCS). The
+	// sequential Explore path ignores it.
+	Workers int
 
-	// Steps counts vertex expansions, for the evaluation breakdowns.
+	// steps counts vertex expansions and solveNanos accumulates
+	// constraint-solving wall time (the Figure 9a breakdown). Both are
+	// atomics — stream workers solve concurrently — read via Stats().
+	steps      atomic.Int64
+	solveNanos atomic.Int64
+}
+
+// Stats is a consistent snapshot of the explorer's search counters.
+type Stats struct {
+	// Steps counts committed vertex expansions, the Figure 9 metric.
 	Steps int
-	// SolveTime accumulates constraint-solving wall time (the
-	// "constraint solving" component of Figure 9a).
+	// SolveTime is the accumulated constraint-solving wall time. Under
+	// ExploreStream it sums over all workers, including speculative
+	// expansions the committed search never used, so it can exceed the
+	// stream's wall-clock time.
 	SolveTime time.Duration
+}
+
+// Stats returns a snapshot of the search counters. It is safe to call
+// concurrently with a running search.
+func (ex *Explorer) Stats() Stats {
+	return Stats{
+		Steps:     int(ex.steps.Load()),
+		SolveTime: time.Duration(ex.solveNanos.Load()),
+	}
 }
 
 // NewExplorer returns an explorer with the paper-motivated defaults.
@@ -100,21 +124,12 @@ func (ex *Explorer) Explore(goal Goal) []Candidate {
 // checks ctx between vertex expansions and returns the candidates found so
 // far together with ctx.Err() when the context is done.
 func (ex *Explorer) ExploreContext(ctx context.Context, goal Goal) ([]Candidate, error) {
-	root := &Vertex{Kind: VNExist, Label: goal.String()}
-	t := &Tree{Root: root, Pool: solver.NewPool()}
-	t.todos = []*obligation{{kind: obGoal, vertex: root, goal: goal, depth: 0}}
-
+	em := ex.newEmitter()
 	h := newTreeHeap()
-	h.push(t)
+	h.push(em.stamp(ex.rootTree(goal)))
 	var out []Candidate
-	seen := make(map[string]bool)
-	structs := make(map[string]int)
-	perStruct := ex.MaxPerStructure
-	if perStruct <= 0 {
-		perStruct = 3
-	}
 
-	for h.Len() > 0 && ex.Steps < ex.MaxSteps && (ex.MaxCandidates <= 0 || len(out) < ex.MaxCandidates) {
+	for h.Len() > 0 && em.searching(len(out)) {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
@@ -123,32 +138,107 @@ func (ex *Explorer) ExploreContext(ctx context.Context, goal Goal) ([]Candidate,
 			break // heap is cost-ordered: everything else is too expensive
 		}
 		if cur.Complete() {
-			if c, ok := ex.extract(cur); ok && !seen[c.Signature()] {
-				seen[c.Signature()] = true
-				st := c.Structure()
-				if structs[st] < perStruct {
-					structs[st]++
-					out = append(out, c)
-				}
+			if c, ok := ex.extract(cur, ex.Solver); ok && em.admit(c) {
+				out = append(out, c)
 			}
 			continue
 		}
-		ex.Steps++
-		// The obligation stays in cur.todos while forking so each fork's
-		// vertex re-pointing covers it; forkFor pops it per fork.
-		ob := cur.todos[0]
-		for _, next := range ex.expand(cur, ob) {
-			next.Cost += cost.ExpandStep
-			if next.Cost > ex.Cutoff {
-				continue
-			}
-			if !ex.quickSat(next) {
-				continue
-			}
-			h.push(next)
+		ex.steps.Add(1)
+		for _, next := range ex.expandStep(cur) {
+			h.push(em.stamp(next))
 		}
 	}
 	return out, nil
+}
+
+// rootTree wraps a goal into the search's root tree.
+func (ex *Explorer) rootTree(goal Goal) *Tree {
+	root := &Vertex{Kind: VNExist, Label: goal.String()}
+	t := &Tree{Root: root, Pool: solver.NewPool()}
+	t.todos = []*obligation{{kind: obGoal, vertex: root, goal: goal, depth: 0}}
+	return t
+}
+
+// expandStep performs one QUERY(v) expansion of the tree's head obligation
+// and returns the surviving forks: per-fork step cost added, cutoff
+// filtered, and quickSat pruned. It depends only on the tree and the
+// explorer's read-only model/history, so stream workers run it
+// speculatively on trees the committed search may never reach.
+func (ex *Explorer) expandStep(cur *Tree) []*Tree {
+	// The obligation stays in cur.todos while forking so each fork's
+	// vertex re-pointing covers it; forkFor pops it per fork.
+	ob := cur.todos[0]
+	forks := ex.expand(cur, ob)
+	kept := forks[:0]
+	for _, next := range forks {
+		next.Cost += cost.ExpandStep
+		if next.Cost > ex.Cutoff {
+			continue
+		}
+		if !ex.quickSat(next) {
+			continue
+		}
+		kept = append(kept, next)
+	}
+	return kept
+}
+
+// emitter holds the order-sensitive part of the search state: frontier
+// admission numbering, candidate dedup, the per-structure cap, and the
+// step/candidate bounds. Exactly one goroutine drives an emitter — the
+// sequential loop, or the stream's commit loop — so candidate order is a
+// pure function of the frontier's total order.
+type emitter struct {
+	ex        *Explorer
+	seen      map[string]bool
+	structs   map[string]int
+	perStruct int
+	seq       uint64
+}
+
+func (ex *Explorer) newEmitter() *emitter {
+	perStruct := ex.MaxPerStructure
+	if perStruct <= 0 {
+		perStruct = 3
+	}
+	return &emitter{
+		ex:        ex,
+		seen:      make(map[string]bool),
+		structs:   make(map[string]int),
+		perStruct: perStruct,
+	}
+}
+
+// stamp assigns the tree its frontier admission number. Trees must be
+// stamped in commit order — the order the sequential search pushes them.
+func (em *emitter) stamp(t *Tree) *Tree {
+	t.seq = em.seq
+	em.seq++
+	return t
+}
+
+// searching reports whether the search may continue: the step budget has
+// not been exhausted and fewer than MaxCandidates repairs are out.
+func (em *emitter) searching(emitted int) bool {
+	return int(em.ex.steps.Load()) < em.ex.MaxSteps &&
+		(em.ex.MaxCandidates <= 0 || emitted < em.ex.MaxCandidates)
+}
+
+// admit applies the §3.5 emission rules to an extracted candidate:
+// signature dedup first (duplicates burn their signature either way), then
+// the per-structure cap.
+func (em *emitter) admit(c Candidate) bool {
+	sig := c.Signature()
+	if em.seen[sig] {
+		return false
+	}
+	em.seen[sig] = true
+	st := c.Structure()
+	if em.structs[st] >= em.perStruct {
+		return false
+	}
+	em.structs[st]++
+	return true
 }
 
 // quickSat prunes forks whose constraint pool is already unsatisfiable.
@@ -156,7 +246,7 @@ func (ex *Explorer) quickSat(t *Tree) bool {
 	start := time.Now()
 	s := solver.Solver{MaxBacktracks: 1500}
 	_, ok := s.Solve(t.Pool)
-	ex.SolveTime += time.Since(start)
+	ex.solveNanos.Add(int64(time.Since(start)))
 	return ok
 }
 

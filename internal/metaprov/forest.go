@@ -154,6 +154,12 @@ type Tree struct {
 	deferred []deferredCheck
 	varSeq   int
 	instSeq  int
+	// seq is the tree's admission number into the frontier, assigned in
+	// the order trees are committed to the search. Together with (Cost,
+	// len(todos)) it makes the frontier a strict total order, so the
+	// sequential search and the concurrent stream visit trees in exactly
+	// the same sequence.
+	seq uint64
 }
 
 // Complete reports whether the tree has no unexpanded vertices.
@@ -219,8 +225,11 @@ func (t *Tree) nextInst(rule string) string {
 	return fmt.Sprintf("%s#%d", rule, t.instSeq)
 }
 
-// treeHeap orders trees by (cost, unexpanded-vertex count), the §3.5
-// exploration order.
+// treeHeap orders trees by (cost, unexpanded-vertex count, admission
+// sequence), the §3.5 exploration order refined into a strict total order:
+// the seq tiebreak pins the order of equally-cheap, equally-complete trees
+// to their admission order, which is what lets the concurrent stream
+// reproduce the sequential search candidate for candidate.
 type treeHeap []*Tree
 
 func (h treeHeap) Len() int { return len(h) }
@@ -228,7 +237,10 @@ func (h treeHeap) Less(i, j int) bool {
 	if h[i].Cost != h[j].Cost {
 		return h[i].Cost < h[j].Cost
 	}
-	return len(h[i].todos) < len(h[j].todos)
+	if len(h[i].todos) != len(h[j].todos) {
+		return len(h[i].todos) < len(h[j].todos)
+	}
+	return h[i].seq < h[j].seq
 }
 func (h treeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *treeHeap) Push(x any)   { *h = append(*h, x.(*Tree)) }

@@ -69,15 +69,15 @@ func TestMaxCandidatesBound(t *testing.T) {
 
 func TestMaxStepsBound(t *testing.T) {
 	cands, ex := exploreFig2(t, func(ex *Explorer) { ex.MaxSteps = 5 })
-	if ex.Steps > 5 {
-		t.Fatalf("steps = %d, bound 5", ex.Steps)
+	if got := ex.Stats().Steps; got > 5 {
+		t.Fatalf("steps = %d, bound 5", got)
 	}
 	_ = cands // few or none; the bound itself is the invariant
 }
 
 func TestSolveTimeAccrues(t *testing.T) {
 	_, ex := exploreFig2(t, nil)
-	if ex.SolveTime <= 0 {
+	if ex.Stats().SolveTime <= 0 {
 		t.Fatal("constraint-solving time not measured")
 	}
 }

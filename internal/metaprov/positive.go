@@ -35,6 +35,7 @@ func (ex *Explorer) RepairPositiveContext(ctx context.Context, bad ndlog.Tuple, 
 	var out []Candidate
 	seen := make(map[string]bool)
 	add := func(c Candidate) {
+		c = c.cached() // one signature/structure build per candidate
 		if seen[c.Signature()] {
 			return
 		}

@@ -2,6 +2,7 @@ package provenance
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/ndlog"
 )
@@ -46,9 +47,14 @@ type Recorder struct {
 	sends     []SendRecord
 	// BytesLogged approximates on-disk storage: LogEntrySize per insert.
 	BytesLogged int64
-	// Lookups counts index queries, for the turnaround-time breakdowns.
-	Lookups int64
+	// lookups counts index queries, for the turnaround-time breakdowns.
+	// It is atomic: the streaming explorer's workers query history
+	// concurrently. Read it via Lookups().
+	lookups atomic.Int64
 }
+
+// Lookups returns how many index queries the recorder has answered.
+func (r *Recorder) Lookups() int64 { return r.lookups.Load() }
 
 // SendRecord is one cross-node message transmission.
 type SendRecord struct {
@@ -125,27 +131,27 @@ func (r *Recorder) OnSend(t int64, from, to ndlog.Value, tp ndlog.Tuple) {
 
 // DerivationsOf returns the recorded derivations of a concrete tuple.
 func (r *Recorder) DerivationsOf(tp ndlog.Tuple) []*Derivation {
-	r.Lookups++
+	r.lookups.Add(1)
 	return r.derivs[tp.Key()]
 }
 
 // DerivationsInto returns all recorded derivations whose head is in table.
 func (r *Recorder) DerivationsInto(table string) []*Derivation {
-	r.Lookups++
+	r.lookups.Add(1)
 	return r.derivsTab[table]
 }
 
 // TuplesOf returns every distinct tuple that ever appeared in a table, in
 // first-appearance order.
 func (r *Recorder) TuplesOf(table string) []ndlog.Tuple {
-	r.Lookups++
+	r.lookups.Add(1)
 	return r.tuples[table]
 }
 
 // ExistedAt reports whether the tuple was present at the given time, and
 // the surrounding interval if so.
 func (r *Recorder) ExistedAt(tp ndlog.Tuple, at int64) (Interval, bool) {
-	r.Lookups++
+	r.lookups.Add(1)
 	for _, iv := range r.intervals[tp.Key()] {
 		if iv.From <= at && (iv.To == -1 || at <= iv.To) {
 			return iv, true
@@ -156,19 +162,19 @@ func (r *Recorder) ExistedAt(tp ndlog.Tuple, at int64) (Interval, bool) {
 
 // EverExisted reports whether the tuple appeared at any time.
 func (r *Recorder) EverExisted(tp ndlog.Tuple) bool {
-	r.Lookups++
+	r.lookups.Add(1)
 	return len(r.intervals[tp.Key()]) > 0
 }
 
 // Intervals returns the validity intervals of a tuple.
 func (r *Recorder) Intervals(tp ndlog.Tuple) []Interval {
-	r.Lookups++
+	r.lookups.Add(1)
 	return r.intervals[tp.Key()]
 }
 
 // WasInserted reports whether the tuple was a base insertion.
 func (r *Recorder) WasInserted(tp ndlog.Tuple) bool {
-	r.Lookups++
+	r.lookups.Add(1)
 	return len(r.inserts[tp.Key()]) > 0
 }
 
@@ -180,7 +186,7 @@ func (r *Recorder) Sends() []SendRecord { return r.sends }
 // The canonical-tuple map makes this a single pass over the table's insert
 // log instead of the seed's nested rescan of every tuple ever seen.
 func (r *Recorder) BaseInserts(table string) []ndlog.Tuple {
-	r.Lookups++
+	r.lookups.Add(1)
 	type rec struct {
 		t  int64
 		tp ndlog.Tuple

@@ -10,16 +10,23 @@ import (
 // Event is one pipeline progress record. Unused fields are omitted from
 // the JSON encoding, so every event kind shares this envelope:
 //
-//	explore.start       Symptom
+//	explore.start       Symptom, Workers (stream search pool; 0 = sequential)
+//	explore.candidate   Index, Desc, Cost (one per streamed candidate)
 //	explore.done        Candidates, Steps, Elapsed
 //	candidates.filtered Filtered (removed by a candidate filter)
 //	candidates.dropped  Dropped (removed by the candidate cap)
 //	capture.start       Dir (live capture attached to a network)
 //	capture.done        Dir, Entries, Bytes, Segments
 //	replay.open         Dir, Entries, Bytes, Segments (store-backed workload)
-//	backtest.start      Candidates, Batches, Parallelism, Strategy
+//	backtest.start      Parallelism, Strategy — plus Candidates and
+//	                    Batches under the barrier composition; the
+//	                    streaming pipeline starts before the counts are
+//	                    known and marks Strategy "parallel/streaming"
+//	                    (or "parallel/first-accepted")
 //	batch.done          Batch, Size, Elapsed
 //	suggestion          Index, Desc, Accepted, KS
+//	pipeline.overlap    Elapsed (explore ∩ replay concurrency, streaming mode)
+//	pipeline.stop       Index (first accepted candidate; PipelineFirstAccepted)
 //	report              Candidates, Accepted, Elapsed
 //
 // The scenario suite runner emits cell-level events through the same
@@ -48,6 +55,8 @@ type Event struct {
 	Accepted    bool      `json:"accepted,omitempty"`
 	Passed      int       `json:"passed,omitempty"`
 	KS          float64   `json:"ks,omitempty"`
+	Workers     int       `json:"workers,omitempty"`
+	Cost        float64   `json:"cost,omitempty"`
 	Elapsed     float64   `json:"elapsed_ms,omitempty"`
 	Dir         string    `json:"dir,omitempty"`
 	Entries     int64     `json:"entries,omitempty"`
@@ -91,6 +100,21 @@ func (s *JSONLSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.w.Write(append(data, '\n'))
+}
+
+// lockedSink serializes Emit calls. The streaming pipeline emits from the
+// explore feeder, the batch workers, and the assembly goroutine
+// concurrently; wrapping the run's sink keeps one run's events serialized
+// even for sink implementations that skimp on their own locking.
+type lockedSink struct {
+	mu    sync.Mutex
+	inner EventSink
+}
+
+func (s *lockedSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Emit(e)
 }
 
 // sinkFunc adapts a function to the EventSink interface.

@@ -34,6 +34,42 @@ func (s Strategy) String() string {
 	}
 }
 
+// PipelineMode selects how exploration and backtesting are composed under
+// StrategyParallel. The other strategies always use the barrier
+// composition.
+type PipelineMode int
+
+const (
+	// PipelineStreaming (the default) runs the concurrent forest search
+	// and fills shared-run batches straight from its candidate stream:
+	// backtesting starts while exploration is still producing, and the
+	// two phases overlap (reported as Timing.Overlap and the
+	// pipeline.overlap event). Candidate order, batch composition, and
+	// every verdict are identical to the barrier composition.
+	PipelineStreaming PipelineMode = iota
+	// PipelineBarrier materializes the full candidate list before the
+	// first batch launches — the pre-streaming composition, kept for
+	// ablation experiments and phase-isolating benchmarks.
+	PipelineBarrier
+	// PipelineFirstAccepted is PipelineStreaming plus early stop: the
+	// first accepted repair cancels the search and the unstarted batches,
+	// and the Report covers the verdicts computed up to that point
+	// (Report.EarlyStopped).
+	PipelineFirstAccepted
+)
+
+// String names the pipeline mode for event logs.
+func (m PipelineMode) String() string {
+	switch m {
+	case PipelineBarrier:
+		return "barrier"
+	case PipelineFirstAccepted:
+		return "first-accepted"
+	default:
+		return "streaming"
+	}
+}
+
 // Budget bounds the meta-provenance search (§3.5). Zero-valued fields
 // keep the explorer's paper-motivated defaults.
 type Budget struct {
@@ -78,6 +114,8 @@ type options struct {
 	parallelism       int
 	batchSize         int
 	strategy          Strategy
+	pipeline          PipelineMode
+	exploreWorkers    int
 	sink              EventSink
 	filter            func(metaprov.Candidate) bool
 	maxPacketInFactor float64
@@ -93,6 +131,7 @@ func defaultOptions() options {
 		coalesce:      true,
 		batchSize:     backtest.MaxSharedCandidates,
 		strategy:      StrategyParallel,
+		pipeline:      PipelineStreaming,
 	}
 }
 
@@ -113,7 +152,8 @@ type Option func(*options)
 // forest search itself; for positive symptoms the full cost-ordered list
 // is generated and the surplus is dropped *visibly* — reported in
 // Report.Dropped and emitted as a "candidates.dropped" event — never
-// silently truncated. Zero or negative removes the cap.
+// silently truncated. Zero or negative removes the cap; an uncapped
+// session always uses the barrier composition (see WithPipelineMode).
 func WithMaxCandidates(n int) Option { return func(o *options) { o.maxCandidates = n } }
 
 // WithAlpha sets the KS significance level for the §4.3 disruption test
@@ -140,6 +180,21 @@ func WithBatchSize(n int) Option { return func(o *options) { o.batchSize = n } }
 // WithStrategy selects the backtesting strategy (default
 // StrategyParallel).
 func WithStrategy(s Strategy) Option { return func(o *options) { o.strategy = s } }
+
+// WithPipelineMode selects how exploration composes with backtesting under
+// StrategyParallel (default PipelineStreaming). PipelineBarrier restores
+// the explore-everything-first composition; PipelineFirstAccepted stops
+// the whole pipeline at the first accepted repair. The streaming modes
+// need a finite WithMaxCandidates cap (it sizes the suggestion buffer);
+// with the cap disabled, runs use the barrier composition regardless.
+func WithPipelineMode(m PipelineMode) Option { return func(o *options) { o.pipeline = m } }
+
+// WithExploreWorkers sizes the concurrent forest search's worker pool for
+// the streaming pipeline (default 0 = GOMAXPROCS). Any worker count
+// yields the exact candidate sequence of the sequential search — the
+// stream's cost-epoch emitter releases a candidate only when no cheaper
+// partial tree remains anywhere.
+func WithExploreWorkers(n int) Option { return func(o *options) { o.exploreWorkers = n } }
 
 // WithEventSink streams pipeline progress events (exploration, batch
 // completion, suggestions) to the sink — see JSONLSink for a production

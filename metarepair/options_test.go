@@ -55,17 +55,20 @@ func TestBudgetApplyKeepsDefaultsForZeroFields(t *testing.T) {
 	prog := ndlog.MustParse("t",
 		`r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Prt := 2.`)
 	ex := metaprov.NewExplorer(meta.NewModel(prog), nil)
-	def := *ex
+	// The explorer embeds atomic counters, so record the tunables
+	// individually instead of copying the struct.
+	defDepth, defSteps, defCutoff := ex.MaxDepth, ex.MaxSteps, ex.Cutoff
+	defHist, defStruct := ex.MaxHistTuples, ex.MaxPerStructure
 	Budget{}.apply(ex)
-	if ex.MaxDepth != def.MaxDepth || ex.MaxSteps != def.MaxSteps || ex.Cutoff != def.Cutoff ||
-		ex.MaxHistTuples != def.MaxHistTuples || ex.MaxPerStructure != def.MaxPerStructure {
+	if ex.MaxDepth != defDepth || ex.MaxSteps != defSteps || ex.Cutoff != defCutoff ||
+		ex.MaxHistTuples != defHist || ex.MaxPerStructure != defStruct {
 		t.Fatal("zero budget must keep explorer defaults")
 	}
 	Budget{MaxDepth: 5, CostCutoff: 9.5}.apply(ex)
 	if ex.MaxDepth != 5 || ex.Cutoff != 9.5 {
 		t.Fatal("non-zero budget fields not applied")
 	}
-	if ex.MaxSteps != def.MaxSteps || ex.MaxPerStructure != def.MaxPerStructure {
+	if ex.MaxSteps != defSteps || ex.MaxPerStructure != defStruct {
 		t.Fatal("unrelated fields overwritten")
 	}
 }

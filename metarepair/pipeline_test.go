@@ -1,0 +1,136 @@
+package metarepair_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/metarepair"
+)
+
+// TestStreamingPipelineEvents: the streaming composition must emit the
+// new per-candidate and overlap events alongside the classic envelope.
+func TestStreamingPipelineEvents(t *testing.T) {
+	var events []metarepair.Event
+	sess, wl := runDiagnostic(t)
+	report, err := sess.Repair(context.Background(), miniSymptom(), miniBacktest(wl),
+		metarepair.WithBatchSize(2),
+		metarepair.WithEventSink(metarepair.SinkFunc(func(e metarepair.Event) {
+			events = append(events, e)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds["explore.candidate"] != len(report.Candidates) {
+		t.Fatalf("explore.candidate events = %d, candidates = %d",
+			kinds["explore.candidate"], len(report.Candidates))
+	}
+	for _, want := range []string{"explore.start", "explore.done", "backtest.start", "batch.done", "suggestion", "report"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q event; got %v", want, kinds)
+		}
+	}
+	if report.EarlyStopped {
+		t.Fatal("streaming mode must not early-stop without PipelineFirstAccepted")
+	}
+	if report.Evaluated != len(report.Candidates) {
+		t.Fatalf("evaluated %d of %d without early stop", report.Evaluated, len(report.Candidates))
+	}
+}
+
+// TestFirstAcceptedStopsPipeline: PipelineFirstAccepted must cancel the
+// search and the unstarted batches once a repair passes — and tear every
+// goroutine down (run under -race in CI).
+func TestFirstAcceptedStopsPipeline(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sess, wl := runDiagnostic(t, metarepair.WithMaxCandidates(24))
+	var events []metarepair.Event
+	run, err := sess.Stream(context.Background(), miniSymptom(), miniBacktest(wl),
+		metarepair.WithPipelineMode(metarepair.PipelineFirstAccepted),
+		metarepair.WithBatchSize(1), metarepair.WithParallelism(1),
+		metarepair.WithEventSink(metarepair.SinkFunc(func(e metarepair.Event) {
+			events = append(events, e)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []metarepair.Suggestion
+	for s := range run.Suggestions() {
+		streamed = append(streamed, s)
+	}
+	report, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.EarlyStopped {
+		t.Fatal("pipeline did not stop at the first accepted repair")
+	}
+	if report.Accepted == 0 {
+		t.Fatal("early stop without an accepted suggestion")
+	}
+	if !report.Suggestions[0].Result.Accepted {
+		t.Fatalf("top suggestion not accepted: %v", report.Suggestions[0])
+	}
+	if report.Evaluated != len(streamed) {
+		t.Fatalf("report evaluated %d, streamed %d", report.Evaluated, len(streamed))
+	}
+	if report.Evaluated >= len(report.Candidates) && len(report.Candidates) >= 24 {
+		t.Fatalf("early stop evaluated all %d candidates", report.Evaluated)
+	}
+	if !strings.Contains(report.Render(), "stopped at first accepted repair") {
+		t.Fatal("Render must surface the early stop")
+	}
+	sawStop := false
+	for _, e := range events {
+		if e.Kind == "pipeline.stop" {
+			sawStop = true
+		}
+	}
+	if !sawStop {
+		t.Fatal("no pipeline.stop event")
+	}
+
+	// No goroutine leaks: search workers, batch workers, and the feeder
+	// must all exit after the early stop.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestExploreWorkersOptionEquivalence: any explore worker count produces
+// the same report through the public session API.
+func TestExploreWorkersOptionEquivalence(t *testing.T) {
+	runWith := func(workers int) *metarepair.Report {
+		t.Helper()
+		sess, wl := runDiagnostic(t)
+		rep, err := sess.Repair(context.Background(), miniSymptom(), miniBacktest(wl),
+			metarepair.WithExploreWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	one := runWith(1)
+	four := runWith(4)
+	if len(one.Results) != len(four.Results) {
+		t.Fatalf("results differ: %d vs %d", len(one.Results), len(four.Results))
+	}
+	for i := range one.Results {
+		a, b := one.Results[i], four.Results[i]
+		if a.Candidate.Signature() != b.Candidate.Signature() || a.Accepted != b.Accepted {
+			t.Fatalf("candidate %d differs: %s (accepted %v) vs %s (accepted %v)",
+				i, a.Candidate.Describe(), a.Accepted, b.Candidate.Describe(), b.Accepted)
+		}
+	}
+}

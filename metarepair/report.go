@@ -17,9 +17,16 @@ type Timing struct {
 	ConstraintSolving time.Duration
 	PatchGeneration   time.Duration
 	Replay            time.Duration
+	// Overlap is how long exploration and backtest replay ran
+	// concurrently under the streaming pipeline (zero under the barrier
+	// composition). It is informational — the overlapped time is already
+	// inside the other components, so Total does not add it; wall-clock
+	// turnaround is roughly Total() minus Overlap.
+	Overlap time.Duration
 }
 
-// Total sums the components.
+// Total sums the phase components (Overlap excluded; it measures their
+// concurrency, not extra work).
 func (t Timing) Total() time.Duration {
 	return t.HistoryLookups + t.ConstraintSolving + t.PatchGeneration + t.Replay
 }
@@ -77,9 +84,27 @@ type Report struct {
 	// counts explorer vertex expansions.
 	Batches int
 	Steps   int
+	// EarlyStopped reports that PipelineFirstAccepted cut the run short:
+	// the search and the unstarted batches were cancelled once a repair
+	// passed. Evaluated counts candidates that actually have verdicts;
+	// under early stop it can be smaller than len(Candidates), and the
+	// unevaluated Results entries carry a zero verdict — IsEvaluated
+	// distinguishes them.
+	EarlyStopped bool
+	Evaluated    int
+	evaluated    []bool
 	// Timing is the Figure 9a turnaround breakdown (exploration plus
 	// backtest replay; the caller's diagnostic replay is not included).
 	Timing Timing
+}
+
+// IsEvaluated reports whether candidate i was actually backtested. Only a
+// PipelineFirstAccepted early stop leaves candidates unevaluated.
+func (r *Report) IsEvaluated(i int) bool {
+	if r.evaluated == nil {
+		return i >= 0 && i < len(r.Results)
+	}
+	return i >= 0 && i < len(r.evaluated) && r.evaluated[i]
 }
 
 // Render pretty-prints a report.
@@ -91,6 +116,10 @@ func (r *Report) Render() string {
 	}
 	if r.Filtered > 0 {
 		fmt.Fprintf(&b, " (%d filtered)", r.Filtered)
+	}
+	if r.EarlyStopped {
+		fmt.Fprintf(&b, " (stopped at first accepted repair, %d of %d evaluated)",
+			r.Evaluated, len(r.Candidates))
 	}
 	b.WriteByte('\n')
 	for _, s := range r.Suggestions {
@@ -123,16 +152,34 @@ func (r *Report) rank() {
 // Suggestions() as each shared-run batch completes; Wait blocks until the
 // pipeline finishes and returns the final ranked Report.
 type Run struct {
-	suggestions chan Suggestion
-	done        chan struct{}
-	report      *Report
-	err         error
+	ch     chan Suggestion
+	done   chan struct{}
+	report *Report
+	err    error
 }
+
+// newRun returns an in-flight evaluation handle whose suggestion channel
+// is buffered for capacity verdicts. Every producer sizes the buffer for
+// the largest set it can evaluate, so pushes never block, workers are
+// never stalled by a slow consumer, and an abandoned Run leaks nothing —
+// no goroutine stands behind the channel.
+func newRun(capacity int) *Run {
+	return &Run{
+		ch:   make(chan Suggestion, capacity),
+		done: make(chan struct{}),
+	}
+}
+
+// push delivers one verdict to the suggestion stream.
+func (r *Run) push(s Suggestion) { r.ch <- s }
+
+// finish closes the suggestion stream.
+func (r *Run) finish() { close(r.ch) }
 
 // Suggestions returns the stream of per-candidate verdicts. The channel
 // is buffered for the full candidate set (a slow consumer never stalls
 // the workers) and closed once every batch has completed.
-func (r *Run) Suggestions() <-chan Suggestion { return r.suggestions }
+func (r *Run) Suggestions() <-chan Suggestion { return r.ch }
 
 // Wait blocks until the evaluation finishes and returns the final report
 // with the §5.3 accepted-then-cost ordering. It does not consume the

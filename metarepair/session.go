@@ -31,6 +31,8 @@ package metarepair
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backtest"
@@ -168,17 +170,22 @@ type Exploration struct {
 }
 
 // timedHistory wraps the recorder to attribute history-lookup time (the
-// Figure 9a breakdown).
+// Figure 9a breakdown). The counter is atomic: under the streaming
+// pipeline every explore worker queries history concurrently.
 type timedHistory struct {
-	rec     *provenance.Recorder
-	elapsed time.Duration
+	rec         *provenance.Recorder
+	elapsedNano atomic.Int64
 }
 
 func (h *timedHistory) TuplesOf(table string) []ndlog.Tuple {
 	start := time.Now()
 	out := h.rec.TuplesOf(table)
-	h.elapsed += time.Since(start)
+	h.elapsedNano.Add(int64(time.Since(start)))
 	return out
+}
+
+func (h *timedHistory) total() time.Duration {
+	return time.Duration(h.elapsedNano.Load())
 }
 
 // Explore runs the meta-provenance search for the symptom and returns the
@@ -215,32 +222,13 @@ func (s *Session) explore(ctx context.Context, sym Symptom, o options) (*Explora
 		return nil, err
 	}
 	expl.Generated = len(cands)
-	if o.filter != nil {
-		kept := make([]metaprov.Candidate, 0, len(cands))
-		for _, c := range cands {
-			if o.filter(c) {
-				kept = append(kept, c)
-			}
-		}
-		expl.Filtered = len(cands) - len(kept)
-		cands = kept
-		if expl.Filtered > 0 {
-			o.emit(Event{Kind: "candidates.filtered", Filtered: expl.Filtered})
-		}
-	}
-	if o.maxCandidates > 0 && len(cands) > o.maxCandidates {
-		// Candidates arrive in cost order, so the cap keeps the most
-		// plausible repairs — and the drop is reported, never silent.
-		expl.Dropped = len(cands) - o.maxCandidates
-		cands = cands[:o.maxCandidates]
-		o.emit(Event{Kind: "candidates.dropped", Dropped: expl.Dropped})
-	}
-	expl.Candidates = cands
-	expl.Steps = ex.Steps
-	expl.historyTime = th.elapsed
-	expl.solveTime = ex.SolveTime
+	expl.Candidates = o.filterAndCap(cands, expl)
+	stats := ex.Stats()
+	expl.Steps = stats.Steps
+	expl.historyTime = th.total()
+	expl.solveTime = stats.SolveTime
 	expl.genTime = time.Since(start)
-	o.emit(Event{Kind: "explore.done", Candidates: len(cands), Steps: ex.Steps,
+	o.emit(Event{Kind: "explore.done", Candidates: len(cands), Steps: expl.Steps,
 		Elapsed: ms(expl.genTime)})
 	return expl, nil
 }
@@ -272,13 +260,33 @@ func (s *Session) Evaluate(ctx context.Context, cands []metaprov.Candidate, bt B
 	return s.evaluate(ctx, expl, expl.Candidates, bt, o), nil
 }
 
-// Stream runs the full pipeline — explore, then batched-parallel backtest
-// — returning as soon as exploration finishes; per-suggestion verdicts
-// stream on the Run's channel and Wait returns the final ranked Report.
+// Stream runs the full explore→backtest pipeline and returns a streaming
+// Run: per-suggestion verdicts arrive on the Run's channel and Wait
+// returns the final ranked Report.
+//
+// Under StrategyParallel with the default PipelineStreaming mode the two
+// stages run as one overlapped pipeline — the concurrent forest search
+// (WithExploreWorkers) streams candidates straight into shared-run batches
+// that launch while exploration is still producing — and Stream returns
+// immediately; exploration errors then surface at Wait. Under
+// PipelineBarrier (or the serial/sequential strategies) Stream keeps the
+// legacy composition: it blocks until exploration finishes and returns any
+// exploration error directly.
 func (s *Session) Stream(ctx context.Context, sym Symptom, bt Backtest, extra ...Option) (*Run, error) {
 	o := s.opts.with(extra)
 	if bt.BuildNet == nil {
 		return nil, errors.New("metarepair: Backtest.BuildNet is required")
+	}
+	if sym.Present == nil && sym.Goal.Table == "" {
+		return nil, errors.New("metarepair: empty symptom")
+	}
+	// The streaming composition needs a finite candidate cap: the
+	// suggestion buffer is sized from it so backtest workers never block
+	// behind a slow (or absent) consumer. With the cap disabled the
+	// candidate count is unbounded, so fall back to the barrier
+	// composition, which sizes the buffer from the materialized list.
+	if o.strategy == StrategyParallel && o.pipeline != PipelineBarrier && o.maxCandidates > 0 {
+		return s.streamPipeline(ctx, sym, bt, o), nil
 	}
 	expl, err := s.explore(ctx, sym, o)
 	if err != nil {
@@ -296,30 +304,14 @@ func (s *Session) Repair(ctx context.Context, sym Symptom, bt Backtest, extra ..
 	return run.Wait()
 }
 
-// evaluate starts the backtesting stage in the background and returns its
-// Run handle. expl may be nil when the caller supplies candidates
-// directly.
+// evaluate starts the barrier-composition backtesting stage in the
+// background and returns its Run handle. expl may be nil when the caller
+// supplies candidates directly.
 func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metaprov.Candidate, bt Backtest, o options) *Run {
-	run := &Run{
-		suggestions: make(chan Suggestion, len(cands)),
-		done:        make(chan struct{}),
-	}
-	job := &backtest.Job{
-		Prog:              s.prog,
-		Candidates:        cands,
-		BuildNet:          bt.BuildNet,
-		State:             bt.State,
-		Workload:          bt.Workload,
-		Source:            s.workloadSource(bt, o),
-		Effective:         bt.Effective,
-		Alpha:             o.alpha,
-		MaxPacketInFactor: o.maxPacketInFactor,
-		SkipCoalesce:      !o.coalesce,
-	}
-	batchSize := o.batchSize
-	if batchSize <= 0 || batchSize > backtest.MaxSharedCandidates {
-		batchSize = backtest.MaxSharedCandidates
-	}
+	run := newRun(len(cands))
+	job := s.backtestJob(bt, o)
+	job.Candidates = cands
+	batchSize := o.clampedBatchSize()
 	// Sequential evaluation has no shared runs: everything is one "batch".
 	batches := (len(cands) + batchSize - 1) / batchSize
 	batchOf := func(i int) int { return i / batchSize }
@@ -332,7 +324,7 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 
 	go func() {
 		defer close(run.done)
-		defer close(run.suggestions)
+		defer run.finish()
 		start := time.Now()
 		o.emit(Event{Kind: "backtest.start", Candidates: len(cands), Batches: batches,
 			Parallelism: o.parallelism, Strategy: o.strategy.String()})
@@ -342,10 +334,10 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 				Elapsed: ms(time.Since(start))})
 			for i, res := range b.Results {
 				idx := b.Start + i
-				run.suggestions <- Suggestion{
+				run.push(Suggestion{
 					Rank: idx + 1, Index: idx, Batch: b.Index,
 					Candidate: cands[idx], Result: res,
-				}
+				})
 				o.emit(Event{Kind: "suggestion", Index: idx, Desc: res.Candidate.Describe(),
 					Accepted: res.Accepted, KS: res.KS})
 			}
@@ -373,6 +365,7 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			Results:    results,
 			Candidates: cands,
 			Generated:  len(cands),
+			Evaluated:  len(results),
 			Batches:    batches,
 			Timing:     Timing{Replay: time.Since(start)},
 		}
@@ -397,6 +390,260 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			Elapsed: ms(time.Since(start))})
 	}()
 	return run
+}
+
+// backtestJob assembles the backtesting template shared by the barrier
+// and streaming compositions.
+func (s *Session) backtestJob(bt Backtest, o options) *backtest.Job {
+	return &backtest.Job{
+		Prog:              s.prog,
+		BuildNet:          bt.BuildNet,
+		State:             bt.State,
+		Workload:          bt.Workload,
+		Source:            s.workloadSource(bt, o),
+		Effective:         bt.Effective,
+		Alpha:             o.alpha,
+		MaxPacketInFactor: o.maxPacketInFactor,
+		SkipCoalesce:      !o.coalesce,
+	}
+}
+
+func (o options) clampedBatchSize() int {
+	if o.batchSize <= 0 || o.batchSize > backtest.MaxSharedCandidates {
+		return backtest.MaxSharedCandidates
+	}
+	return o.batchSize
+}
+
+// filterAndCap applies the candidate filter and the candidate cap to a
+// materialized cost-ordered list, recording the Filtered/Dropped
+// accounting on expl and emitting the corresponding events. The cap keeps
+// the cheapest — most plausible — repairs, and the drop is reported,
+// never silent. Both the barrier explore stage and the streaming feeder's
+// positive-symptom branch share this logic.
+func (o options) filterAndCap(cands []metaprov.Candidate, expl *Exploration) []metaprov.Candidate {
+	if o.filter != nil {
+		kept := make([]metaprov.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if o.filter(c) {
+				kept = append(kept, c)
+			}
+		}
+		expl.Filtered = len(cands) - len(kept)
+		cands = kept
+		if expl.Filtered > 0 {
+			o.emit(Event{Kind: "candidates.filtered", Filtered: expl.Filtered})
+		}
+	}
+	if o.maxCandidates > 0 && len(cands) > o.maxCandidates {
+		expl.Dropped = len(cands) - o.maxCandidates
+		cands = cands[:o.maxCandidates]
+		o.emit(Event{Kind: "candidates.dropped", Dropped: expl.Dropped})
+	}
+	return cands
+}
+
+// streamPipeline runs explore→backtest as one overlapped streaming
+// subsystem: the concurrent forest search feeds candidates through a
+// filtered channel into a backtest.Pipeline that fills shared-run batches
+// and launches them while exploration is still producing. It returns
+// immediately; every error surfaces at Run.Wait.
+func (s *Session) streamPipeline(ctx context.Context, sym Symptom, bt Backtest, o options) *Run {
+	// The candidate count is unknown up front but bounded by the cap
+	// (Stream routes cap-disabled calls to the barrier composition), so
+	// the suggestion buffer can hold every possible verdict.
+	run := newRun(o.maxCandidates)
+	go func() {
+		defer close(run.done)
+		defer run.finish()
+		run.report, run.err = s.runPipeline(ctx, sym, bt, o, run)
+	}()
+	return run
+}
+
+func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o options, run *Run) (*Report, error) {
+	start := time.Now()
+	if o.sink != nil {
+		o.sink = &lockedSink{inner: o.sink} // feeder and workers emit concurrently
+	}
+	pctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	// ectx governs the search alone: FirstAccepted cancels it (through
+	// Pipeline.CancelSearch) without touching the in-flight batches.
+	ectx, cancelExplore := context.WithCancel(pctx)
+	defer cancelExplore()
+
+	th := &timedHistory{rec: s.rec}
+	ex := metaprov.NewExplorer(meta.NewModel(s.prog), th)
+	o.budget.apply(ex)
+	ex.Workers = o.exploreWorkers
+	workers := ex.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	o.emit(Event{Kind: "explore.start", Symptom: sym.String(), Workers: workers})
+
+	// Feeder: forward the candidate stream into the pipeline, applying
+	// the candidate filter and cap with the same accounting as the
+	// barrier path. expl's fields are written before feedErr is sent and
+	// read only after it is received.
+	expl := &Exploration{Symptom: sym}
+	pipe := make(chan metaprov.Candidate)
+	feedErr := make(chan error, 1)
+	go func() {
+		defer close(pipe)
+		var err error
+		emitIdx := 0
+		send := func(c metaprov.Candidate) bool {
+			o.emit(Event{Kind: "explore.candidate", Index: emitIdx, Desc: c.Describe(), Cost: c.Cost})
+			emitIdx++
+			select {
+			case pipe <- c:
+				return true
+			case <-ectx.Done():
+				return false
+			}
+		}
+		if sym.Present != nil {
+			// Positive symptom: the full cost-ordered list is generated,
+			// then filtered and capped with the barrier path's accounting,
+			// and streamed into the pipeline from there.
+			expl.Explanation = s.rec.Explain(*sym.Present)
+			var cands []metaprov.Candidate
+			cands, err = ex.RepairPositiveContext(ectx, *sym.Present, s.rec)
+			expl.Generated = len(cands)
+			for _, c := range o.filterAndCap(cands, expl) {
+				if !send(c) {
+					break
+				}
+			}
+		} else {
+			expl.Explanation = s.rec.ExplainMissing(s.prog, sym.Goal.Table, nil)
+			// The cap bounds the cost-ordered stream itself: stopping at N
+			// keeps the N cheapest, so nothing is dropped after the fact.
+			ex.MaxCandidates = o.maxCandidates
+			stream, errc := ex.ExploreStream(ectx, sym.Goal)
+			for c := range stream {
+				expl.Generated++
+				if o.filter != nil && !o.filter(c) {
+					expl.Filtered++
+					continue
+				}
+				if !send(c) {
+					break
+				}
+			}
+			for range stream {
+				// Drain after an early stop so the search's emitter exits.
+			}
+			err = <-errc
+			if expl.Filtered > 0 {
+				o.emit(Event{Kind: "candidates.filtered", Filtered: expl.Filtered})
+			}
+		}
+		stats := ex.Stats()
+		expl.Steps = stats.Steps
+		expl.historyTime = th.total()
+		expl.solveTime = stats.SolveTime
+		expl.genTime = time.Since(start)
+		o.emit(Event{Kind: "explore.done",
+			Candidates: expl.Generated - expl.Filtered - expl.Dropped,
+			Steps:      expl.Steps, Elapsed: ms(expl.genTime)})
+		feedErr <- err
+	}()
+
+	o.emit(Event{Kind: "backtest.start", Parallelism: o.parallelism,
+		Strategy: o.strategy.String() + "/" + o.pipeline.String()})
+	batchSize := o.clampedBatchSize()
+	suggest := func(b backtest.Batch) {
+		o.emit(Event{Kind: "batch.done", Batch: b.Index, Size: len(b.Results),
+			Elapsed: ms(time.Since(start))})
+		for i, res := range b.Results {
+			idx := b.Start + i
+			run.push(Suggestion{
+				Rank: idx + 1, Index: idx, Batch: b.Index,
+				Candidate: res.Candidate, Result: res,
+			})
+			o.emit(Event{Kind: "suggestion", Index: idx, Desc: res.Candidate.Describe(),
+				Accepted: res.Accepted, KS: res.KS})
+		}
+	}
+	pl := &backtest.Pipeline{
+		Job:           s.backtestJob(bt, o),
+		BatchSize:     batchSize,
+		Parallelism:   o.parallelism,
+		FirstAccepted: o.pipeline == PipelineFirstAccepted,
+		CancelSearch:  cancelExplore,
+		OnBatch:       suggest,
+	}
+	pr, plErr := pl.Run(pctx, pipe)
+	ferr := <-feedErr
+	if plErr != nil {
+		return nil, plErr
+	}
+	if ferr != nil && !pr.EarlyStopped {
+		// The search can only fail by cancellation; without an early stop
+		// that cancellation came from the caller.
+		return nil, ferr
+	}
+
+	exploreEnd := start.Add(expl.genTime)
+	var overlap, replay time.Duration
+	if !pr.FirstBatchStart.IsZero() {
+		replay = time.Since(pr.FirstBatchStart)
+		if exploreEnd.After(pr.FirstBatchStart) {
+			overlap = exploreEnd.Sub(pr.FirstBatchStart)
+			o.emit(Event{Kind: "pipeline.overlap", Elapsed: ms(overlap)})
+		}
+	}
+	if pr.EarlyStopped {
+		for i, ok := range pr.Evaluated {
+			if ok && pr.Results[i].Accepted {
+				o.emit(Event{Kind: "pipeline.stop", Index: i})
+				break
+			}
+		}
+	}
+
+	// Solve and history times are summed across concurrent workers, so
+	// they can exceed the exploration's wall clock; the patch-generation
+	// residual is clamped rather than reported negative.
+	patchGen := expl.genTime - expl.historyTime - expl.solveTime
+	if patchGen < 0 {
+		patchGen = 0
+	}
+	rep := &Report{
+		Explanation:  expl.Explanation,
+		Results:      pr.Results,
+		Candidates:   pr.Candidates,
+		Generated:    expl.Generated,
+		Filtered:     expl.Filtered,
+		Dropped:      expl.Dropped,
+		Batches:      pr.Batches,
+		Steps:        expl.Steps,
+		EarlyStopped: pr.EarlyStopped,
+		Evaluated:    pr.EvaluatedCount(),
+		evaluated:    pr.Evaluated,
+		Timing: Timing{
+			HistoryLookups:    expl.historyTime,
+			ConstraintSolving: expl.solveTime,
+			PatchGeneration:   patchGen,
+			Replay:            replay,
+			Overlap:           overlap,
+		},
+	}
+	for i := range pr.Candidates {
+		if !pr.Evaluated[i] {
+			continue
+		}
+		rep.Suggestions = append(rep.Suggestions, Suggestion{
+			Index: i, Batch: i / batchSize, Candidate: pr.Candidates[i], Result: pr.Results[i],
+		})
+	}
+	rep.rank()
+	o.emit(Event{Kind: "report", Candidates: len(pr.Candidates), Passed: rep.Accepted,
+		Elapsed: ms(time.Since(start))})
+	return rep, nil
 }
 
 // workloadSource resolves where backtesting streams its workload from:
