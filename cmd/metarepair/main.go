@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -120,15 +121,32 @@ func (sf scenarioFlags) scenario() *scenario.Scenario {
 	return s
 }
 
+// fail reports a fatal error with conventional exit codes — 130 for an
+// interrupted pipeline (SIGINT), 124 for an exceeded -timeout, 1 for
+// everything else — so scripts and CI can tell a cancelled run from a
+// genuinely failed one instead of reading both as the same failure.
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	switch {
+	case errors.Is(err, context.Canceled):
+		os.Exit(130)
+	case errors.Is(err, context.DeadlineExceeded):
+		os.Exit(124)
+	}
 	os.Exit(1)
 }
 
 // pipelineContext builds the signal-aware, optionally timed context every
-// subcommand runs under.
+// subcommand runs under. The first SIGINT cancels the pipeline gracefully
+// (partial work is reported as an error, never as a truncated success);
+// signal delivery is restored right after, so a second Ctrl-C kills a
+// pipeline that is slow to unwind.
 func pipelineContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	if timeout <= 0 {
 		return ctx, stop
 	}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/metarepair"
+	"repro/scenario"
+)
+
+// jobRequest is the POST /v1/tenants/{tenant}/jobs body. Every field
+// beyond Scenario is optional; the knobs map one-to-one onto metarepair
+// functional options.
+type jobRequest struct {
+	// Scenario names a registered spec; Switches/Flows set the scale
+	// (zero: the default 19sw/900fl).
+	Scenario string `json:"scenario"`
+	Switches int    `json:"switches,omitempty"`
+	Flows    int    `json:"flows,omitempty"`
+	// Trace names a previously ingested trace of the same tenant to
+	// stream the workload from; From/To window the replay by record
+	// timestamp (metarepair.WithReplayWindow).
+	Trace string `json:"trace,omitempty"`
+	From  *int64 `json:"from,omitempty"`
+	To    *int64 `json:"to,omitempty"`
+	// Pipeline selects the explore→backtest composition: "streaming"
+	// (default), "barrier", or "first-accepted".
+	Pipeline string `json:"pipeline,omitempty"`
+	// ExploreWorkers, Batch, Parallelism, and MaxCandidates map onto the
+	// session options of the same names (zero keeps each default).
+	ExploreWorkers int `json:"explore_workers,omitempty"`
+	Batch          int `json:"batch,omitempty"`
+	Parallelism    int `json:"parallelism,omitempty"`
+	MaxCandidates  int `json:"max_candidates,omitempty"`
+	// TimeoutMS bounds the job's own run time; an exceeded deadline is a
+	// failed job (a DELETE is a cancelled one).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Label is free-form display text (default "<scenario>@<scale>").
+	Label string `json:"label,omitempty"`
+}
+
+// options translates the request knobs into session options.
+func (r *jobRequest) options() ([]metarepair.Option, error) {
+	var opts []metarepair.Option
+	switch r.Pipeline {
+	case "", "streaming":
+		opts = append(opts, metarepair.WithPipelineMode(metarepair.PipelineStreaming))
+	case "barrier":
+		opts = append(opts, metarepair.WithPipelineMode(metarepair.PipelineBarrier))
+	case "first-accepted":
+		opts = append(opts, metarepair.WithPipelineMode(metarepair.PipelineFirstAccepted))
+	default:
+		return nil, fmt.Errorf("unknown pipeline %q (want streaming, barrier, or first-accepted)", r.Pipeline)
+	}
+	if r.ExploreWorkers > 0 {
+		opts = append(opts, metarepair.WithExploreWorkers(r.ExploreWorkers))
+	}
+	if r.Batch > 0 {
+		opts = append(opts, metarepair.WithBatchSize(r.Batch))
+	}
+	if r.Parallelism > 0 {
+		opts = append(opts, metarepair.WithParallelism(r.Parallelism))
+	}
+	if r.MaxCandidates > 0 {
+		opts = append(opts, metarepair.WithMaxCandidates(r.MaxCandidates))
+	}
+	return opts, nil
+}
+
+// scale resolves the requested scale with the registry defaults.
+func (r *jobRequest) scale() scenario.Scale {
+	sc := scenario.DefaultScale()
+	if r.Switches > 0 {
+		sc.Switches = r.Switches
+	}
+	if r.Flows > 0 {
+		sc.Flows = r.Flows
+	}
+	return sc
+}
+
+// jobStatus is the wire form of one job record (submit, status, cancel,
+// and list responses all use it).
+type jobStatus struct {
+	ID       string      `json:"id"`
+	Tenant   string      `json:"tenant"`
+	Label    string      `json:"label,omitempty"`
+	State    string      `json:"state"`
+	Position int         `json:"position,omitempty"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Report   *reportJSON `json:"report,omitempty"`
+}
+
+func statusFromJob(j jobs.Job) jobStatus {
+	st := jobStatus{
+		ID: j.ID, Tenant: j.Tenant, Label: j.Label,
+		State: j.State.String(), Position: j.Position,
+		Created: j.Created, Error: j.Err,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		st.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		st.Finished = &t
+	}
+	if rep, ok := j.Result.(*reportJSON); ok {
+		st.Report = rep
+	}
+	return st
+}
+
+// reportJSON is the wire form of a finished repair run: the ranked
+// suggestion list (§5.3 order) plus the same verdicts in candidate/cost
+// order, which is the row order every offline table — and the verdict-
+// parity comparison against a one-shot CLI run — uses.
+type reportJSON struct {
+	Scenario     string           `json:"scenario"`
+	Scale        string           `json:"scale"`
+	Generated    int              `json:"generated"`
+	Filtered     int              `json:"filtered,omitempty"`
+	Dropped      int              `json:"dropped,omitempty"`
+	Accepted     int              `json:"accepted"`
+	Batches      int              `json:"batches"`
+	Steps        int              `json:"steps"`
+	EarlyStopped bool             `json:"early_stopped,omitempty"`
+	Evaluated    int              `json:"evaluated"`
+	Suggestions  []suggestionJSON `json:"suggestions"`
+	Results      []resultJSON     `json:"results"`
+	Timing       timingJSON       `json:"timing"`
+}
+
+type suggestionJSON struct {
+	Rank     int     `json:"rank"`
+	Index    int     `json:"index"`
+	Batch    int     `json:"batch"`
+	Desc     string  `json:"desc"`
+	Cost     float64 `json:"cost"`
+	Accepted bool    `json:"accepted"`
+	KS       float64 `json:"ks"`
+	P        float64 `json:"p"`
+}
+
+type resultJSON struct {
+	Desc      string  `json:"desc"`
+	Cost      float64 `json:"cost"`
+	Accepted  bool    `json:"accepted"`
+	Effective bool    `json:"effective"`
+	KS        float64 `json:"ks"`
+	Evaluated bool    `json:"evaluated"`
+}
+
+type timingJSON struct {
+	HistoryMS float64 `json:"history_ms"`
+	SolvingMS float64 `json:"solving_ms"`
+	PatchMS   float64 `json:"patch_ms"`
+	ReplayMS  float64 `json:"replay_ms"`
+	OverlapMS float64 `json:"overlap_ms,omitempty"`
+}
+
+func reportFromOutcome(out *scenario.Outcome) *reportJSON {
+	rep := out.Report
+	r := &reportJSON{
+		Scenario: out.Scenario.Name, Scale: out.Scenario.Scale.String(),
+		Generated: rep.Generated, Filtered: rep.Filtered, Dropped: rep.Dropped,
+		Accepted: rep.Accepted, Batches: rep.Batches, Steps: rep.Steps,
+		EarlyStopped: rep.EarlyStopped, Evaluated: rep.Evaluated,
+		Suggestions: make([]suggestionJSON, 0, len(rep.Suggestions)),
+		Results:     make([]resultJSON, 0, len(rep.Results)),
+		Timing: timingJSON{
+			HistoryMS: float64(out.Timing.HistoryLookups.Microseconds()) / 1e3,
+			SolvingMS: float64(out.Timing.ConstraintSolving.Microseconds()) / 1e3,
+			PatchMS:   float64(out.Timing.PatchGeneration.Microseconds()) / 1e3,
+			ReplayMS:  float64(out.Timing.Replay.Microseconds()) / 1e3,
+			OverlapMS: float64(out.Timing.Overlap.Microseconds()) / 1e3,
+		},
+	}
+	for _, s := range rep.Suggestions {
+		r.Suggestions = append(r.Suggestions, suggestionJSON{
+			Rank: s.Rank, Index: s.Index, Batch: s.Batch,
+			Desc: s.Candidate.Describe(), Cost: s.Candidate.Cost,
+			Accepted: s.Result.Accepted, KS: s.Result.KS, P: s.Result.P,
+		})
+	}
+	for i, res := range rep.Results {
+		r.Results = append(r.Results, resultJSON{
+			Desc: res.Candidate.Describe(), Cost: res.Candidate.Cost,
+			Accepted: res.Accepted, Effective: res.Effective, KS: res.KS,
+			Evaluated: rep.IsEvaluated(i),
+		})
+	}
+	return r
+}
+
+// ingestResponse is the POST trace response: what this request appended
+// and where the store stands afterwards.
+type ingestResponse struct {
+	Tenant   string `json:"tenant"`
+	Trace    string `json:"trace"`
+	Ingested int    `json:"ingested"`
+	Entries  int64  `json:"entries"`
+	Bytes    int64  `json:"bytes"`
+	Segments int    `json:"segments"`
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError writes the daemon's uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"repro/metarepair"
+)
+
+// eventLog is one job's live event history: it records every pipeline
+// event (it is the job's session EventSink) and simultaneously fans it
+// out to SSE subscribers. A subscriber that arrives mid-run gets the
+// recorded history followed by the live tail with no gap and no
+// duplicate — subscribe() snapshots the history and registers with the
+// fan-out under the same lock Emit appends and broadcasts under.
+type eventLog struct {
+	mu      sync.Mutex
+	history []metarepair.Event
+	fan     *metarepair.FanoutSink
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{fan: metarepair.NewFanoutSink()}
+}
+
+// Emit implements metarepair.EventSink.
+func (l *eventLog) Emit(e metarepair.Event) {
+	l.mu.Lock()
+	l.history = append(l.history, e)
+	l.fan.Emit(e)
+	l.mu.Unlock()
+}
+
+// emitLifecycle records a daemon-level job event (job.queued,
+// job.running, job.succeeded, ...). The session stamps Time on pipeline
+// events; lifecycle events are the daemon's own, so it stamps them here.
+func (l *eventLog) emitLifecycle(kind, id string) {
+	l.Emit(metarepair.Event{Time: time.Now(), Kind: kind, Desc: id})
+}
+
+// subscribe returns the history so far plus a live subscription for
+// everything after it. buf bounds the subscriber's backlog (drop-oldest
+// on overflow), so one stalled SSE client never holds memory or stalls
+// the run. On a finished job the subscription is already terminated and
+// only the history streams.
+func (l *eventLog) subscribe(buf int) ([]metarepair.Event, *metarepair.Subscription) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]metarepair.Event(nil), l.history...), l.fan.Subscribe(buf)
+}
+
+// close ends the live stream: subscribers drain their backlog and then
+// see end-of-stream. Called once, when the job reaches a terminal state.
+func (l *eventLog) close() { l.fan.Close() }

@@ -1,0 +1,373 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+	"repro/metarepair"
+	"repro/scenario"
+)
+
+// sseBuffer bounds each SSE subscriber's pending-event backlog. A client
+// that reads slower than the pipeline emits loses its oldest pending
+// events (drop-oldest, counted) instead of stalling the repair session.
+const sseBuffer = 1024
+
+// jobEnv is the daemon's per-job attachment, carried in the engine
+// record's Meta: the live event log and the request that created the
+// job. It is evicted together with the job record.
+type jobEnv struct {
+	log *eventLog
+	req jobRequest
+}
+
+// server is the repair-as-a-service HTTP surface: it owns a tenants
+// trace-store tree, a scenario registry, and the bounded job engine, and
+// maps the REST surface onto them.
+type server struct {
+	registry *scenario.Registry
+	tenants  *tracestore.Tenants
+	engine   *jobs.Engine
+	mux      *http.ServeMux
+	// draining closes when shutdown starts, ending live SSE streams that
+	// would otherwise hold Shutdown open forever.
+	draining chan struct{}
+}
+
+// newServer wires the daemon: the engine's transition observer feeds
+// every state change into the job's event log, and closing the log on a
+// terminal transition is what ends that job's SSE streams.
+func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg jobs.Config) *server {
+	s := &server{
+		registry: registry,
+		tenants:  tenants,
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+	}
+	cfg.OnTransition = func(j jobs.Job) {
+		env, ok := j.Meta.(*jobEnv)
+		if !ok {
+			return
+		}
+		env.log.emitLifecycle("job."+j.State.String(), j.ID)
+		if j.State.Terminal() {
+			env.log.close()
+		}
+	}
+	s.engine = jobs.New(cfg)
+
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/traces/{name}", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/traces", s.handleListTraces)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// shutdown drains the daemon: live SSE streams end, the engine finishes
+// (or, past the deadline, cancels) its jobs, and the trace stores close.
+func (s *server) shutdown(ctx context.Context) error {
+	close(s.draining)
+	err := s.engine.Drain(ctx)
+	if cerr := s.tenants.CloseAll(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// handleIngest appends a stream of codec records (the request body) to
+// the tenant's named trace store, creating it on first ingest. The
+// ?format= query selects the record codec (binary, the paper's 120-byte
+// format, is the default).
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tenant, name := r.PathValue("tenant"), r.PathValue("name")
+	codec, err := tracestore.CodecByName(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.tenants.Open(tenant, name)
+	if errors.Is(err, tracestore.ErrBadName) {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening store: %v", err)
+		return
+	}
+	br := bufio.NewReader(r.Body)
+	batch := make([]trace.Entry, 0, 1024)
+	ingested := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := st.Append(batch...); err != nil {
+			return err
+		}
+		ingested += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		e, err := codec.ReadRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The decoded prefix is already durable; the error names the
+			// first bad record so the client can resume past it.
+			flush()
+			writeError(w, http.StatusBadRequest, "record %d: %v", ingested+len(batch), err)
+			return
+		}
+		batch = append(batch, e)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				writeError(w, http.StatusInternalServerError, "append: %v", err)
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		writeError(w, http.StatusInternalServerError, "append: %v", err)
+		return
+	}
+	if err := st.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, "sync: %v", err)
+		return
+	}
+	stats := st.Stats()
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Tenant: tenant, Trace: name, Ingested: ingested,
+		Entries: stats.Entries, Bytes: stats.Bytes, Segments: stats.Segments,
+	})
+}
+
+func (s *server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	names, err := s.tenants.List(r.PathValue("tenant"))
+	if errors.Is(err, tracestore.ErrBadName) {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"traces": names})
+}
+
+// handleSubmitJob validates a repair request — registered scenario,
+// existing trace, well-formed knobs — and queues it on the engine. The
+// expensive work (instantiating the scenario, running the pipeline) all
+// happens on the worker, under the job's own context.
+func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !tracestore.ValidName(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid tenant %q", tenant)
+		return
+	}
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	spec, err := s.registry.Lookup(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var source trace.Source
+	if req.Trace != "" {
+		st, err := s.tenants.Lookup(tenant, req.Trace)
+		if errors.Is(err, tracestore.ErrBadName) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if st == nil {
+			writeError(w, http.StatusNotFound, "tenant %s has no trace %q", tenant, req.Trace)
+			return
+		}
+		view := st.Source()
+		if req.From != nil || req.To != nil {
+			from, to := int64(math.MinInt64), int64(math.MaxInt64)
+			if req.From != nil {
+				from = *req.From
+			}
+			if req.To != nil {
+				to = *req.To
+			}
+			view = view.Window(from, to)
+		}
+		source = view
+	}
+	scale := req.scale()
+	label := req.Label
+	if label == "" {
+		label = fmt.Sprintf("%s@%s", spec.Name, scale)
+	}
+	env := &jobEnv{log: newEventLog(), req: req}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	fn := func(ctx context.Context) (any, error) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		sc, err := spec.Instantiate(scale)
+		if err != nil {
+			return nil, err
+		}
+		if source != nil {
+			sc.Source = source
+		}
+		out, err := sc.Run(ctx, append(opts, metarepair.WithEventSink(env.log))...)
+		if err != nil {
+			return nil, err
+		}
+		return reportFromOutcome(out), nil
+	}
+	j, err := s.engine.Submit(tenant, label, env, fn)
+	var quota *jobs.QuotaError
+	switch {
+	case errors.As(err, &quota):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, statusFromJob(j))
+}
+
+func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	list := s.engine.List(r.PathValue("tenant"))
+	out := make([]jobStatus, 0, len(list))
+	for _, j := range list {
+		out = append(out, statusFromJob(j))
+	}
+	writeJSON(w, http.StatusOK, map[string][]jobStatus{"jobs": out})
+}
+
+func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusFromJob(j))
+}
+
+func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Cancel(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusFromJob(j))
+}
+
+// handleJobEvents streams the job's events as SSE: the recorded history
+// first, then the live tail, ending when the job reaches a terminal
+// state (or the client disconnects, or the daemon drains). Events are
+// encoded with Event.AppendJSON into one reused buffer, so a long
+// stream does not allocate per event.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	env, ok := j.Meta.(*jobEnv)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "job has no event log")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	history, sub := env.log.subscribe(sseBuffer)
+	defer sub.Cancel()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.draining:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	var buf []byte
+	write := func(e metarepair.Event) bool {
+		buf = append(buf[:0], "data: "...)
+		buf = e.AppendJSON(buf)
+		buf = append(buf, '\n', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, e := range history {
+		if !write(e) {
+			return
+		}
+	}
+	for {
+		e, ok := sub.Next(ctx)
+		if !ok {
+			return
+		}
+		if !write(e) {
+			return
+		}
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "workers": st.Workers,
+		"queued": st.Queued, "running": st.Running,
+		"succeeded": st.Succeeded, "failed": st.Failed, "cancelled": st.Cancelled,
+	})
+}

@@ -1,0 +1,172 @@
+// Command repairload is the concurrent load driver for metarepaird: it
+// fires repair jobs at a running daemon from many submitters across many
+// tenants, polls each job to completion, and reports throughput
+// (jobs/sec) and the time-to-report distribution (p50/p99) — the
+// saturation measurement recorded in EXPERIMENTS.md.
+//
+//	repairload -addr http://localhost:8080 -jobs 32 -tenants 4
+//	           [-concurrency 8] [-scenario Q1] [-switches 19] [-flows 300]
+//	           [-pipeline streaming] [-poll 25ms]
+//
+// A 429 (queue or tenant cap) is retried with backoff — saturating the
+// queue is the point — and any job that ends failed makes the driver
+// exit non-zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type submitBody struct {
+	Scenario string `json:"scenario"`
+	Switches int    `json:"switches,omitempty"`
+	Flows    int    `json:"flows,omitempty"`
+	Pipeline string `json:"pipeline,omitempty"`
+	Label    string `json:"label,omitempty"`
+}
+
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "daemon base URL")
+	jobsN := flag.Int("jobs", 32, "total jobs to run")
+	tenants := flag.Int("tenants", 4, "spread jobs across this many tenants")
+	concurrency := flag.Int("concurrency", 8, "concurrent submitters")
+	scen := flag.String("scenario", "Q1", "scenario to submit")
+	switches := flag.Int("switches", 19, "topology switch budget")
+	flows := flag.Int("flows", 300, "workload flow count")
+	pipeline := flag.String("pipeline", "streaming", "pipeline mode to request")
+	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
+	flag.Parse()
+
+	durations := make([]time.Duration, *jobsN)
+	var failed atomic.Int32
+	var next atomic.Int32
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *jobsN {
+					return
+				}
+				tenant := fmt.Sprintf("load%d", i%*tenants)
+				d, err := runOne(*addr, tenant, submitBody{
+					Scenario: *scen, Switches: *switches, Flows: *flows,
+					Pipeline: *pipeline, Label: fmt.Sprintf("load-%d", i),
+				}, *poll)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "job %d (%s): %v\n", i, tenant, err)
+					failed.Add(1)
+					continue
+				}
+				durations[i] = d
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	ok := make([]time.Duration, 0, *jobsN)
+	for _, d := range durations {
+		if d > 0 {
+			ok = append(ok, d)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	fmt.Printf("%d job(s) across %d tenant(s), %d submitter(s): %d ok, %d failed in %v\n",
+		*jobsN, *tenants, *concurrency, len(ok), failed.Load(), wall.Round(time.Millisecond))
+	if len(ok) > 0 {
+		fmt.Printf("throughput: %.2f jobs/sec\n", float64(len(ok))/wall.Seconds())
+		fmt.Printf("time-to-report: p50 %v, p99 %v, max %v\n",
+			percentile(ok, 50).Round(time.Millisecond),
+			percentile(ok, 99).Round(time.Millisecond),
+			ok[len(ok)-1].Round(time.Millisecond))
+	}
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne submits a job (retrying 429s with backoff) and polls it to a
+// terminal state, returning submit-to-report latency.
+func runOne(addr, tenant string, body submitBody, poll time.Duration) (time.Duration, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var job jobView
+	backoff := 50 * time.Millisecond
+	for {
+		resp, err := http.Post(addr+"/v1/tenants/"+tenant+"/jobs", "application/json",
+			bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return 0, fmt.Errorf("submit: status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			return 0, fmt.Errorf("submit: decoding: %w", err)
+		}
+		break
+	}
+	for {
+		resp, err := http.Get(addr + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return 0, err
+		}
+		var cur jobView
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("poll: %w", err)
+		}
+		switch cur.State {
+		case "succeeded":
+			return time.Since(start), nil
+		case "failed", "cancelled":
+			return 0, fmt.Errorf("job %s ended %s: %s", job.ID, cur.State, cur.Error)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// percentile returns the p-th percentile of sorted durations.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}

@@ -1,0 +1,529 @@
+// Package jobs is the bounded job engine under the repair daemon: a
+// multi-tenant queue → worker pool → job table. Submitted jobs wait in a
+// global FIFO queue (bounded globally and per tenant), run on a fixed
+// worker pool subject to per-tenant concurrency quotas, and leave a
+// retained, TTL-evicted record of their outcome behind for status
+// polling. Every job runs under its own context, so queued and running
+// jobs alike cancel promptly, and the engine drains gracefully: stop
+// intake, finish what is queued, then cancel stragglers at the deadline.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// Queued: admitted, waiting for a worker (or for tenant quota).
+	Queued State = iota
+	// Running: executing on a worker.
+	Running
+	// Succeeded: finished without error.
+	Succeeded
+	// Failed: finished with an error of its own.
+	Failed
+	// Cancelled: cancelled while queued, or stopped by Cancel/drain while
+	// running.
+	Cancelled
+)
+
+// String names the state for APIs and logs.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Succeeded || s == Failed || s == Cancelled }
+
+// Func is the work a job performs. It must honor ctx — cancellation and
+// drain deadlines arrive through it — and return its retained result.
+type Func func(ctx context.Context) (any, error)
+
+// Job is a point-in-time snapshot of one job's record.
+type Job struct {
+	ID     string
+	Tenant string
+	// Label is caller-provided display metadata (e.g. "Q1@19sw/900fl").
+	Label string
+	State State
+	// Position is the job's place in the global queue (1-based) while
+	// Queued, 0 otherwise.
+	Position                   int
+	Created, Started, Finished time.Time
+	// Err is the failure (or cancellation) message once terminal.
+	Err string
+	// Result is the retained outcome of a Succeeded job.
+	Result any
+	// Meta is the caller's opaque attachment (e.g. the daemon's per-job
+	// event log); it lives exactly as long as the job record.
+	Meta any
+}
+
+// Config sizes the engine. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the pool width (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds jobs waiting in the global queue (default 256).
+	QueueCap int
+	// TenantQueueCap bounds one tenant's queued jobs (default QueueCap).
+	TenantQueueCap int
+	// TenantRunning caps one tenant's concurrently running jobs — the
+	// per-tenant share of the pool (default Workers).
+	TenantRunning int
+	// ResultTTL evicts terminal job records this long after they finish
+	// (default 1h). Eviction runs on a janitor tick and on every
+	// Submit/Get/List, so records disappear even on an idle engine.
+	ResultTTL time.Duration
+	// OnTransition, when set, observes every state change with a fresh
+	// snapshot. Called synchronously under the engine lock — it must be
+	// fast and must not call back into the engine.
+	OnTransition func(Job)
+
+	// now is the test clock (default time.Now).
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.TenantQueueCap <= 0 {
+		c.TenantQueueCap = c.QueueCap
+	}
+	if c.TenantRunning <= 0 {
+		c.TenantRunning = c.Workers
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = time.Hour
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// QuotaError is a capacity rejection — the HTTP layer maps it to 429.
+type QuotaError struct{ msg string }
+
+func (e *QuotaError) Error() string { return e.msg }
+
+// ErrNotFound reports an unknown (or already evicted) job ID.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrDraining rejects submissions to a draining or closed engine.
+var ErrDraining = errors.New("jobs: engine is draining")
+
+// job is the engine-internal record.
+type job struct {
+	Job
+	fn       Func
+	ctx      context.Context
+	cancel   context.CancelFunc
+	cancelMe bool // Cancel was requested while running
+	done     chan struct{}
+}
+
+// Engine is the bounded multi-tenant job engine. Create with New; all
+// methods are safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*job
+	queue     []*job // global FIFO of Queued jobs
+	order     []*job // every live record, submission order
+	queuedBy  map[string]int
+	runningBy map[string]int
+	seq       int
+	draining  bool
+	closed    bool
+
+	workers sync.WaitGroup
+	janitor chan struct{}
+}
+
+// New starts an engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		cfg:       cfg.withDefaults(),
+		jobs:      make(map[string]*job),
+		queuedBy:  make(map[string]int),
+		runningBy: make(map[string]int),
+		janitor:   make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.workers.Add(1)
+		go e.worker()
+	}
+	go e.runJanitor()
+	return e
+}
+
+// Submit admits a job for tenant and returns its queued snapshot.
+// Capacity rejections are *QuotaError; a draining engine returns
+// ErrDraining.
+func (e *Engine) Submit(tenant, label string, meta any, fn Func) (Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining || e.closed {
+		return Job{}, ErrDraining
+	}
+	e.evictLocked()
+	if len(e.queue) >= e.cfg.QueueCap {
+		return Job{}, &QuotaError{msg: fmt.Sprintf("jobs: queue is full (%d queued)", len(e.queue))}
+	}
+	if e.queuedBy[tenant] >= e.cfg.TenantQueueCap {
+		return Job{}, &QuotaError{msg: fmt.Sprintf("jobs: tenant %q queue cap reached (%d queued)",
+			tenant, e.queuedBy[tenant])}
+	}
+	e.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		Job: Job{
+			ID: fmt.Sprintf("j-%06d", e.seq), Tenant: tenant, Label: label,
+			State: Queued, Created: e.cfg.now(), Meta: meta,
+		},
+		fn: fn, ctx: ctx, cancel: cancel, done: make(chan struct{}),
+	}
+	e.jobs[j.ID] = j
+	e.queue = append(e.queue, j)
+	e.order = append(e.order, j)
+	e.queuedBy[tenant]++
+	e.transitionLocked(j)
+	e.cond.Broadcast()
+	return e.snapshotLocked(j), nil
+}
+
+// worker runs queued jobs until the engine closes and the queue empties.
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	for {
+		e.mu.Lock()
+		var j *job
+		for {
+			j = e.dequeueLocked()
+			if j != nil || e.closed {
+				break
+			}
+			e.cond.Wait()
+		}
+		if j == nil { // closed and nothing runnable
+			e.mu.Unlock()
+			return
+		}
+		j.State = Running
+		j.Started = e.cfg.now()
+		e.runningBy[j.Tenant]++
+		e.transitionLocked(j)
+		fn, ctx := j.fn, j.ctx
+		e.mu.Unlock()
+
+		result, err := fn(ctx)
+
+		e.mu.Lock()
+		e.runningBy[j.Tenant]--
+		j.Finished = e.cfg.now()
+		switch {
+		case err == nil:
+			j.State = Succeeded
+			j.Result = result
+		case j.cancelMe || j.ctx.Err() != nil:
+			j.State = Cancelled
+			j.Err = err.Error()
+		default:
+			j.State = Failed
+			j.Err = err.Error()
+		}
+		j.fn = nil
+		j.cancel()
+		close(j.done)
+		e.transitionLocked(j)
+		e.cond.Broadcast() // quota slots freed; drain waiters advance
+		e.mu.Unlock()
+	}
+}
+
+// dequeueLocked pops the first queued job whose tenant has quota room.
+// FIFO order is preserved per tenant and globally except where a
+// saturated tenant is skipped — one tenant's burst cannot starve the
+// others' slots.
+func (e *Engine) dequeueLocked() *job {
+	for i, j := range e.queue {
+		if e.runningBy[j.Tenant] < e.cfg.TenantRunning {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.queuedBy[j.Tenant]--
+			return j
+		}
+	}
+	return nil
+}
+
+// Cancel stops a job: a queued job is cancelled in place, a running job
+// has its context cancelled (the state becomes Cancelled when its Func
+// returns). Cancelling a terminal job is a no-op. The returned snapshot
+// reflects the post-cancel record.
+func (e *Engine) Cancel(id string) (Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch j.State {
+	case Queued:
+		e.removeQueuedLocked(j)
+		j.State = Cancelled
+		j.Finished = e.cfg.now()
+		j.Err = context.Canceled.Error()
+		j.fn = nil
+		j.cancel()
+		close(j.done)
+		e.transitionLocked(j)
+		e.cond.Broadcast()
+	case Running:
+		j.cancelMe = true
+		j.cancel()
+	}
+	return e.snapshotLocked(j), nil
+}
+
+// removeQueuedLocked unlinks a queued job from the FIFO.
+func (e *Engine) removeQueuedLocked(j *job) {
+	for i, q := range e.queue {
+		if q == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.queuedBy[j.Tenant]--
+			return
+		}
+	}
+}
+
+// Get returns a job snapshot.
+func (e *Engine) Get(id string) (Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evictLocked()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return e.snapshotLocked(j), nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (e *Engine) Done(id string) (<-chan struct{}, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// List returns snapshots in submission order; tenant "" lists all.
+func (e *Engine) List(tenant string) []Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evictLocked()
+	var out []Job
+	for _, j := range e.order {
+		if tenant == "" || j.Tenant == tenant {
+			out = append(out, e.snapshotLocked(j))
+		}
+	}
+	return out
+}
+
+// Stats is an aggregate engine snapshot.
+type Stats struct {
+	Workers, Queued, Running     int
+	Succeeded, Failed, Cancelled int
+}
+
+// Stats aggregates the live job table.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{Workers: e.cfg.Workers, Queued: len(e.queue)}
+	for _, j := range e.order {
+		switch j.State {
+		case Running:
+			st.Running++
+		case Succeeded:
+			st.Succeeded++
+		case Failed:
+			st.Failed++
+		case Cancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Drain gracefully shuts the engine down: intake stops immediately,
+// queued and running jobs are given until ctx expires to finish, then
+// everything still alive is cancelled. Drain returns once every worker
+// has exited; the job table (and Get/List) remains readable afterwards.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		e.mu.Lock()
+		for (len(e.queue) > 0 || e.anyRunningLocked()) && !e.closed {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+		e.cancelAll()
+		<-finished
+	}
+	e.shutdownWorkers()
+	return err
+}
+
+// Close shuts down immediately: intake stops, every queued and running
+// job is cancelled, and Close returns once the workers exit.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+	e.cancelAll()
+	e.shutdownWorkers()
+}
+
+// cancelAll cancels every queued and running job.
+func (e *Engine) cancelAll() {
+	e.mu.Lock()
+	queued := append([]*job(nil), e.queue...)
+	var running []*job
+	for _, j := range e.order {
+		if j.State == Running {
+			running = append(running, j)
+		}
+	}
+	e.mu.Unlock()
+	for _, j := range queued {
+		e.Cancel(j.ID)
+	}
+	for _, j := range running {
+		e.Cancel(j.ID)
+	}
+}
+
+// shutdownWorkers closes the pool and waits for it (idempotent).
+func (e *Engine) shutdownWorkers() {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if !already {
+		close(e.janitor)
+	}
+	e.workers.Wait()
+}
+
+func (e *Engine) anyRunningLocked() bool {
+	for _, n := range e.runningBy {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runJanitor evicts expired records in the background, so retention does
+// not depend on API traffic.
+func (e *Engine) runJanitor() {
+	tick := e.cfg.ResultTTL / 4
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.mu.Lock()
+			e.evictLocked()
+			e.mu.Unlock()
+		case <-e.janitor:
+			return
+		}
+	}
+}
+
+// evictLocked drops terminal records whose TTL has lapsed.
+func (e *Engine) evictLocked() {
+	cutoff := e.cfg.now().Add(-e.cfg.ResultTTL)
+	kept := e.order[:0]
+	for _, j := range e.order {
+		if j.State.Terminal() && j.Finished.Before(cutoff) {
+			delete(e.jobs, j.ID)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(e.order); i++ {
+		e.order[i] = nil
+	}
+	e.order = kept
+}
+
+// snapshotLocked copies a job record, stamping the queue position.
+func (e *Engine) snapshotLocked(j *job) Job {
+	out := j.Job
+	if j.State == Queued {
+		for i, q := range e.queue {
+			if q == j {
+				out.Position = i + 1
+				break
+			}
+		}
+	}
+	return out
+}
+
+// transitionLocked notifies the observer of a state change.
+func (e *Engine) transitionLocked(j *job) {
+	if e.cfg.OnTransition != nil {
+		e.cfg.OnTransition(e.snapshotLocked(j))
+	}
+}

@@ -1,0 +1,417 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, e *Engine, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if j.State == want {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v, want %v", id, j.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// gate is a controllable job body: it signals when it starts and blocks
+// until released or cancelled.
+type gate struct {
+	started chan string
+	release chan struct{}
+}
+
+func newGate() *gate {
+	return &gate{started: make(chan string, 64), release: make(chan struct{})}
+}
+
+func (g *gate) fn(name string, result any) Func {
+	return func(ctx context.Context) (any, error) {
+		g.started <- name
+		select {
+		case <-g.release:
+			return result, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// TestLifecycleFIFO: with one worker, jobs run in submission order and
+// each record walks queued → running → succeeded with a retained result.
+func TestLifecycleFIFO(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+
+	g := newGate()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := e.Submit("acme", fmt.Sprintf("job-%d", i), nil, g.fn(fmt.Sprintf("job-%d", i), i))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if j.State != Queued {
+			t.Fatalf("submitted job state = %v, want Queued", j.State)
+		}
+		ids = append(ids, j.ID)
+	}
+	// Third job should report its queue position while waiting.
+	if j, _ := e.Get(ids[2]); j.Position == 0 {
+		t.Fatalf("queued job has no position: %+v", j)
+	}
+	close(g.release)
+	for i := 0; i < 3; i++ {
+		if name := <-g.started; name != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("job %d ran out of order: got %s", i, name)
+		}
+	}
+	for i, id := range ids {
+		j := waitState(t, e, id, Succeeded)
+		if j.Result != i {
+			t.Fatalf("job %s result = %v, want %d", id, j.Result, i)
+		}
+		if j.Started.Before(j.Created) || j.Finished.Before(j.Started) {
+			t.Fatalf("job %s timestamps out of order: %+v", id, j)
+		}
+	}
+}
+
+// TestTenantRunningQuota: a tenant never exceeds its running quota, and a
+// saturated tenant's backlog does not block other tenants' jobs.
+func TestTenantRunningQuota(t *testing.T) {
+	e := New(Config{Workers: 4, TenantRunning: 1})
+	defer e.Close()
+
+	g := newGate()
+	var running, maxA atomic.Int32
+	slowA := func(ctx context.Context) (any, error) {
+		n := running.Add(1)
+		defer running.Add(-1)
+		if m := maxA.Load(); n > m {
+			maxA.Store(n)
+		}
+		select {
+		case <-g.release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var aIDs []string
+	for i := 0; i < 3; i++ {
+		j, err := e.Submit("a", "", nil, slowA)
+		if err != nil {
+			t.Fatalf("Submit a: %v", err)
+		}
+		aIDs = append(aIDs, j.ID)
+	}
+	// Tenant b, submitted after a's backlog, must still get a worker.
+	jb, err := e.Submit("b", "", nil, func(ctx context.Context) (any, error) { return "b", nil })
+	if err != nil {
+		t.Fatalf("Submit b: %v", err)
+	}
+	waitState(t, e, jb.ID, Succeeded)
+
+	close(g.release)
+	for _, id := range aIDs {
+		waitState(t, e, id, Succeeded)
+	}
+	if maxA.Load() > 1 {
+		t.Fatalf("tenant a ran %d jobs concurrently, quota is 1", maxA.Load())
+	}
+}
+
+// TestQueueCaps: the global queue cap and the per-tenant queue cap both
+// reject with *QuotaError.
+func TestQueueCaps(t *testing.T) {
+	g := newGate()
+	defer close(g.release)
+
+	e := New(Config{Workers: 1, QueueCap: 2, TenantQueueCap: 2})
+	defer e.Close()
+	// Occupy the worker so subsequent submissions stay queued.
+	if _, err := e.Submit("a", "", nil, g.fn("hold", nil)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-g.started
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit("a", "", nil, g.fn("q", nil)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	var qe *QuotaError
+	if _, err := e.Submit("b", "", nil, g.fn("over", nil)); !errors.As(err, &qe) {
+		t.Fatalf("global cap: got %v, want *QuotaError", err)
+	}
+
+	e2 := New(Config{Workers: 1, QueueCap: 100, TenantQueueCap: 1})
+	defer e2.Close()
+	if _, err := e2.Submit("a", "", nil, g.fn("hold2", nil)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-g.started
+	if _, err := e2.Submit("a", "", nil, g.fn("q2", nil)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := e2.Submit("a", "", nil, g.fn("over2", nil)); !errors.As(err, &qe) {
+		t.Fatalf("tenant cap: got %v, want *QuotaError", err)
+	}
+	// A different tenant still has room.
+	if _, err := e2.Submit("b", "", nil, g.fn("other", nil)); err != nil {
+		t.Fatalf("tenant b rejected by tenant a's cap: %v", err)
+	}
+}
+
+// TestCancelQueued: cancelling a queued job finalizes it without ever
+// running it, and frees its queue slot.
+func TestCancelQueued(t *testing.T) {
+	g := newGate()
+	defer close(g.release)
+
+	e := New(Config{Workers: 1, TenantQueueCap: 1})
+	defer e.Close()
+	if _, err := e.Submit("a", "", nil, g.fn("hold", nil)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-g.started
+	queued, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) {
+		t.Error("cancelled queued job ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j, err := e.Cancel(queued.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if j.State != Cancelled {
+		t.Fatalf("cancelled queued job state = %v", j.State)
+	}
+	// The tenant's queue slot must be free again.
+	if _, err := e.Submit("a", "", nil, g.fn("next", nil)); err != nil {
+		t.Fatalf("queue slot not released after cancel: %v", err)
+	}
+}
+
+// TestCancelRunning: cancelling a running job cancels its context and the
+// record lands in Cancelled, not Failed.
+func TestCancelRunning(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	g := newGate()
+	j, err := e.Submit("a", "", nil, g.fn("run", nil))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-g.started
+	if _, err := e.Cancel(j.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	done, err := e.Done(j.ID)
+	if err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled job never finished")
+	}
+	got := waitState(t, e, j.ID, Cancelled)
+	if got.Err == "" {
+		t.Fatal("cancelled job has empty Err")
+	}
+	// Cancelling a terminal job is a no-op.
+	if again, err := e.Cancel(j.ID); err != nil || again.State != Cancelled {
+		t.Fatalf("re-cancel: (%+v, %v)", again, err)
+	}
+}
+
+// TestFailedJob: an error from the Func lands in Failed with the message
+// retained.
+func TestFailedJob(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	j, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := waitState(t, e, j.ID, Failed)
+	if got.Err != "boom" {
+		t.Fatalf("failed job Err = %q", got.Err)
+	}
+}
+
+// TestTTLEviction: terminal records evaporate once ResultTTL passes on
+// the fake clock; live records stay.
+func TestTTLEviction(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1754650000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	e := New(Config{Workers: 1, ResultTTL: time.Minute, now: clock})
+	defer e.Close()
+	j, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, e, j.ID, Succeeded)
+
+	advance(30 * time.Second)
+	if _, err := e.Get(j.ID); err != nil {
+		t.Fatalf("record evicted before TTL: %v", err)
+	}
+	advance(31 * time.Second)
+	if _, err := e.Get(j.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired record still present: %v", err)
+	}
+	if got := e.List(""); len(got) != 0 {
+		t.Fatalf("List returned %d evicted records", len(got))
+	}
+}
+
+// TestDrainFinishesQueued: Drain with a generous deadline lets queued
+// work complete, rejects new submissions, and returns nil.
+func TestDrainFinishesQueued(t *testing.T) {
+	e := New(Config{Workers: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) {
+			time.Sleep(5 * time.Millisecond)
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain: %v, want ErrDraining", err)
+	}
+	for _, id := range ids {
+		j, err := e.Get(id)
+		if err != nil || j.State != Succeeded {
+			t.Fatalf("after drain, job %s = (%+v, %v), want Succeeded", id, j, err)
+		}
+	}
+}
+
+// TestDrainDeadlineCancels: when the drain deadline passes, running jobs
+// are cancelled rather than waited on forever.
+func TestDrainDeadlineCancels(t *testing.T) {
+	e := New(Config{Workers: 1})
+	g := newGate()
+	defer close(g.release)
+	j, err := e.Submit("a", "", nil, g.fn("stuck", nil))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-g.started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain: %v, want DeadlineExceeded", err)
+	}
+	got, err := e.Get(j.ID)
+	if err != nil || got.State != Cancelled {
+		t.Fatalf("after forced drain, job = (%+v, %v), want Cancelled", got, err)
+	}
+}
+
+// TestTransitions: the observer sees every state change in order.
+func TestTransitions(t *testing.T) {
+	var mu sync.Mutex
+	var states []State
+	e := New(Config{Workers: 1, OnTransition: func(j Job) {
+		mu.Lock()
+		states = append(states, j.State)
+		mu.Unlock()
+	}})
+	defer e.Close()
+	j, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, e, j.ID, Succeeded)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []State{Queued, Running, Succeeded}
+	if len(states) != len(want) {
+		t.Fatalf("saw transitions %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, states[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentChurn hammers the engine from many goroutines — submit,
+// poll, cancel, list — and is the -race workout for the lock discipline.
+func TestConcurrentChurn(t *testing.T) {
+	e := New(Config{Workers: 4, QueueCap: 1024, TenantRunning: 2, ResultTTL: 50 * time.Millisecond})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%4)
+			for i := 0; i < 50; i++ {
+				j, err := e.Submit(tenant, "churn", nil, func(ctx context.Context) (any, error) {
+					select {
+					case <-time.After(time.Duration(i%3) * time.Millisecond):
+						return i, nil
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				})
+				if err != nil {
+					var qe *QuotaError
+					if !errors.As(err, &qe) {
+						t.Errorf("Submit: %v", err)
+					}
+					continue
+				}
+				if i%5 == 0 {
+					e.Cancel(j.ID)
+				}
+				e.Get(j.ID)
+				e.List(tenant)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain after churn: %v", err)
+	}
+	st := e.Stats()
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("engine not quiescent after drain: %+v", st)
+	}
+}

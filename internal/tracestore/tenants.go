@@ -1,0 +1,139 @@
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrBadName rejects tenant or trace names that are empty, over-long, or
+// contain characters outside [a-z0-9._-]. Names become path components
+// under the tenants root, so the alphabet is restricted to block
+// traversal ("..", "/") outright.
+var ErrBadName = errors.New("tracestore: name must match [a-z0-9._-]{1,64} and not start with '.'")
+
+// ValidName reports whether s is acceptable as a tenant or trace name.
+func ValidName(s string) bool {
+	if len(s) == 0 || len(s) > 64 || s[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Tenants manages a directory tree of per-tenant trace stores:
+// root/<tenant>/<trace> is one Store. Handles are opened lazily on first
+// use, cached, and shared between ingest and repair jobs; all methods
+// are safe for concurrent use. The daemon owns exactly one Tenants over
+// its data directory.
+type Tenants struct {
+	root string
+	opts Options
+
+	mu     sync.Mutex
+	stores map[string]*Store // key: tenant + "/" + name
+	closed bool
+}
+
+// OpenTenants prepares a tenants root directory. opts applies to every
+// store opened beneath it.
+func OpenTenants(root string, opts Options) (*Tenants, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &Tenants{root: root, opts: opts, stores: make(map[string]*Store)}, nil
+}
+
+// Root returns the managed directory.
+func (t *Tenants) Root() string { return t.root }
+
+// Open returns the tenant's named store, creating its directory on first
+// use. The same *Store is returned for every call with the same pair.
+func (t *Tenants) Open(tenant, name string) (*Store, error) {
+	if !ValidName(tenant) || !ValidName(name) {
+		return nil, fmt.Errorf("%w: %q/%q", ErrBadName, tenant, name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("tracestore: tenants manager is closed")
+	}
+	key := tenant + "/" + name
+	if st, ok := t.stores[key]; ok {
+		return st, nil
+	}
+	st, err := Open(filepath.Join(t.root, tenant, name), t.opts)
+	if err != nil {
+		return nil, err
+	}
+	t.stores[key] = st
+	return st, nil
+}
+
+// Lookup returns the tenant's named store only if it already exists on
+// disk — repair jobs reference traces by name and must not create empty
+// stores for typos. The (nil, nil) return means "no such trace".
+func (t *Tenants) Lookup(tenant, name string) (*Store, error) {
+	if !ValidName(tenant) || !ValidName(name) {
+		return nil, fmt.Errorf("%w: %q/%q", ErrBadName, tenant, name)
+	}
+	t.mu.Lock()
+	cached := t.stores[tenant+"/"+name]
+	t.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	if fi, err := os.Stat(filepath.Join(t.root, tenant, name)); err != nil || !fi.IsDir() {
+		return nil, nil
+	}
+	return t.Open(tenant, name)
+}
+
+// List returns the tenant's trace names in sorted order. A tenant with
+// no traces (or that has never ingested) lists empty.
+func (t *Tenants) List(tenant string) ([]string, error) {
+	if !ValidName(tenant) {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, tenant)
+	}
+	des, err := os.ReadDir(filepath.Join(t.root, tenant))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() && ValidName(de.Name()) {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// CloseAll syncs and closes every cached store. The manager is unusable
+// afterwards; the daemon calls this once during shutdown.
+func (t *Tenants) CloseAll() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	var first error
+	for key, st := range t.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(t.stores, key)
+	}
+	return first
+}

@@ -1,0 +1,139 @@
+package tracestore
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestTenantsNameValidation(t *testing.T) {
+	tn, err := OpenTenants(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("OpenTenants: %v", err)
+	}
+	defer tn.CloseAll()
+	bad := []string{"", "..", "../escape", "a/b", "UPPER", "space name",
+		".hidden", "x\x00y", "over" + string(make([]byte, 64))}
+	for _, name := range bad {
+		if _, err := tn.Open(name, "trace"); !errors.Is(err, ErrBadName) {
+			t.Errorf("Open(%q): %v, want ErrBadName", name, err)
+		}
+		if _, err := tn.Open("tenant", name); !errors.Is(err, ErrBadName) {
+			t.Errorf("Open(tenant, %q): %v, want ErrBadName", name, err)
+		}
+	}
+	for _, name := range []string{"acme", "t-1", "q1.capture", "a_b-c.d"} {
+		if _, err := tn.Open(name, name); err != nil {
+			t.Errorf("Open(%q): %v", name, err)
+		}
+	}
+}
+
+func TestTenantsSharedHandleAndLayout(t *testing.T) {
+	root := t.TempDir()
+	tn, err := OpenTenants(root, Options{})
+	if err != nil {
+		t.Fatalf("OpenTenants: %v", err)
+	}
+	defer tn.CloseAll()
+	a, err := tn.Open("acme", "cap1")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if a.Dir() != filepath.Join(root, "acme", "cap1") {
+		t.Fatalf("store dir = %s", a.Dir())
+	}
+	b, err := tn.Open("acme", "cap1")
+	if err != nil || b != a {
+		t.Fatalf("second Open returned a different handle (%p vs %p, err %v)", b, a, err)
+	}
+	if err := a.Append(trace.Entry{Time: time.Unix(1, 0).UnixNano(), SrcHost: "h1"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	n, err := b.Source().Count()
+	if err != nil || n != 1 {
+		t.Fatalf("shared handle count = (%d, %v), want 1", n, err)
+	}
+}
+
+func TestTenantsLookupAndList(t *testing.T) {
+	tn, err := OpenTenants(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("OpenTenants: %v", err)
+	}
+	defer tn.CloseAll()
+	if st, err := tn.Lookup("acme", "missing"); err != nil || st != nil {
+		t.Fatalf("Lookup missing = (%v, %v), want (nil, nil)", st, err)
+	}
+	if names, err := tn.List("acme"); err != nil || len(names) != 0 {
+		t.Fatalf("List of unknown tenant = (%v, %v)", names, err)
+	}
+	for _, name := range []string{"cap2", "cap1"} {
+		if _, err := tn.Open("acme", name); err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+	}
+	names, err := tn.List("acme")
+	if err != nil || len(names) != 2 || names[0] != "cap1" || names[1] != "cap2" {
+		t.Fatalf("List = (%v, %v), want [cap1 cap2]", names, err)
+	}
+	if st, err := tn.Lookup("acme", "cap1"); err != nil || st == nil {
+		t.Fatalf("Lookup existing = (%v, %v)", st, err)
+	}
+	// Tenants are isolated: acme's traces do not appear under globex.
+	if names, _ := tn.List("globex"); len(names) != 0 {
+		t.Fatalf("cross-tenant leak: %v", names)
+	}
+}
+
+func TestTenantsConcurrentOpen(t *testing.T) {
+	tn, err := OpenTenants(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("OpenTenants: %v", err)
+	}
+	defer tn.CloseAll()
+	var wg sync.WaitGroup
+	stores := make([]*Store, 16)
+	for i := range stores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := tn.Open("acme", "shared")
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			stores[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(stores); i++ {
+		if stores[i] != stores[0] {
+			t.Fatalf("concurrent Open returned distinct handles")
+		}
+	}
+}
+
+func TestTenantsCloseAll(t *testing.T) {
+	tn, err := OpenTenants(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("OpenTenants: %v", err)
+	}
+	st, err := tn.Open("acme", "cap1")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Append(trace.Entry{Time: 1, SrcHost: "h"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := tn.CloseAll(); err != nil {
+		t.Fatalf("CloseAll: %v", err)
+	}
+	if _, err := tn.Open("acme", "cap2"); err == nil {
+		t.Fatal("Open succeeded on a closed manager")
+	}
+}

@@ -1,0 +1,153 @@
+package metarepair
+
+import (
+	"math"
+	"strconv"
+	"time"
+	"unicode/utf8"
+)
+
+// AppendJSON encodes the event onto dst exactly as encoding/json would
+// (same field order, omitempty behavior, string escaping, and number
+// formatting) without any per-event allocation: the SSE and JSONL hot
+// paths reuse one buffer per connection instead of calling json.Marshal
+// per event. Float fields must be finite — events never carry NaN/Inf.
+func (e *Event) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"time":`...)
+	dst = appendJSONTime(dst, e.Time)
+	dst = append(dst, `,"kind":`...) // Kind has no omitempty tag
+	dst = appendJSONString(dst, e.Kind)
+	dst = appendJSONStringField(dst, `,"symptom":`, e.Symptom)
+	dst = appendJSONIntField(dst, `,"candidates":`, int64(e.Candidates))
+	dst = appendJSONIntField(dst, `,"steps":`, int64(e.Steps))
+	dst = appendJSONIntField(dst, `,"filtered":`, int64(e.Filtered))
+	dst = appendJSONIntField(dst, `,"dropped":`, int64(e.Dropped))
+	dst = appendJSONIntField(dst, `,"batch":`, int64(e.Batch))
+	dst = appendJSONIntField(dst, `,"batches":`, int64(e.Batches))
+	dst = appendJSONIntField(dst, `,"size":`, int64(e.Size))
+	dst = appendJSONIntField(dst, `,"parallelism":`, int64(e.Parallelism))
+	dst = appendJSONStringField(dst, `,"strategy":`, e.Strategy)
+	dst = appendJSONIntField(dst, `,"index":`, int64(e.Index))
+	dst = appendJSONStringField(dst, `,"desc":`, e.Desc)
+	if e.Accepted {
+		dst = append(dst, `,"accepted":true`...)
+	}
+	dst = appendJSONIntField(dst, `,"passed":`, int64(e.Passed))
+	dst = appendJSONFloatField(dst, `,"ks":`, e.KS)
+	dst = appendJSONIntField(dst, `,"workers":`, int64(e.Workers))
+	dst = appendJSONFloatField(dst, `,"cost":`, e.Cost)
+	dst = appendJSONFloatField(dst, `,"elapsed_ms":`, e.Elapsed)
+	dst = appendJSONStringField(dst, `,"dir":`, e.Dir)
+	dst = appendJSONIntField(dst, `,"entries":`, e.Entries)
+	dst = appendJSONIntField(dst, `,"bytes":`, e.Bytes)
+	dst = appendJSONIntField(dst, `,"segments":`, int64(e.Segments))
+	dst = appendJSONIntField(dst, `,"from":`, e.From)
+	dst = appendJSONIntField(dst, `,"to":`, e.To)
+	dst = appendJSONStringField(dst, `,"scenario":`, e.Scenario)
+	dst = appendJSONStringField(dst, `,"scale":`, e.Scale)
+	return append(dst, '}')
+}
+
+// appendJSONTime matches time.Time.MarshalJSON: quoted RFC 3339 with
+// nanoseconds.
+func appendJSONTime(dst []byte, t time.Time) []byte {
+	dst = append(dst, '"')
+	dst = t.AppendFormat(dst, time.RFC3339Nano)
+	return append(dst, '"')
+}
+
+func appendJSONIntField(dst []byte, prefix string, v int64) []byte {
+	if v == 0 {
+		return dst
+	}
+	dst = append(dst, prefix...)
+	return strconv.AppendInt(dst, v, 10)
+}
+
+func appendJSONStringField(dst []byte, prefix, s string) []byte {
+	if s == "" {
+		return dst
+	}
+	dst = append(dst, prefix...)
+	return appendJSONString(dst, s)
+}
+
+func appendJSONFloatField(dst []byte, prefix string, f float64) []byte {
+	if f == 0 {
+		return dst
+	}
+	dst = append(dst, prefix...)
+	return appendJSONFloat(dst, f)
+}
+
+// appendJSONFloat reproduces encoding/json's float64 encoder: shortest
+// representation, 'f' form except for very small/large magnitudes, with
+// the exponent's leading zero trimmed.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString escapes s exactly as encoding/json's default
+// (HTML-escaping) encoder does.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters plus <, >, & (HTML escaping).
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

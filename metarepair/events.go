@@ -1,7 +1,6 @@
 package metarepair
 
 import (
-	"encoding/json"
 	"io"
 	"sync"
 	"time"
@@ -81,40 +80,26 @@ type EventSink interface {
 
 // JSONLSink writes one JSON object per event per line — the append-only
 // event-log idiom that keeps exploration and backtest progress observable
-// in production. It is safe for concurrent use.
+// in production. It is safe for concurrent use, and it reuses one
+// preallocated encode buffer across events (see Event.AppendJSON), so
+// steady-state emission does not allocate.
 type JSONLSink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
 }
 
 // NewJSONLSink wraps a writer (a log file, a pipe, os.Stderr).
 func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
 
-// Emit marshals and appends the event; marshal or write failures are
-// dropped — an observability sink must never fail the pipeline.
+// Emit encodes and appends the event; write failures are dropped — an
+// observability sink must never fail the pipeline.
 func (s *JSONLSink) Emit(e Event) {
-	data, err := json.Marshal(e)
-	if err != nil {
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.w.Write(append(data, '\n'))
-}
-
-// lockedSink serializes Emit calls. The streaming pipeline emits from the
-// explore feeder, the batch workers, and the assembly goroutine
-// concurrently; wrapping the run's sink keeps one run's events serialized
-// even for sink implementations that skimp on their own locking.
-type lockedSink struct {
-	mu    sync.Mutex
-	inner EventSink
-}
-
-func (s *lockedSink) Emit(e Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.inner.Emit(e)
+	s.buf = e.AppendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	s.w.Write(s.buf)
 }
 
 // sinkFunc adapts a function to the EventSink interface.

@@ -1,0 +1,192 @@
+package metarepair
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// FanoutSink broadcasts pipeline events to any number of subscribers
+// without ever blocking the emitting pipeline: Emit copies the event into
+// each subscriber's buffer and returns immediately. Subscribers consume
+// at their own pace; a bounded subscriber that falls behind loses its
+// *oldest* buffered events (counted per subscriber, never silently), so a
+// stalled consumer — a slow SSE client, a wedged log writer — can never
+// stall a running repair session.
+//
+// Every subscriber observes the events it receives in global emit order:
+// Emit serializes concurrent emitters, so the fan-out also serves as the
+// per-run serialization layer the streaming pipeline needs (see
+// Session.Stream), replacing the old per-run locking wrapper.
+type FanoutSink struct {
+	mu     sync.Mutex
+	subs   map[*Subscription]struct{}
+	closed bool
+	wg     sync.WaitGroup // attached drainer goroutines
+}
+
+// NewFanoutSink returns an empty fan-out; events emitted before the first
+// subscriber arrives are discarded.
+func NewFanoutSink() *FanoutSink {
+	return &FanoutSink{subs: make(map[*Subscription]struct{})}
+}
+
+// Emit delivers the event to every live subscriber's buffer. It never
+// blocks: a full bounded subscriber drops its oldest pending event
+// instead (recorded in Subscription.Dropped).
+func (f *FanoutSink) Emit(e Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for sub := range f.subs {
+		sub.push(e)
+	}
+}
+
+// Subscribe registers a consumer. buf > 0 bounds its pending-event buffer
+// (drop-oldest on overflow); buf <= 0 makes it unbounded — for in-process
+// consumers that must observe every event. Subscribing to a closed
+// fan-out yields an already-terminated subscription.
+func (f *FanoutSink) Subscribe(buf int) *Subscription {
+	sub := &Subscription{f: f, bound: buf, notify: make(chan struct{}, 1)}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		sub.closed = true
+		return sub
+	}
+	f.subs[sub] = struct{}{}
+	return sub
+}
+
+// Attach subscribes an EventSink and drains events into it from a
+// dedicated goroutine, so even a sink that blocks in Emit cannot stall
+// emitters. Close waits for attached sinks to receive every buffered
+// event before returning.
+func (f *FanoutSink) Attach(sink EventSink, buf int) {
+	sub := f.Subscribe(buf)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			e, ok := sub.Next(context.Background())
+			if !ok {
+				return
+			}
+			sink.Emit(e)
+		}
+	}()
+}
+
+// Close ends the fan-out: no further events are delivered, every
+// subscription terminates once its buffered events are consumed, and
+// Close blocks until all Attach drainers have flushed. It is safe to
+// call more than once.
+func (f *FanoutSink) Close() {
+	f.mu.Lock()
+	f.closed = true
+	subs := f.subs
+	f.subs = nil
+	f.mu.Unlock()
+	for sub := range subs {
+		sub.end()
+	}
+	f.wg.Wait()
+}
+
+// Subscription is one consumer's ordered view of a FanoutSink's events.
+type Subscription struct {
+	f      *FanoutSink
+	bound  int
+	notify chan struct{}
+
+	mu     sync.Mutex
+	buf    []Event // FIFO; buf[head:] is pending
+	head   int
+	closed bool
+
+	dropped atomic.Uint64
+}
+
+// push appends an event, evicting the oldest pending one when a bounded
+// buffer is full. Called with the fan-out's mutex held, so pushes across
+// subscribers observe one global order.
+func (s *Subscription) push(e Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.bound > 0 && len(s.buf)-s.head >= s.bound {
+		s.head++
+		s.dropped.Add(1)
+	}
+	// Reclaim the consumed prefix before it dominates the backing array.
+	if s.head > 0 && (s.head == len(s.buf) || s.head > cap(s.buf)/2) {
+		n := copy(s.buf, s.buf[s.head:])
+		s.buf = s.buf[:n]
+		s.head = 0
+	}
+	s.buf = append(s.buf, e)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the next pending event, blocking until one arrives, the
+// subscription terminates, or ctx is done. It returns ok=false only when
+// no pending event remains and the subscription is finished (or the wait
+// was cancelled) — a closed fan-out's buffered backlog drains first.
+func (s *Subscription) Next(ctx context.Context) (Event, bool) {
+	for {
+		s.mu.Lock()
+		if s.head < len(s.buf) {
+			e := s.buf[s.head]
+			s.buf[s.head] = Event{} // release the strings behind us
+			s.head++
+			s.mu.Unlock()
+			return e, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false
+		}
+		select {
+		case <-s.notify:
+		case <-ctx.Done():
+			return Event{}, false
+		}
+	}
+}
+
+// Dropped reports how many events this subscriber lost to buffer
+// overflow.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel detaches the subscription: no further events are buffered and
+// Next returns false once the already-buffered backlog is consumed.
+func (s *Subscription) Cancel() {
+	f := s.f
+	if f != nil {
+		f.mu.Lock()
+		delete(f.subs, s)
+		f.mu.Unlock()
+	}
+	s.end()
+}
+
+// end marks the subscription finished and wakes a blocked Next.
+func (s *Subscription) end() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,218 @@
+package metarepair
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records every event it receives.
+type collectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collectSink) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collectSink) snapshot() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// TestFanoutOrderingAcrossSubscribers: concurrent emitters, several
+// subscribers — every subscriber must observe one consistent global
+// order, and an unbounded subscriber must observe every event.
+func TestFanoutOrderingAcrossSubscribers(t *testing.T) {
+	f := NewFanoutSink()
+	const emitters, perEmitter = 8, 200
+	subs := []*Subscription{f.Subscribe(0), f.Subscribe(0), f.Subscribe(0)}
+
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				f.Emit(Event{Kind: "e", Workers: g, Index: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.Close()
+
+	var seqs [][]Event
+	for _, sub := range subs {
+		var got []Event
+		for {
+			e, ok := sub.Next(context.Background())
+			if !ok {
+				break
+			}
+			got = append(got, e)
+		}
+		if len(got) != emitters*perEmitter {
+			t.Fatalf("subscriber saw %d of %d events", len(got), emitters*perEmitter)
+		}
+		// Per-emitter order must be preserved within the global order.
+		next := make([]int, emitters)
+		for _, e := range got {
+			if e.Index != next[e.Workers] {
+				t.Fatalf("emitter %d: event %d arrived out of order (want %d)",
+					e.Workers, e.Index, next[e.Workers])
+			}
+			next[e.Workers]++
+		}
+		seqs = append(seqs, got)
+	}
+	for i := 1; i < len(seqs); i++ {
+		for j := range seqs[0] {
+			if seqs[i][j] != seqs[0][j] {
+				t.Fatalf("subscribers diverge at %d: %+v vs %+v", j, seqs[i][j], seqs[0][j])
+			}
+		}
+	}
+}
+
+// TestFanoutDropOldest: a bounded subscriber that never consumes keeps
+// the newest events, counts the overflow, and never blocks the emitter.
+func TestFanoutDropOldest(t *testing.T) {
+	f := NewFanoutSink()
+	sub := f.Subscribe(4)
+	for i := 0; i < 100; i++ {
+		f.Emit(Event{Index: i})
+	}
+	f.Close()
+	if got := sub.Dropped(); got != 96 {
+		t.Fatalf("Dropped() = %d, want 96", got)
+	}
+	want := 96
+	for {
+		e, ok := sub.Next(context.Background())
+		if !ok {
+			break
+		}
+		if e.Index != want {
+			t.Fatalf("kept event %d, want %d (drop-oldest keeps the newest)", e.Index, want)
+		}
+		want++
+	}
+	if want != 100 {
+		t.Fatalf("drained to %d, want 100", want)
+	}
+}
+
+// TestFanoutSlowSubscriberNeverStallsEmit: with a bounded subscriber that
+// consumes nothing, a burst of emits completes immediately.
+func TestFanoutSlowSubscriberNeverStallsEmit(t *testing.T) {
+	f := NewFanoutSink()
+	defer f.Close()
+	_ = f.Subscribe(1) // never consumed
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			f.Emit(Event{Index: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked behind a stalled subscriber")
+	}
+}
+
+// TestFanoutAttachDrainsOnClose: Close must not return until an attached
+// sink has received every buffered event, in order.
+func TestFanoutAttachDrainsOnClose(t *testing.T) {
+	f := NewFanoutSink()
+	col := &collectSink{}
+	f.Attach(col, 0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		f.Emit(Event{Index: i})
+	}
+	f.Close()
+	got := col.snapshot()
+	if len(got) != n {
+		t.Fatalf("attached sink saw %d of %d events after Close", len(got), n)
+	}
+	for i, e := range got {
+		if e.Index != i {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+// TestFanoutCancelDetaches: a cancelled subscription stops receiving and
+// terminates its consumer; the fan-out keeps serving others.
+func TestFanoutCancelDetaches(t *testing.T) {
+	f := NewFanoutSink()
+	defer f.Close()
+	a, b := f.Subscribe(0), f.Subscribe(0)
+	f.Emit(Event{Index: 0})
+	a.Cancel()
+	f.Emit(Event{Index: 1})
+	if e, ok := a.Next(context.Background()); ok {
+		// The pre-cancel backlog may drain; the post-cancel event must not.
+		if e.Index != 0 {
+			t.Fatalf("cancelled subscription received post-cancel event %+v", e)
+		}
+		if _, ok := a.Next(context.Background()); ok {
+			t.Fatal("cancelled subscription kept receiving")
+		}
+	}
+	for want := 0; want < 2; want++ {
+		e, ok := b.Next(context.Background())
+		if !ok || e.Index != want {
+			t.Fatalf("live subscription: got (%+v, %v), want index %d", e, ok, want)
+		}
+	}
+}
+
+// TestFanoutNextHonorsContext: Next returns when its context is
+// cancelled even though no event ever arrives.
+func TestFanoutNextHonorsContext(t *testing.T) {
+	f := NewFanoutSink()
+	defer f.Close()
+	sub := f.Subscribe(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, ok := sub.Next(ctx); ok {
+		t.Fatal("Next returned an event from an empty subscription")
+	}
+}
+
+// BenchmarkEventFanout measures the SSE hot path: one emitted event fanned
+// out to subscribers, each drained into a JSONL encoder with a reused
+// buffer. The whole path — Emit, ring push, AppendJSON — must not
+// allocate per event.
+func BenchmarkEventFanout(b *testing.B) {
+	for _, subs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			f := NewFanoutSink()
+			for i := 0; i < subs; i++ {
+				f.Attach(NewJSONLSink(io.Discard), 1024)
+			}
+			e := Event{
+				Time: time.Unix(1754650000, 123456789), Kind: "suggestion",
+				Index: 17, Desc: "change constant 2 in r7 (sel/0/R) to 3",
+				Accepted: true, KS: 0.00796, Cost: 2.5, Elapsed: 12.75,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Emit(e)
+			}
+			b.StopTimer()
+			f.Close()
+		})
+	}
+}

@@ -464,7 +464,14 @@ func (s *Session) streamPipeline(ctx context.Context, sym Symptom, bt Backtest, 
 func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o options, run *Run) (*Report, error) {
 	start := time.Now()
 	if o.sink != nil {
-		o.sink = &lockedSink{inner: o.sink} // feeder and workers emit concurrently
+		// The feeder, the batch workers, and the assembly goroutine emit
+		// concurrently; a fan-out with one attached (unbounded) drainer
+		// serializes them without ever blocking the pipeline, and Close
+		// flushes the backlog before the Run completes.
+		fan := NewFanoutSink()
+		fan.Attach(o.sink, 0)
+		defer fan.Close()
+		o.sink = fan
 	}
 	pctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
