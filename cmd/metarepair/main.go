@@ -4,7 +4,8 @@
 //	metarepair [run] -scenario Q1 [-switches 19] [-flows 900]
 //	           [-lang RapidNet|Trema|Pyretic] [-parallelism N]
 //	           [-explore-workers N] [-pipeline streaming|barrier|first-accepted]
-//	           [-batch N] [-timeout 2m] [-events progress.jsonl] [-v]
+//	           [-batch N] [-timeout 2m] [-events progress.jsonl]
+//	           [-metrics metrics.prom] [-v]
 //	  run one diagnostic scenario end to end: replay the workload through
 //	  the buggy controller, build meta provenance with the concurrent
 //	  forest search, and backtest candidates in shared-run batches that
@@ -42,6 +43,12 @@
 // -events streams pipeline progress — including suite cell events,
 // capture.done, and replay.open — as JSONL to the given file; "-" writes
 // to stderr. -timeout cancels the whole pipeline via context.
+//
+// -metrics (run and replay) aggregates the run's telemetry — session
+// span durations, event and suggestion counts, NDlog engine work — into
+// an in-process registry and writes it as a Prometheus text exposition
+// to the given file ("-" = stderr) when the run finishes: the same
+// families metarepaird serves live at /metrics, for one-shot runs.
 package main
 
 import (
@@ -56,6 +63,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ndlog"
+	"repro/internal/obsv"
 	_ "repro/internal/scenarios" // register Q1–Q5 in the default registry
 	"repro/internal/trace"
 	"repro/internal/tracestore"
@@ -402,6 +411,8 @@ func runPipeline(cmd string, args []string) {
 	batch := sf.fs.Int("batch", 0, "candidates per shared-run batch (0 = the 63-tag maximum)")
 	timeout := sf.fs.Duration("timeout", 0, "cancel the pipeline after this long (0 = no limit)")
 	events := sf.fs.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
+	metricsDest := sf.fs.String("metrics", "",
+		"write the run's metric families (Prometheus text) to this file when done (\"-\" = stderr)")
 	verbose := sf.fs.Bool("v", false, "print the candidate meta-provenance tree of the best repair")
 	var dir, format *string
 	var from, to *int64
@@ -450,8 +461,17 @@ func runPipeline(cmd string, args []string) {
 		fail(err)
 	}
 	defer closeSink()
+	var sinks multiSink
 	if sink != nil {
-		opts = append(opts, metarepair.WithEventSink(sink))
+		sinks = append(sinks, sink)
+	}
+	var met *runMetrics
+	if *metricsDest != "" {
+		met = newRunMetrics()
+		sinks = append(sinks, met.sessions)
+	}
+	if len(sinks) > 0 {
+		opts = append(opts, metarepair.WithEventSink(sinks))
 	}
 
 	workload := fmt.Sprintf("%d packets of history", len(s.Workload))
@@ -532,4 +552,74 @@ func runPipeline(cmd string, args []string) {
 	if *verbose && len(out.Candidates) > 0 && out.Candidates[0].Tree != nil {
 		fmt.Printf("\nmeta-provenance tree of the top candidate:\n%s\n", out.Candidates[0].Tree.Render())
 	}
+
+	if met != nil {
+		met.recordEngine(out.Session.EngineStats())
+		if err := met.dump(*metricsDest); err != nil {
+			fail(fmt.Errorf("writing -metrics: %w", err))
+		}
+	}
+}
+
+// multiSink forwards each pipeline event to every attached sink (-events
+// and -metrics can both be active on one run).
+type multiSink []metarepair.EventSink
+
+func (m multiSink) Emit(e metarepair.Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// runMetrics aggregates one-shot run telemetry: the session families via
+// the event stream plus the NDlog engine counters sampled when the run
+// finishes — the same catalogue metarepaird exposes at /metrics, minus
+// the daemon-only (jobs_*, http_*, tracestore_*) families.
+type runMetrics struct {
+	reg       *obsv.Registry
+	sessions  *metarepair.MetricsSink
+	engineOps *obsv.CounterVec
+}
+
+func newRunMetrics() *runMetrics {
+	reg := obsv.NewRegistry()
+	return &runMetrics{
+		reg:      reg,
+		sessions: metarepair.NewMetricsSink(reg),
+		engineOps: reg.CounterVec("ndlog_engine_ops_total",
+			"NDlog engine work performed by the run, by operation.", "op"),
+	}
+}
+
+func (m *runMetrics) recordEngine(st ndlog.EngineStats) {
+	for _, c := range []struct {
+		op string
+		n  int64
+	}{
+		{"firings", st.Firings}, {"derivations", st.Derivations},
+		{"inserts", st.Inserts}, {"deletes", st.Deletes}, {"sends", st.Sends},
+		{"index_lookups", st.IndexLookups}, {"index_rows", st.IndexRows},
+		{"scans", st.Scans}, {"scan_rows", st.ScanRows},
+	} {
+		if c.n > 0 {
+			m.engineOps.With(c.op).Add(c.n)
+		}
+	}
+}
+
+// dump writes the registry as a Prometheus text exposition to dest ("-"
+// = stderr).
+func (m *runMetrics) dump(dest string) error {
+	if dest == "-" {
+		return m.reg.WriteText(os.Stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := m.reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

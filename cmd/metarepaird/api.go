@@ -67,6 +67,11 @@ func (r *jobRequest) options() ([]metarepair.Option, error) {
 	if r.MaxCandidates > 0 {
 		opts = append(opts, metarepair.WithMaxCandidates(r.MaxCandidates))
 	}
+	// Reject invalid knob combinations (e.g. a batch beyond the 63-tag
+	// space) at intake, as a 400, instead of failing the job later.
+	if err := metarepair.ValidateOptions(opts...); err != nil {
+		return nil, err
+	}
 	return opts, nil
 }
 

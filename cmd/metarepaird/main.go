@@ -4,7 +4,7 @@
 //
 //	metarepaird -addr :8080 -data ./data [-workers N] [-queue-cap N]
 //	            [-tenant-queued N] [-tenant-running N] [-result-ttl 1h]
-//	            [-drain-timeout 30s]
+//	            [-drain-timeout 30s] [-pprof]
 //
 // Endpoints (all request/response bodies are JSON unless noted):
 //
@@ -20,6 +20,10 @@
 //	DELETE /v1/jobs/{id}                   cancel (queued or running)
 //	GET    /v1/jobs/{id}/events            live SSE event stream
 //	GET    /healthz                        engine stats
+//	GET    /metrics                        Prometheus text exposition: job
+//	       engine, per-route HTTP, session span, NDlog engine, and trace
+//	       store families (see the README's Observability section)
+//	GET    /debug/pprof/*                  runtime profiles (-pprof only)
 //
 // Submissions beyond the global queue cap or the tenant's queue cap are
 // rejected with 429; per-tenant running quotas bound how much of the
@@ -56,6 +60,7 @@ func main() {
 	resultTTL := flag.Duration("result-ttl", time.Hour, "retain finished job records this long")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"on shutdown, let jobs finish for this long before cancelling them")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "metarepaird: -data is required")
@@ -70,7 +75,7 @@ func main() {
 		Workers: *workers, QueueCap: *queueCap,
 		TenantQueueCap: *tenantQueued, TenantRunning: *tenantRunning,
 		ResultTTL: *resultTTL,
-	})
+	}, *enablePprof)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

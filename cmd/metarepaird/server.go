@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/jobs"
@@ -39,19 +40,25 @@ type server struct {
 	tenants  *tracestore.Tenants
 	engine   *jobs.Engine
 	mux      *http.ServeMux
+	metrics  *daemonMetrics
 	// draining closes when shutdown starts, ending live SSE streams that
 	// would otherwise hold Shutdown open forever.
 	draining chan struct{}
 }
 
 // newServer wires the daemon: the engine's transition observer feeds
-// every state change into the job's event log, and closing the log on a
-// terminal transition is what ends that job's SSE streams.
-func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg jobs.Config) *server {
+// every state change into the job's event log (closing the log on a
+// terminal transition is what ends that job's SSE streams) and, chained
+// behind it, the jobs metrics recorder. Every API route is instrumented
+// with per-route request/latency metrics, and the whole registry is
+// exposed at GET /metrics. enablePprof additionally mounts
+// net/http/pprof under /debug/pprof/.
+func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg jobs.Config, enablePprof bool) *server {
 	s := &server{
 		registry: registry,
 		tenants:  tenants,
 		mux:      http.NewServeMux(),
+		metrics:  newDaemonMetrics(),
 		draining: make(chan struct{}),
 	}
 	cfg.OnTransition = func(j jobs.Job) {
@@ -64,16 +71,27 @@ func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg job
 			env.log.close()
 		}
 	}
-	s.engine = jobs.New(cfg)
+	s.engine = jobs.New(s.metrics.jobs.Instrument(cfg))
 
-	s.mux.HandleFunc("POST /v1/tenants/{tenant}/traces/{name}", s.handleIngest)
-	s.mux.HandleFunc("GET /v1/tenants/{tenant}/traces", s.handleListTraces)
-	s.mux.HandleFunc("POST /v1/tenants/{tenant}/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /v1/tenants/{tenant}/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	handle("POST /v1/tenants/{tenant}/traces/{name}", s.handleIngest)
+	handle("GET /v1/tenants/{tenant}/traces", s.handleListTraces)
+	handle("POST /v1/tenants/{tenant}/jobs", s.handleSubmitJob)
+	handle("GET /v1/tenants/{tenant}/jobs", s.handleListJobs)
+	handle("GET /v1/jobs/{id}", s.handleGetJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handle("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	if enablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -153,6 +171,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stats := st.Stats()
+	s.metrics.recordStore(tenant, name, stats)
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Tenant: tenant, Trace: name, Ingested: ingested,
 		Entries: stats.Entries, Bytes: stats.Bytes, Segments: stats.Segments,
@@ -203,6 +222,7 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var source trace.Source
+	var store *tracestore.Store
 	if req.Trace != "" {
 		st, err := s.tenants.Lookup(tenant, req.Trace)
 		if errors.Is(err, tracestore.ErrBadName) {
@@ -217,6 +237,7 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "tenant %s has no trace %q", tenant, req.Trace)
 			return
 		}
+		store = st
 		view := st.Source()
 		if req.From != nil || req.To != nil {
 			from, to := int64(math.MinInt64), int64(math.MaxInt64)
@@ -250,9 +271,16 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		if source != nil {
 			sc.Source = source
 		}
-		out, err := sc.Run(ctx, append(opts, metarepair.WithEventSink(env.log))...)
+		sink := teeSink{a: env.log, b: s.metrics.sessions}
+		out, err := sc.Run(ctx, append(opts, metarepair.WithEventSink(sink))...)
 		if err != nil {
 			return nil, err
+		}
+		// Sample the job's NDlog engine work and — when it replayed from a
+		// stored trace — the store's current shape into the registry.
+		s.metrics.recordEngine(out.Session.EngineStats())
+		if store != nil {
+			s.metrics.recordStore(tenant, req.Trace, store.Stats())
 		}
 		return reportFromOutcome(out), nil
 	}

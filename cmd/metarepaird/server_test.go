@@ -38,7 +38,7 @@ func newTestServer(t *testing.T, cfg jobs.Config) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatalf("OpenTenants: %v", err)
 	}
-	srv := newServer(reg, tenants, cfg)
+	srv := newServer(reg, tenants, cfg, false)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

@@ -6,11 +6,20 @@
 //
 //	repairload -addr http://localhost:8080 -jobs 32 -tenants 4
 //	           [-concurrency 8] [-scenario Q1] [-switches 19] [-flows 300]
-//	           [-pipeline streaming] [-poll 25ms]
+//	           [-pipeline streaming] [-poll 25ms] [-metrics]
 //
-// A 429 (queue or tenant cap) is retried with backoff — saturating the
-// queue is the point — and any job that ends failed makes the driver
-// exit non-zero.
+// The driver first checks /healthz: an unreachable or unhealthy daemon
+// is a clear error and exit code 2, not a pile of per-job failures. A
+// 429 (queue or tenant cap) is retried with backoff — saturating the
+// queue is the point — and any job that ends failed, or a sweep where
+// no job succeeds, makes the driver exit non-zero.
+//
+// -metrics scrapes the daemon's /metrics before and after the sweep and
+// reconciles the delta against the client's own observations: the
+// jobs_run_duration_seconds histogram must have recorded exactly this
+// sweep's successes, and its p99 must fall within the bound implied by
+// the slowest client-observed job. A mismatch is an exit-code-1 failure
+// — it means the daemon's telemetry is lying about the work it did.
 package main
 
 import (
@@ -19,12 +28,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 type submitBody struct {
@@ -51,7 +63,25 @@ func main() {
 	flows := flag.Int("flows", 300, "workload flow count")
 	pipeline := flag.String("pipeline", "streaming", "pipeline mode to request")
 	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
+	metrics := flag.Bool("metrics", false,
+		"scrape /metrics before and after the sweep and reconcile the server's telemetry with client observations")
 	flag.Parse()
+
+	// Fail fast with one clear message when the daemon isn't there,
+	// instead of -jobs identical connection errors and a misleading
+	// "N failed" summary.
+	if err := preflight(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "repairload: daemon unreachable at %s: %v\n", *addr, err)
+		os.Exit(2)
+	}
+	var before *obsv.Scrape
+	if *metrics {
+		var err error
+		if before, err = scrape(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "repairload: baseline /metrics scrape: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	durations := make([]time.Duration, *jobsN)
 	var failed atomic.Int32
@@ -100,9 +130,121 @@ func main() {
 			percentile(ok, 99).Round(time.Millisecond),
 			ok[len(ok)-1].Round(time.Millisecond))
 	}
+	if len(ok) == 0 {
+		fmt.Fprintln(os.Stderr, "repairload: no job succeeded")
+		os.Exit(1)
+	}
+
+	if *metrics {
+		after, err := scrape(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repairload: final /metrics scrape: %v\n", err)
+			os.Exit(1)
+		}
+		if err := reconcile(before, after, ok); err != nil {
+			fmt.Fprintf(os.Stderr, "repairload: metrics reconciliation FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics reconciliation: server histogram matches client observations")
+	}
+
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// preflight checks the daemon is up and answering before the sweep.
+func preflight(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz returned status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrape GETs and parses the daemon's /metrics exposition.
+func scrape(addr string) (*obsv.Scrape, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics returned status %d", resp.StatusCode)
+	}
+	return obsv.ParseText(resp.Body)
+}
+
+// reconcile checks the server-side run-duration histogram grew by
+// exactly this sweep's successes, and that its p99 sits within the bound
+// the client observed. Counters are cumulative, so the sweep's share is
+// the delta between the two scrapes — a daemon that served earlier work
+// reconciles the same as a fresh one.
+func reconcile(before, after *obsv.Scrape, ok []time.Duration) error {
+	succeeded := map[string]string{"state": "succeeded"}
+	prev, _ := before.Value("jobs_run_duration_seconds_count", succeeded)
+	cur, found := after.Value("jobs_run_duration_seconds_count", succeeded)
+	if !found {
+		return fmt.Errorf("jobs_run_duration_seconds{state=\"succeeded\"} is missing")
+	}
+	if int(cur-prev) != len(ok) {
+		return fmt.Errorf("server recorded %d successful runs, client observed %d",
+			int(cur-prev), len(ok))
+	}
+
+	// The client clock wraps the server's (submit → final poll contains
+	// queue wait + run), so every server observation is at most the
+	// slowest client duration; the delta histogram's p99 therefore cannot
+	// legitimately escape the bucket that holds the client maximum.
+	delta := &obsv.Scrape{Types: after.Types}
+	for _, s := range after.Samples {
+		if s.Name != "jobs_run_duration_seconds_bucket" || s.Labels["state"] != "succeeded" {
+			continue
+		}
+		p, _ := before.Value(s.Name, s.Labels)
+		delta.Samples = append(delta.Samples, obsv.Sample{
+			Name: s.Name, Labels: s.Labels, Value: s.Value - p,
+		})
+	}
+	p99, found := delta.HistogramQuantile("jobs_run_duration_seconds", succeeded, 0.99)
+	if !found {
+		return fmt.Errorf("jobs_run_duration_seconds has no buckets")
+	}
+	clientMax := ok[len(ok)-1].Seconds()
+	bound := bucketCeil(clientMax)
+	if p99 > bound {
+		return fmt.Errorf("server p99 %.3fs exceeds the client-derived bound %.3fs (client max %.3fs)",
+			p99, bound, clientMax)
+	}
+	fmt.Printf("server-side run durations: %d recorded, p50 %.3fs, p99 %.3fs (client max %.3fs)\n",
+		len(ok), quantileOrNaN(delta, succeeded, 0.50), p99, clientMax)
+	return nil
+}
+
+func quantileOrNaN(sc *obsv.Scrape, labels map[string]string, q float64) float64 {
+	v, ok := sc.HistogramQuantile("jobs_run_duration_seconds", labels, q)
+	if !ok {
+		return math.NaN()
+	}
+	return v
+}
+
+// bucketCeil returns the smallest latency-bucket upper bound at or above
+// v — the tightest claim the histogram can make about an observation.
+func bucketCeil(v float64) float64 {
+	for _, le := range obsv.BucketsLatency {
+		if le >= v {
+			return le
+		}
+	}
+	return math.Inf(1)
 }
 
 // runOne submits a job (retrying 429s with backoff) and polls it to a

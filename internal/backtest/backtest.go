@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/meta"
 	"repro/internal/metaprov"
@@ -233,6 +234,10 @@ type Batch struct {
 	Start int
 	// Results are the batch's verdicts, in candidate order.
 	Results []Result
+	// Began and Ended bound the batch's shared-run replay on the worker,
+	// so observers can reconstruct per-batch spans without re-timing.
+	Began time.Time
+	Ended time.Time
 }
 
 // RunBatched removes the 63-candidate cliff: the candidate set is split
@@ -299,7 +304,9 @@ func (j *Job) RunBatched(ctx context.Context, parallelism, batchSize int, onBatc
 				}
 				sub := *j
 				sub.Candidates = cands[sp.start:sp.end]
+				began := time.Now()
 				res, err := sub.RunShared()
+				ended := time.Now()
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -311,7 +318,7 @@ func (j *Job) RunBatched(ctx context.Context, parallelism, batchSize int, onBatc
 				}
 				copy(results[sp.start:sp.end], res)
 				if onBatch != nil {
-					onBatch(Batch{Index: sp.idx, Start: sp.start, Results: res})
+					onBatch(Batch{Index: sp.idx, Start: sp.start, Results: res, Began: began, Ended: ended})
 				}
 				mu.Unlock()
 			}

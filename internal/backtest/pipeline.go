@@ -123,7 +123,9 @@ func (p *Pipeline) Run(ctx context.Context, cands <-chan metaprov.Candidate) (*P
 				}
 				sub := *p.Job
 				sub.Candidates = sp.cands
+				began := time.Now()
 				out, err := sub.RunShared()
+				ended := time.Now()
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -140,7 +142,7 @@ func (p *Pipeline) Run(ctx context.Context, cands <-chan metaprov.Candidate) (*P
 				}
 				res.Batches++
 				if p.OnBatch != nil {
-					p.OnBatch(Batch{Index: sp.idx, Start: sp.start, Results: out})
+					p.OnBatch(Batch{Index: sp.idx, Start: sp.start, Results: out, Began: began, Ended: ended})
 				}
 				if p.FirstAccepted && !res.EarlyStopped {
 					for _, r := range out {

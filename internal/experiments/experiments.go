@@ -477,10 +477,15 @@ func AblationPipeline(ctx context.Context, sc scenarios.Scale, workers int) (bar
 	if barrier, _, err = timeMode(metarepair.WithPipelineMode(metarepair.PipelineBarrier)); err != nil {
 		return 0, 0, 0, err
 	}
+	// workers <= 0 means the session default (all cores), matching the
+	// CLI convention; WithExploreWorkers itself rejects non-positive
+	// counts.
+	streamOpts := []metarepair.Option{metarepair.WithPipelineMode(metarepair.PipelineStreaming)}
+	if workers > 0 {
+		streamOpts = append(streamOpts, metarepair.WithExploreWorkers(workers))
+	}
 	var rep *metarepair.Report
-	if streaming, rep, err = timeMode(
-		metarepair.WithPipelineMode(metarepair.PipelineStreaming),
-		metarepair.WithExploreWorkers(workers)); err != nil {
+	if streaming, rep, err = timeMode(streamOpts...); err != nil {
 		return 0, 0, 0, err
 	}
 	return barrier, streaming, rep.Timing.Overlap, nil

@@ -97,6 +97,10 @@ type Config struct {
 	// snapshot. Called synchronously under the engine lock — it must be
 	// fast and must not call back into the engine.
 	OnTransition func(Job)
+	// OnReject, when set, observes every capacity rejection that Submit
+	// returns as a *QuotaError. reason is "queue_full" or "tenant_queue".
+	// Same contract as OnTransition: synchronous, under the engine lock.
+	OnReject func(tenant, reason string)
 
 	// now is the test clock (default time.Now).
 	now func() time.Time
@@ -194,9 +198,11 @@ func (e *Engine) Submit(tenant, label string, meta any, fn Func) (Job, error) {
 	}
 	e.evictLocked()
 	if len(e.queue) >= e.cfg.QueueCap {
+		e.rejectLocked(tenant, "queue_full")
 		return Job{}, &QuotaError{msg: fmt.Sprintf("jobs: queue is full (%d queued)", len(e.queue))}
 	}
 	if e.queuedBy[tenant] >= e.cfg.TenantQueueCap {
+		e.rejectLocked(tenant, "tenant_queue")
 		return Job{}, &QuotaError{msg: fmt.Sprintf("jobs: tenant %q queue cap reached (%d queued)",
 			tenant, e.queuedBy[tenant])}
 	}
@@ -525,5 +531,12 @@ func (e *Engine) snapshotLocked(j *job) Job {
 func (e *Engine) transitionLocked(j *job) {
 	if e.cfg.OnTransition != nil {
 		e.cfg.OnTransition(e.snapshotLocked(j))
+	}
+}
+
+// rejectLocked notifies the observer of a capacity rejection.
+func (e *Engine) rejectLocked(tenant, reason string) {
+	if e.cfg.OnReject != nil {
+		e.cfg.OnReject(tenant, reason)
 	}
 }

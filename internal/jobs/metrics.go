@@ -1,0 +1,88 @@
+package jobs
+
+import (
+	"repro/internal/obsv"
+)
+
+// Metrics is the job engine's telemetry: queue depth, per-tenant
+// queued/running gauges, queue-wait and run-duration histograms, quota
+// rejections, and terminal-state job counts. It records exclusively
+// through the engine's OnTransition/OnReject hooks, so wiring it is one
+// call on the Config and the engine's hot paths stay hook-free when
+// metrics are off.
+type Metrics struct {
+	queueDepth    *obsv.Gauge
+	tenantQueued  *obsv.GaugeVec
+	tenantRunning *obsv.GaugeVec
+	queueWait     *obsv.Histogram
+	runDuration   *obsv.HistogramVec
+	total         *obsv.CounterVec
+	rejections    *obsv.CounterVec
+}
+
+// NewMetrics registers the jobs_* metric families on reg.
+func NewMetrics(reg *obsv.Registry) *Metrics {
+	return &Metrics{
+		queueDepth: reg.Gauge("jobs_queue_depth",
+			"Jobs waiting in the global FIFO queue."),
+		tenantQueued: reg.GaugeVec("jobs_tenant_queued",
+			"Queued jobs per tenant.", "tenant"),
+		tenantRunning: reg.GaugeVec("jobs_tenant_running",
+			"Running jobs per tenant.", "tenant"),
+		queueWait: reg.Histogram("jobs_queue_wait_seconds",
+			"Time from submission to dispatch on a worker.", nil),
+		runDuration: reg.HistogramVec("jobs_run_duration_seconds",
+			"Worker-side job run time, by terminal state.", nil, "state"),
+		total: reg.CounterVec("jobs_total",
+			"Jobs reaching a terminal state, by state.", "state"),
+		rejections: reg.CounterVec("jobs_quota_rejections_total",
+			"Submissions rejected for capacity, by reason.", "reason"),
+	}
+}
+
+// Instrument wires the metrics into cfg's observer hooks, chaining any
+// hooks the caller already installed (the caller's hook runs first).
+// The returned Config is what New should be given.
+func (m *Metrics) Instrument(cfg Config) Config {
+	prevTransition, prevReject := cfg.OnTransition, cfg.OnReject
+	cfg.OnTransition = func(j Job) {
+		if prevTransition != nil {
+			prevTransition(j)
+		}
+		m.onTransition(j)
+	}
+	cfg.OnReject = func(tenant, reason string) {
+		if prevReject != nil {
+			prevReject(tenant, reason)
+		}
+		m.rejections.With(reason).Inc()
+	}
+	return cfg
+}
+
+// onTransition updates the gauges and histograms from one state-change
+// snapshot. The snapshot's timestamps carry the transition's history, so
+// no per-job bookkeeping is needed here: a terminal job with a zero
+// Started was cancelled while still queued.
+func (m *Metrics) onTransition(j Job) {
+	switch j.State {
+	case Queued:
+		m.queueDepth.Add(1)
+		m.tenantQueued.With(j.Tenant).Add(1)
+	case Running:
+		m.queueDepth.Add(-1)
+		m.tenantQueued.With(j.Tenant).Add(-1)
+		m.tenantRunning.With(j.Tenant).Add(1)
+		m.queueWait.Observe(j.Started.Sub(j.Created).Seconds())
+	case Succeeded, Failed, Cancelled:
+		if j.Started.IsZero() {
+			// Cancelled in place while queued: it never held a worker.
+			m.queueDepth.Add(-1)
+			m.tenantQueued.With(j.Tenant).Add(-1)
+		} else {
+			m.tenantRunning.With(j.Tenant).Add(-1)
+			m.runDuration.With(j.State.String()).Observe(j.Finished.Sub(j.Started).Seconds())
+		}
+		m.total.With(j.State.String()).Inc()
+	}
+}

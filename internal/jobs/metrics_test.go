@@ -1,0 +1,224 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// TestMetricsLifecycle drives jobs through every terminal state and
+// checks the gauges return to zero and the counters/histograms account
+// for every job.
+func TestMetricsLifecycle(t *testing.T) {
+	reg := obsv.NewRegistry()
+	m := NewMetrics(reg)
+	e := New(m.Instrument(Config{Workers: 2}))
+	defer e.Close()
+
+	ok, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := e.Submit("a", "", nil, func(ctx context.Context) (any, error) { return nil, errors.New("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate()
+	run, err := e.Submit("b", "", nil, g.fn("r", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, ok.ID, Succeeded)
+	waitState(t, e, bad.ID, Failed)
+	<-g.started
+	if _, err := e.Cancel(run.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, run.ID, Cancelled)
+
+	scrape := scrapeRegistry(t, reg)
+	for state, want := range map[string]float64{"succeeded": 1, "failed": 1, "cancelled": 1} {
+		if v, _ := scrape.Value("jobs_total", map[string]string{"state": state}); v != want {
+			t.Fatalf("jobs_total{state=%q} = %v, want %v", state, v, want)
+		}
+	}
+	if v, _ := scrape.Value("jobs_queue_depth", nil); v != 0 {
+		t.Fatalf("queue depth = %v, want 0 after all jobs finished", v)
+	}
+	for _, tenant := range []string{"a", "b"} {
+		if v, _ := scrape.Value("jobs_tenant_running", map[string]string{"tenant": tenant}); v != 0 {
+			t.Fatalf("tenant %s running = %v, want 0", tenant, v)
+		}
+		if v, _ := scrape.Value("jobs_tenant_queued", map[string]string{"tenant": tenant}); v != 0 {
+			t.Fatalf("tenant %s queued = %v, want 0", tenant, v)
+		}
+	}
+	if v, _ := scrape.Value("jobs_queue_wait_seconds_count", nil); v != 3 {
+		t.Fatalf("queue wait count = %v, want 3 (every dispatched job)", v)
+	}
+	if got := scrape.Sum("jobs_run_duration_seconds_count", nil); got != 3 {
+		t.Fatalf("run duration count = %v, want 3", got)
+	}
+}
+
+// TestMetricsQuotaRejections: both rejection reasons count, and a
+// cancelled-while-queued job decrements the queued gauges without ever
+// touching the running ones.
+func TestMetricsQuotaRejections(t *testing.T) {
+	reg := obsv.NewRegistry()
+	m := NewMetrics(reg)
+	e := New(m.Instrument(Config{Workers: 1, QueueCap: 2, TenantQueueCap: 1}))
+	defer e.Close()
+
+	g := newGate()
+	defer close(g.release)
+	if _, err := e.Submit("a", "", nil, g.fn("hold", nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	queued, err := e.Submit("a", "", nil, g.fn("q", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a has 1 queued (its cap): tenant_queue rejection.
+	if _, err := e.Submit("a", "", nil, g.fn("x", nil)); err == nil {
+		t.Fatal("tenant cap not enforced")
+	}
+	// Fill the global queue with tenant b, then overflow it.
+	if _, err := e.Submit("b", "", nil, g.fn("y", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("c", "", nil, g.fn("z", nil)); err == nil {
+		t.Fatal("global cap not enforced")
+	}
+	if _, err := e.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, queued.ID, Cancelled)
+
+	scrape := scrapeRegistry(t, reg)
+	if v, _ := scrape.Value("jobs_quota_rejections_total", map[string]string{"reason": "tenant_queue"}); v != 1 {
+		t.Fatalf("tenant_queue rejections = %v, want 1", v)
+	}
+	if v, _ := scrape.Value("jobs_quota_rejections_total", map[string]string{"reason": "queue_full"}); v != 1 {
+		t.Fatalf("queue_full rejections = %v, want 1", v)
+	}
+	if v, _ := scrape.Value("jobs_tenant_queued", map[string]string{"tenant": "a"}); v != 0 {
+		t.Fatalf("tenant a queued = %v, want 0 after queued-cancel", v)
+	}
+	if got := scrape.Sum("jobs_run_duration_seconds_count", nil); got != 0 {
+		t.Fatalf("run duration observed %v samples for a job that never ran", got)
+	}
+}
+
+// TestMetricsChainsCallerHooks: Instrument must not displace an existing
+// OnTransition/OnReject — the daemon's SSE lifecycle hook and the
+// metrics recorder observe the same transitions.
+func TestMetricsChainsCallerHooks(t *testing.T) {
+	reg := obsv.NewRegistry()
+	m := NewMetrics(reg)
+	var transitions, rejects int
+	cfg := Config{Workers: 1, QueueCap: 1,
+		OnTransition: func(Job) { transitions++ },
+		OnReject:     func(string, string) { rejects++ },
+	}
+	e := New(m.Instrument(cfg))
+	defer e.Close()
+	g := newGate()
+	if _, err := e.Submit("a", "", nil, g.fn("hold", nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	if _, err := e.Submit("a", "", nil, g.fn("q", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("a", "", nil, g.fn("over", nil)); err == nil {
+		t.Fatal("expected queue_full rejection")
+	}
+	close(g.release)
+	if transitions == 0 || rejects != 1 {
+		t.Fatalf("caller hooks saw %d transitions, %d rejects; want >0 and 1", transitions, rejects)
+	}
+}
+
+// scrapeRegistry round-trips the registry through its own text
+// exposition, so the assertions also exercise the format.
+func scrapeRegistry(t *testing.T, reg *obsv.Registry) *obsv.Scrape {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := obsv.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parsing exposition: %v\n%s", err, sb.String())
+	}
+	return sc
+}
+
+// TestDrainRacesSubmit floods the engine with submissions while Drain
+// runs. Every Submit must either be admitted (and reach a terminal state
+// by the time Drain returns) or fail with the typed ErrDraining/quota
+// errors — never enqueue into a draining engine, never panic, never
+// leave a job undrained. Run with -race this is the intake/drain
+// interleaving regression test.
+func TestDrainRacesSubmit(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		e := New(Config{Workers: 4, QueueCap: 256})
+		var admitted []string
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j, err := e.Submit("t", "", nil, func(ctx context.Context) (any, error) {
+					return nil, nil
+				})
+				switch {
+				case err == nil:
+					admitted = append(admitted, j.ID)
+				case errors.Is(err, ErrDraining):
+					return // intake closed: the race resolved
+				default:
+					var q *QuotaError
+					if !errors.As(err, &q) {
+						panic("unexpected submit error: " + err.Error())
+					}
+				}
+			}
+		}()
+
+		time.Sleep(time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := e.Drain(ctx); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		cancel()
+		close(stop)
+		<-done
+
+		// Post-drain submits must return the typed error.
+		if _, err := e.Submit("t", "", nil, func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+			t.Fatalf("submit after drain = %v, want ErrDraining", err)
+		}
+		// Every admitted job reached a terminal state before Drain returned.
+		for _, id := range admitted {
+			j, err := e.Get(id)
+			if err != nil {
+				t.Fatalf("admitted job %s evicted during drain: %v", id, err)
+			}
+			if !j.State.Terminal() {
+				t.Fatalf("admitted job %s still %v after Drain returned", id, j.State)
+			}
+		}
+	}
+}

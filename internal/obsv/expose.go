@@ -1,0 +1,114 @@
+package obsv
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes the registry in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each with its HELP/TYPE
+// header, children sorted by label values. Histograms expose cumulative
+// _bucket series (le-labeled, ending at +Inf) plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, m := range f.sortedChildren() {
+			switch v := m.(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", f.labels, v.labelValues(), "", "", float64(v.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, "", f.labels, v.labelValues(), "", "", v.Value())
+			case *Histogram:
+				var cum int64
+				for i, ub := range v.buckets {
+					cum += v.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", f.labels, v.labelValues(),
+						"le", formatFloat(ub), float64(cum))
+				}
+				writeSample(bw, f.name, "_bucket", f.labels, v.labelValues(),
+					"le", "+Inf", float64(v.Count()))
+				writeSample(bw, f.name, "_sum", f.labels, v.labelValues(), "", "", v.Sum())
+				writeSample(bw, f.name, "_count", f.labels, v.labelValues(), "", "", float64(v.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one exposition line: name+suffix, the label pairs
+// (plus the optional extra pair, e.g. le), and the value.
+func writeSample(w *bufio.Writer, name, suffix string, keys, vals []string, extraKey, extraVal string, value float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(keys) > 0 || extraKey != "" {
+		w.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(k)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(vals[i]))
+			w.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(keys) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraKey)
+			w.WriteString(`="`)
+			w.WriteString(extraVal)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(value))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without a decimal
+// point, +Inf as the format spells it.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the format: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

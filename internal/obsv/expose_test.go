@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildRegistry assembles one of each family shape for the round-trip
+// tests.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("app_events_total", "total events").Add(7)
+	r.Gauge("app_depth", "queue depth").Set(3.5)
+	h := r.Histogram("app_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	v := r.CounterVec("app_requests_total", "by route", "route", "code")
+	v.With("/jobs", "200").Add(2)
+	v.With("/jobs", "429").Inc()
+	r.GaugeVec("app_idle", "registered but empty", "tenant") // family with no children
+	return r
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE app_events_total counter",
+		"app_events_total 7",
+		"# TYPE app_depth gauge",
+		"app_depth 3.5",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 5.55",
+		"app_latency_seconds_count 3",
+		`app_requests_total{route="/jobs",code="200"} 2`,
+		`app_requests_total{route="/jobs",code="429"} 1`,
+		// A childless family still exposes its header lines.
+		"# TYPE app_idle gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionRoundTrip parses WriteText's own output — the format
+// validity gate the acceptance criteria ask for.
+func TestExpositionRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parsing own exposition: %v", err)
+	}
+	if sc.Types["app_events_total"] != "counter" ||
+		sc.Types["app_latency_seconds"] != "histogram" ||
+		sc.Types["app_idle"] != "gauge" {
+		t.Fatalf("TYPE lines missing or wrong: %v", sc.Types)
+	}
+	if v, ok := sc.Value("app_events_total", nil); !ok || v != 7 {
+		t.Fatalf("app_events_total = %v (%v), want 7", v, ok)
+	}
+	if v, ok := sc.Value("app_requests_total", map[string]string{"route": "/jobs", "code": "429"}); !ok || v != 1 {
+		t.Fatalf("labeled counter = %v (%v), want 1", v, ok)
+	}
+	if got := sc.Sum("app_requests_total", map[string]string{"route": "/jobs"}); got != 3 {
+		t.Fatalf("Sum over codes = %v, want 3", got)
+	}
+	if v, ok := sc.Value("app_latency_seconds_count", nil); !ok || v != 3 {
+		t.Fatalf("histogram count = %v (%v), want 3", v, ok)
+	}
+	if v, ok := sc.Value("app_latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v (%v), want 3", v, ok)
+	}
+	if q, ok := sc.HistogramQuantile("app_latency_seconds", nil, 0.5); !ok || q <= 0 || q > 1 {
+		t.Fatalf("scraped p50 = %v (%v), want within (0, 1]", q, ok)
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "escapes", "path").With(`a"b\c`).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("esc_total", map[string]string{"path": `a"b\c`}); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %v %v\n%s", v, ok, sb.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(buildRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("app_depth", nil); !ok || v != 3.5 {
+		t.Fatalf("served gauge = %v (%v), want 3.5", v, ok)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		5:           "5",
+		3.5:         "3.5",
+		math.Inf(1): "+Inf",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

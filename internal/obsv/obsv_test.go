@@ -1,0 +1,149 @@
+package obsv
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative counter Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestVecChildrenAreDistinctAndCached(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_labeled_total", "labeled", "tenant")
+	v.With("a").Add(2)
+	v.With("b").Inc()
+	if v.With("a") != v.With("a") {
+		t.Fatalf("With is not cached")
+	}
+	if got := v.With("a").Value(); got != 2 {
+		t.Fatalf("child a = %d, want 2", got)
+	}
+	if got := v.With("b").Value(); got != 1 {
+		t.Fatalf("child b = %d, want 1", got)
+	}
+}
+
+func TestVecArityMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_g", "g", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestReRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind collision did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestHistogramBucketsSumCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	want := []int64{1, 2, 1, 1} // per-bucket (non-cumulative), last is +Inf
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q_seconds", "q", []float64{1, 2, 4})
+	// 100 samples uniformly inside (1, 2]: p50 should interpolate to ~1.5.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("p100 = %v, want 2 (bucket upper bound)", got)
+	}
+	if got := (&Histogram{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestConcurrentHotPaths hammers every series type from many goroutines;
+// run under -race this is the atomic-hot-path regression test, and the
+// final values prove no update was lost.
+func TestConcurrentHotPaths(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_hot_total", "hot")
+	g := r.Gauge("test_hot_gauge", "hot")
+	h := r.Histogram("test_hot_seconds", "hot", []float64{0.5})
+	v := r.CounterVec("test_hot_labeled_total", "hot", "w")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				v.With(lbl).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	var total int64
+	for _, lbl := range []string{"a", "b", "c", "d"} {
+		total += v.With(lbl).Value()
+	}
+	if total != workers*per {
+		t.Fatalf("vec total = %d, want %d", total, workers*per)
+	}
+}

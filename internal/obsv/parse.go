@@ -1,0 +1,231 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full series name as exposed (histogram children keep
+	// their _bucket/_sum/_count suffix).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is a parsed text-format exposition — what a test or the load
+// driver reads back from /metrics to reconcile server-side telemetry
+// with client-side observations.
+type Scrape struct {
+	// Types maps family name to its TYPE line (counter, gauge, histogram).
+	Types   map[string]string
+	Samples []Sample
+}
+
+// ParseText parses the Prometheus text exposition format. It accepts the
+// subset WriteText produces (plus arbitrary whitespace and comments),
+// which is also the subset any standard exporter emits for counters,
+// gauges, and histograms.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: make(map[string]string)}
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for br.Scan() {
+		lineNo++
+		line := strings.TrimSpace(br.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				sc.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: line %d: %w", lineNo, err)
+		}
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	val := strings.Fields(rest)
+	if len(val) == 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	switch val[0] {
+	case "+Inf":
+		s.Value = math.Inf(1)
+	case "-Inf":
+		s.Value = math.Inf(-1)
+	default:
+		v, err := strconv.ParseFloat(val[0], 64)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Value = v
+	}
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("label %q value is not quoted", key)
+		}
+		body = body[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(body) {
+			return fmt.Errorf("unterminated value for label %q", key)
+		}
+		out[key] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(body[i+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// Value returns the single sample matching name and the given label
+// constraints (every listed label must match; extra labels on the sample
+// are ignored). ok is false when no sample matches.
+func (sc *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range sc.Samples {
+		if s.Name != name || !labelsMatch(s.Labels, labels) {
+			continue
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// Sum adds every sample of the series matching the label constraints —
+// e.g. summing jobs_total over its state label.
+func (sc *Scrape) Sum(name string, labels map[string]string) float64 {
+	var sum float64
+	for _, s := range sc.Samples {
+		if s.Name == name && labelsMatch(s.Labels, labels) {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramQuantile estimates the q-th quantile of the named histogram
+// (optionally constrained by labels) from its cumulative _bucket
+// samples, interpolating like PromQL's histogram_quantile. ok is false
+// when the histogram is absent or empty.
+func (sc *Scrape) HistogramQuantile(name string, labels map[string]string, q float64) (float64, bool) {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for _, s := range sc.Samples {
+		if s.Name != name+"_bucket" || !labelsMatch(s.Labels, labels) {
+			continue
+		}
+		le := s.Labels["le"]
+		var ub float64
+		if le == "+Inf" {
+			ub = math.Inf(1)
+		} else {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			ub = v
+		}
+		buckets = append(buckets, bucket{le: ub, cum: s.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	lower, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank && b.cum > prevCum {
+			if math.IsInf(b.le, 1) {
+				return lower, true
+			}
+			frac := (rank - prevCum) / (b.cum - prevCum)
+			return lower + (b.le-lower)*frac, true
+		}
+		prevCum = b.cum
+		if !math.IsInf(b.le, 1) {
+			lower = b.le
+		}
+	}
+	return lower, true
+}

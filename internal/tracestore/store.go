@@ -54,6 +54,11 @@ type Store struct {
 	active *segmentWriter
 	nextID uint64
 	closed bool
+	// rotations counts seals performed by this process (threshold
+	// rotations and the Close seal) — unlike Segments it excludes
+	// segments recovered from disk, so it is the metric that tracks live
+	// rotation activity.
+	rotations int64
 }
 
 var segmentRe = regexp.MustCompile(`^seg-(\d{8})\.(bin|jsonl)$`)
@@ -159,6 +164,7 @@ func (s *Store) sealActiveLocked() error {
 	info.path = filepath.Join(s.dir, segmentName(info.ID, s.opts.Codec))
 	s.sealed = append(s.sealed, info)
 	s.active = nil
+	s.rotations++
 	return nil
 }
 
@@ -207,11 +213,17 @@ type Stats struct {
 	Bytes    int64
 	MinTime  int64
 	MaxTime  int64
+	// Rotations counts segment seals performed by this process (not
+	// segments recovered from disk at Open).
+	Rotations int64
 }
 
 // Stats summarizes the store from its segment indexes.
 func (s *Store) Stats() Stats {
 	var st Stats
+	s.mu.Lock()
+	st.Rotations = s.rotations
+	s.mu.Unlock()
 	first := true
 	for _, si := range s.Segments() {
 		st.Segments++

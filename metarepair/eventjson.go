@@ -45,6 +45,8 @@ func (e *Event) AppendJSON(dst []byte) []byte {
 	dst = appendJSONIntField(dst, `,"to":`, e.To)
 	dst = appendJSONStringField(dst, `,"scenario":`, e.Scenario)
 	dst = appendJSONStringField(dst, `,"scale":`, e.Scale)
+	dst = appendJSONStringField(dst, `,"span":`, e.Span)
+	dst = appendJSONStringField(dst, `,"parent":`, e.Parent)
 	return append(dst, '}')
 }
 

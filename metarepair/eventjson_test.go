@@ -66,6 +66,8 @@ func TestAppendJSONMatchesMarshal(t *testing.T) {
 			To:          int64s[pick(len(int64s))],
 			Scenario:    strs[pick(len(strs))],
 			Scale:       strs[pick(len(strs))],
+			Span:        strs[pick(len(strs))],
+			Parent:      strs[pick(len(strs))],
 		}
 		want, err := json.Marshal(e)
 		if err != nil {
@@ -86,6 +88,7 @@ func TestAppendJSONRoundTrips(t *testing.T) {
 		Time: time.Date(2026, 8, 8, 9, 0, 0, 42, time.UTC), Kind: "suggestion",
 		Index: 3, Desc: "change constant 2 in r7 (sel/0/R) to 3", Accepted: true,
 		KS: 0.00796, Cost: 2.5, Elapsed: 17.25,
+		Span: "batch", Parent: "backtest",
 	}
 	var got Event
 	if err := json.Unmarshal(e.AppendJSON(nil), &got); err != nil {

@@ -27,6 +27,13 @@ import (
 //	pipeline.overlap    Elapsed (explore ∩ replay concurrency, streaming mode)
 //	pipeline.stop       Index (first accepted candidate; PipelineFirstAccepted)
 //	report              Candidates, Accepted, Elapsed
+//	span.start          Span, Parent — a timed pipeline region opened; batch
+//	                    spans also carry Batch. Worker-timed spans (batch,
+//	                    and backtest under the streaming composition) are
+//	                    emitted retroactively with Time set to the measured
+//	                    boundary, so they can trail their children in stream
+//	                    order while the timestamps stay truthful.
+//	span.end            Span, Parent, Elapsed (plus Batch on batch spans)
 //
 // The scenario suite runner emits cell-level events through the same
 // envelope and stamps Scenario and Scale onto every event a cell's
@@ -69,6 +76,10 @@ type Event struct {
 	// interleaved streams from concurrent cells stay attributable.
 	Scenario string `json:"scenario,omitempty"`
 	Scale    string `json:"scale,omitempty"`
+	// Span and Parent name the timed region on span.start/span.end events
+	// (run, explore, backtest, batch, verdict).
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // EventSink receives pipeline progress events. Implementations must be
@@ -110,11 +121,14 @@ func (f sinkFunc) Emit(e Event) { f(e) }
 // SinkFunc adapts a function to the EventSink interface.
 func SinkFunc(f func(Event)) EventSink { return sinkFunc(f) }
 
-// emit stamps and forwards an event when a sink is configured.
+// emit stamps and forwards an event when a sink is configured. Events
+// that already carry a timestamp (retroactive span boundaries) keep it.
 func (o options) emit(e Event) {
 	if o.sink == nil {
 		return
 	}
-	e.Time = time.Now()
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
 	o.sink.Emit(e)
 }

@@ -1,0 +1,54 @@
+package metarepair
+
+import (
+	"repro/internal/obsv"
+)
+
+// MetricsSink is an EventSink that aggregates pipeline telemetry into an
+// obsv.Registry: span durations become session_span_duration_seconds
+// histograms labeled by span name, every event increments
+// session_events_total by kind, and suggestion verdicts count into
+// session_suggestions_total. Both label sets are drawn from fixed
+// vocabularies (the span hierarchy and the Event kind catalogue), so
+// cardinality stays bounded no matter how many runs a process serves.
+//
+// Emit is safe for concurrent use and never blocks or fails — it only
+// touches atomic registry hot paths — so the sink can sit directly on a
+// streaming pipeline or inside a FanoutSink alongside SSE subscribers.
+type MetricsSink struct {
+	spans       *obsv.HistogramVec
+	events      *obsv.CounterVec
+	suggestions *obsv.CounterVec
+}
+
+// NewMetricsSink registers the session_* families on reg and returns the
+// recording sink. Registering twice on one registry panics (obsv treats
+// re-registration with a different schema as a programming error), so
+// long-lived processes create one sink per registry and share it across
+// runs; the daemon does exactly that.
+func NewMetricsSink(reg *obsv.Registry) *MetricsSink {
+	return &MetricsSink{
+		spans: reg.HistogramVec("session_span_duration_seconds",
+			"Wall-clock duration of pipeline spans (run, explore, backtest, batch, verdict).",
+			nil, "span"),
+		events: reg.CounterVec("session_events_total",
+			"Pipeline events observed, by kind.", "kind"),
+		suggestions: reg.CounterVec("session_suggestions_total",
+			"Backtested suggestions, by verdict.", "verdict"),
+	}
+}
+
+// Emit records one event. Non-span, non-suggestion kinds only count.
+func (m *MetricsSink) Emit(e Event) {
+	m.events.With(e.Kind).Inc()
+	switch e.Kind {
+	case "span.end":
+		m.spans.With(e.Span).Observe(e.Elapsed / 1e3)
+	case "suggestion":
+		verdict := "rejected"
+		if e.Accepted {
+			verdict = "accepted"
+		}
+		m.suggestions.With(verdict).Inc()
+	}
+}

@@ -1,6 +1,8 @@
 package metarepair
 
 import (
+	"fmt"
+
 	"repro/internal/backtest"
 	"repro/internal/metaprov"
 	"repro/internal/tracestore"
@@ -107,6 +109,9 @@ func (b Budget) apply(ex *metaprov.Explorer) {
 
 // options is the resolved configuration for a session or one call.
 type options struct {
+	// err records the first invalid option; NewSession and the pipeline
+	// entry points reject the whole call instead of silently correcting.
+	err               error
 	maxCandidates     int
 	alpha             float64
 	budget            Budget
@@ -142,6 +147,21 @@ func (o options) with(opts []Option) options {
 	return o
 }
 
+// fail records the first invalid option; later valid options still apply
+// so the eventual error message is deterministic regardless of order.
+func (o *options) fail(opt string, got int, want string) {
+	if o.err == nil {
+		o.err = fmt.Errorf("metarepair: %s(%d): %s", opt, got, want)
+	}
+}
+
+// ValidateOptions resolves opts against the defaults and returns the
+// first configuration error, or nil. Servers use it to reject a bad
+// request at intake instead of failing the job later.
+func ValidateOptions(opts ...Option) error {
+	return defaultOptions().with(opts).err
+}
+
 // Option configures a Session or a single pipeline call. Options passed
 // to NewSession become the session defaults; options passed to Explore,
 // Evaluate, Stream, or Repair override them for that call only.
@@ -170,12 +190,34 @@ func WithBudget(b Budget) Option { return func(o *options) { o.budget = b } }
 func WithCoalesce(on bool) Option { return func(o *options) { o.coalesce = on } }
 
 // WithParallelism sets the worker-pool width for batched backtesting
-// (default: GOMAXPROCS via runtime.NumCPU).
-func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
+// (default: GOMAXPROCS via runtime.NumCPU). Zero or negative counts are
+// a configuration error — omit the option to get the default.
+func WithParallelism(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.fail("WithParallelism", n, "worker count must be at least 1")
+			return
+		}
+		o.parallelism = n
+	}
+}
 
 // WithBatchSize sets the per-shared-run candidate count (default and
-// maximum 63 — one shared run's tag space).
-func WithBatchSize(n int) Option { return func(o *options) { o.batchSize = n } }
+// maximum 63 — one shared run's tag space). Counts outside [1, 63] are
+// a configuration error — omit the option to get the default.
+func WithBatchSize(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.fail("WithBatchSize", n, "batch size must be at least 1")
+			return
+		}
+		if n > backtest.MaxSharedCandidates {
+			o.fail("WithBatchSize", n, fmt.Sprintf("batch size exceeds one shared run's %d-tag space", backtest.MaxSharedCandidates))
+			return
+		}
+		o.batchSize = n
+	}
+}
 
 // WithStrategy selects the backtesting strategy (default
 // StrategyParallel).
@@ -190,11 +232,20 @@ func WithStrategy(s Strategy) Option { return func(o *options) { o.strategy = s 
 func WithPipelineMode(m PipelineMode) Option { return func(o *options) { o.pipeline = m } }
 
 // WithExploreWorkers sizes the concurrent forest search's worker pool for
-// the streaming pipeline (default 0 = GOMAXPROCS). Any worker count
-// yields the exact candidate sequence of the sequential search — the
-// stream's cost-epoch emitter releases a candidate only when no cheaper
-// partial tree remains anywhere.
-func WithExploreWorkers(n int) Option { return func(o *options) { o.exploreWorkers = n } }
+// the streaming pipeline (default GOMAXPROCS). Any worker count yields
+// the exact candidate sequence of the sequential search — the stream's
+// cost-epoch emitter releases a candidate only when no cheaper partial
+// tree remains anywhere. Zero or negative counts are a configuration
+// error — omit the option to get the default.
+func WithExploreWorkers(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.fail("WithExploreWorkers", n, "worker count must be at least 1")
+			return
+		}
+		o.exploreWorkers = n
+	}
+}
 
 // WithEventSink streams pipeline progress events (exploration, batch
 // completion, suggestions) to the sink — see JSONLSink for a production

@@ -1,12 +1,15 @@
 package metarepair
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/backtest"
 	"repro/internal/meta"
 	"repro/internal/metaprov"
 	"repro/internal/ndlog"
+	"repro/internal/sdn"
 )
 
 func TestOptionDefaults(t *testing.T) {
@@ -70,6 +73,84 @@ func TestBudgetApplyKeepsDefaultsForZeroFields(t *testing.T) {
 	}
 	if ex.MaxSteps != defSteps || ex.MaxPerStructure != defStruct {
 		t.Fatal("unrelated fields overwritten")
+	}
+}
+
+// TestOptionValidation: zero and negative worker or batch counts are
+// configuration errors, rejected at every pipeline entry point rather
+// than silently corrected to a default.
+func TestOptionValidation(t *testing.T) {
+	prog := ndlog.MustParse("t",
+		`r1 FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt) :- PacketIn(@C,Swi,InPrt,Sip,Dip,Spt,Dpt), Swi == 1, Prt := 2.`)
+	cases := []struct {
+		name    string
+		opt     Option
+		wantErr string // "" = valid
+	}{
+		{"parallelism 1", WithParallelism(1), ""},
+		{"parallelism 32", WithParallelism(32), ""},
+		{"parallelism zero", WithParallelism(0), "WithParallelism(0)"},
+		{"parallelism negative", WithParallelism(-4), "WithParallelism(-4)"},
+		{"batch 1", WithBatchSize(1), ""},
+		{"batch max", WithBatchSize(backtest.MaxSharedCandidates), ""},
+		{"batch zero", WithBatchSize(0), "WithBatchSize(0)"},
+		{"batch negative", WithBatchSize(-1), "WithBatchSize(-1)"},
+		{"batch over tag space", WithBatchSize(64), "WithBatchSize(64)"},
+		{"explore workers 2", WithExploreWorkers(2), ""},
+		{"explore workers zero", WithExploreWorkers(0), "WithExploreWorkers(0)"},
+		{"explore workers negative", WithExploreWorkers(-1), "WithExploreWorkers(-1)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateOptions(tc.opt)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidateOptions: unexpected error %v", err)
+				}
+				if _, err := NewSession(prog, tc.opt); err != nil {
+					t.Fatalf("NewSession rejected a valid option: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ValidateOptions = %v, want error mentioning %q", err, tc.wantErr)
+			}
+			// The same error surfaces from NewSession and from each
+			// pipeline entry point taking per-call options.
+			if _, serr := NewSession(prog, tc.opt); serr == nil || serr.Error() != err.Error() {
+				t.Fatalf("NewSession error = %v, want %v", serr, err)
+			}
+			sess, serr := NewSession(prog)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			ctx := context.Background()
+			bt := Backtest{BuildNet: func() *sdn.Network { return sdn.NewNetwork() }}
+			if _, eerr := sess.Explore(ctx, Missing("FlowTable"), tc.opt); eerr == nil || eerr.Error() != err.Error() {
+				t.Fatalf("Explore error = %v, want %v", eerr, err)
+			}
+			if _, eerr := sess.Evaluate(ctx, nil, bt, tc.opt); eerr == nil || eerr.Error() != err.Error() {
+				t.Fatalf("Evaluate error = %v, want %v", eerr, err)
+			}
+			if _, eerr := sess.Stream(ctx, Missing("FlowTable"), bt, tc.opt); eerr == nil || eerr.Error() != err.Error() {
+				t.Fatalf("Stream error = %v, want %v", eerr, err)
+			}
+			if _, eerr := sess.Repair(ctx, Missing("FlowTable"), bt, tc.opt); eerr == nil || eerr.Error() != err.Error() {
+				t.Fatalf("Repair error = %v, want %v", eerr, err)
+			}
+		})
+	}
+}
+
+// TestOptionValidationKeepsFirstError: the first invalid option wins and
+// later valid options still apply.
+func TestOptionValidationKeepsFirstError(t *testing.T) {
+	o := defaultOptions().with([]Option{WithParallelism(0), WithBatchSize(-1), WithBatchSize(8)})
+	if o.err == nil || !strings.Contains(o.err.Error(), "WithParallelism(0)") {
+		t.Fatalf("first error not kept: %v", o.err)
+	}
+	if o.batchSize != 8 {
+		t.Fatalf("later valid option ignored: batchSize = %d", o.batchSize)
 	}
 }
 

@@ -96,6 +96,10 @@ type Report struct {
 	// Timing is the Figure 9a turnaround breakdown (exploration plus
 	// backtest replay; the caller's diagnostic replay is not included).
 	Timing Timing
+	// Spans are the run's hierarchical wall-clock spans (run ⊃ explore /
+	// backtest ⊃ batch / verdict) in completion order — the raw material
+	// the Timing breakdown and the session_span metrics are derived from.
+	Spans []Span
 }
 
 // IsEvaluated reports whether candidate i was actually backtested. Only a

@@ -58,8 +58,14 @@ type Session struct {
 }
 
 // NewSession compiles the program, attaches a provenance recorder, and
-// applies the session-default options.
+// applies the session-default options. Invalid options (negative or zero
+// worker and batch counts) are rejected here rather than silently
+// corrected — see ValidateOptions.
 func NewSession(prog *ndlog.Program, opts ...Option) (*Session, error) {
+	o := defaultOptions().with(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
 	eng, err := ndlog.NewEngine(prog)
 	if err != nil {
 		return nil, err
@@ -71,9 +77,15 @@ func NewSession(prog *ndlog.Program, opts ...Option) (*Session, error) {
 		engine: eng,
 		rec:    rec,
 		ctl:    sdn.NewNDlogController(eng),
-		opts:   defaultOptions().with(opts),
+		opts:   o,
 	}, nil
 }
+
+// EngineStats snapshots the session engine's work counters (rule
+// firings, derivations, index lookups, scans) accumulated by everything
+// the session's controller has processed. Callers poll it to export
+// ndlog_* gauges alongside the pipeline's own metrics.
+func (s *Session) EngineStats() ndlog.EngineStats { return s.engine.Stats }
 
 // Program returns the controller program under diagnosis.
 func (s *Session) Program() *ndlog.Program { return s.prog }
@@ -192,15 +204,20 @@ func (h *timedHistory) total() time.Duration {
 // cost-ordered candidate set (§3.5) without backtesting it — the first
 // pipeline stage, separated so experiments can measure or ablate it.
 func (s *Session) Explore(ctx context.Context, sym Symptom, extra ...Option) (*Exploration, error) {
-	return s.explore(ctx, sym, s.opts.with(extra))
+	o := s.opts.with(extra)
+	if o.err != nil {
+		return nil, o.err
+	}
+	return s.explore(ctx, sym, o, newTracer(o))
 }
 
-func (s *Session) explore(ctx context.Context, sym Symptom, o options) (*Exploration, error) {
+func (s *Session) explore(ctx context.Context, sym Symptom, o options, tr *tracer) (*Exploration, error) {
 	th := &timedHistory{rec: s.rec}
 	ex := metaprov.NewExplorer(meta.NewModel(s.prog), th)
 	o.budget.apply(ex)
 
 	o.emit(Event{Kind: "explore.start", Symptom: sym.String()})
+	endSpan := tr.start(SpanExplore, SpanRun)
 	start := time.Now()
 	expl := &Exploration{Symptom: sym}
 	var cands []metaprov.Candidate
@@ -228,6 +245,7 @@ func (s *Session) explore(ctx context.Context, sym Symptom, o options) (*Explora
 	expl.historyTime = th.total()
 	expl.solveTime = stats.SolveTime
 	expl.genTime = time.Since(start)
+	endSpan()
 	o.emit(Event{Kind: "explore.done", Candidates: len(cands), Steps: expl.Steps,
 		Elapsed: ms(expl.genTime)})
 	return expl, nil
@@ -240,6 +258,9 @@ func (s *Session) explore(ctx context.Context, sym Symptom, o options) (*Explora
 // are delivered on the Run's Suggestions channel as it completes.
 func (s *Session) Evaluate(ctx context.Context, cands []metaprov.Candidate, bt Backtest, extra ...Option) (*Run, error) {
 	o := s.opts.with(extra)
+	if o.err != nil {
+		return nil, o.err
+	}
 	if bt.BuildNet == nil {
 		return nil, errors.New("metarepair: Backtest.BuildNet is required")
 	}
@@ -257,7 +278,8 @@ func (s *Session) Evaluate(ctx context.Context, cands []metaprov.Candidate, bt B
 			o.emit(Event{Kind: "candidates.filtered", Filtered: expl.Filtered})
 		}
 	}
-	return s.evaluate(ctx, expl, expl.Candidates, bt, o), nil
+	tr := newTracer(o)
+	return s.evaluate(ctx, expl, expl.Candidates, bt, o, tr, tr.start(SpanRun, "")), nil
 }
 
 // Stream runs the full explore→backtest pipeline and returns a streaming
@@ -274,6 +296,9 @@ func (s *Session) Evaluate(ctx context.Context, cands []metaprov.Candidate, bt B
 // exploration error directly.
 func (s *Session) Stream(ctx context.Context, sym Symptom, bt Backtest, extra ...Option) (*Run, error) {
 	o := s.opts.with(extra)
+	if o.err != nil {
+		return nil, o.err
+	}
 	if bt.BuildNet == nil {
 		return nil, errors.New("metarepair: Backtest.BuildNet is required")
 	}
@@ -288,11 +313,13 @@ func (s *Session) Stream(ctx context.Context, sym Symptom, bt Backtest, extra ..
 	if o.strategy == StrategyParallel && o.pipeline != PipelineBarrier && o.maxCandidates > 0 {
 		return s.streamPipeline(ctx, sym, bt, o), nil
 	}
-	expl, err := s.explore(ctx, sym, o)
+	tr := newTracer(o)
+	endRun := tr.start(SpanRun, "")
+	expl, err := s.explore(ctx, sym, o, tr)
 	if err != nil {
 		return nil, err
 	}
-	return s.evaluate(ctx, expl, expl.Candidates, bt, o), nil
+	return s.evaluate(ctx, expl, expl.Candidates, bt, o, tr, endRun), nil
 }
 
 // Repair is the blocking convenience wrapper: Stream plus Wait.
@@ -306,8 +333,10 @@ func (s *Session) Repair(ctx context.Context, sym Symptom, bt Backtest, extra ..
 
 // evaluate starts the barrier-composition backtesting stage in the
 // background and returns its Run handle. expl may be nil when the caller
-// supplies candidates directly.
-func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metaprov.Candidate, bt Backtest, o options) *Run {
+// supplies candidates directly. tr carries any spans already recorded
+// (the explore stage); endRun closes the run span once the report is
+// assembled.
+func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metaprov.Candidate, bt Backtest, o options, tr *tracer, endRun func()) *Run {
 	run := newRun(len(cands))
 	job := s.backtestJob(bt, o)
 	job.Candidates = cands
@@ -328,8 +357,13 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 		start := time.Now()
 		o.emit(Event{Kind: "backtest.start", Candidates: len(cands), Batches: batches,
 			Parallelism: o.parallelism, Strategy: o.strategy.String()})
+		endBacktest := tr.start(SpanBacktest, SpanRun)
 
 		stream := func(b backtest.Batch) {
+			if !b.Began.IsZero() {
+				tr.add(Span{Name: SpanBatch, Parent: SpanBacktest, Index: b.Index,
+					Start: b.Began, End: b.Ended})
+			}
 			o.emit(Event{Kind: "batch.done", Batch: b.Index, Size: len(b.Results),
 				Elapsed: ms(time.Since(start))})
 			for i, res := range b.Results {
@@ -349,7 +383,8 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 		case StrategySequential:
 			results, err = job.RunSequentialContext(ctx)
 			if err == nil {
-				stream(backtest.Batch{Index: 0, Start: 0, Results: results})
+				stream(backtest.Batch{Index: 0, Start: 0, Results: results,
+					Began: start, Ended: time.Now()})
 			}
 		case StrategySerial:
 			results, err = job.RunBatched(ctx, 1, batchSize, stream)
@@ -360,7 +395,9 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			run.err = err
 			return
 		}
+		endBacktest()
 
+		endVerdict := tr.start(SpanVerdict, SpanRun)
 		rep := &Report{
 			Results:    results,
 			Candidates: cands,
@@ -385,6 +422,9 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			})
 		}
 		rep.rank()
+		endVerdict()
+		endRun()
+		rep.Spans = tr.snapshot()
 		run.report = rep
 		o.emit(Event{Kind: "report", Candidates: len(cands), Passed: rep.Accepted,
 			Elapsed: ms(time.Since(start))})
@@ -473,6 +513,8 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		defer fan.Close()
 		o.sink = fan
 	}
+	tr := newTracer(o)
+	endRun := tr.start(SpanRun, "")
 	pctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 	// ectx governs the search alone: FirstAccepted cancels it (through
@@ -489,6 +531,7 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		workers = runtime.GOMAXPROCS(0)
 	}
 	o.emit(Event{Kind: "explore.start", Symptom: sym.String(), Workers: workers})
+	endExplore := tr.start(SpanExplore, SpanRun)
 
 	// Feeder: forward the candidate stream into the pipeline, applying
 	// the candidate filter and cap with the same accounting as the
@@ -553,6 +596,7 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		expl.historyTime = th.total()
 		expl.solveTime = stats.SolveTime
 		expl.genTime = time.Since(start)
+		endExplore()
 		o.emit(Event{Kind: "explore.done",
 			Candidates: expl.Generated - expl.Filtered - expl.Dropped,
 			Steps:      expl.Steps, Elapsed: ms(expl.genTime)})
@@ -563,6 +607,8 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		Strategy: o.strategy.String() + "/" + o.pipeline.String()})
 	batchSize := o.clampedBatchSize()
 	suggest := func(b backtest.Batch) {
+		tr.add(Span{Name: SpanBatch, Parent: SpanBacktest, Index: b.Index,
+			Start: b.Began, End: b.Ended})
 		o.emit(Event{Kind: "batch.done", Batch: b.Index, Size: len(b.Results),
 			Elapsed: ms(time.Since(start))})
 		for i, res := range b.Results {
@@ -584,6 +630,7 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		OnBatch:       suggest,
 	}
 	pr, plErr := pl.Run(pctx, pipe)
+	backtestEnd := time.Now()
 	ferr := <-feedErr
 	if plErr != nil {
 		return nil, plErr
@@ -594,12 +641,16 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		return nil, ferr
 	}
 
-	exploreEnd := start.Add(expl.genTime)
+	// The streaming composition learns the backtest window only in
+	// retrospect (the first batch launches while exploration is still
+	// producing), so its span is recorded after the fact with the measured
+	// bounds; overlap is how long it ran concurrently with exploration.
 	var overlap, replay time.Duration
 	if !pr.FirstBatchStart.IsZero() {
-		replay = time.Since(pr.FirstBatchStart)
-		if exploreEnd.After(pr.FirstBatchStart) {
-			overlap = exploreEnd.Sub(pr.FirstBatchStart)
+		tr.add(Span{Name: SpanBacktest, Parent: SpanRun, Start: pr.FirstBatchStart, End: backtestEnd})
+		replay = backtestEnd.Sub(pr.FirstBatchStart)
+		if es, ok := tr.find(SpanExplore); ok && es.End.After(pr.FirstBatchStart) {
+			overlap = es.End.Sub(pr.FirstBatchStart)
 			o.emit(Event{Kind: "pipeline.overlap", Elapsed: ms(overlap)})
 		}
 	}
@@ -619,6 +670,7 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 	if patchGen < 0 {
 		patchGen = 0
 	}
+	endVerdict := tr.start(SpanVerdict, SpanRun)
 	rep := &Report{
 		Explanation:  expl.Explanation,
 		Results:      pr.Results,
@@ -648,6 +700,9 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		})
 	}
 	rep.rank()
+	endVerdict()
+	endRun()
+	rep.Spans = tr.snapshot()
 	o.emit(Event{Kind: "report", Candidates: len(pr.Candidates), Passed: rep.Accepted,
 		Elapsed: ms(time.Since(start))})
 	return rep, nil
@@ -694,6 +749,9 @@ func (s *Session) workloadSource(bt Backtest, o options) trace.Source {
 // with the first capture error, if any.
 func (s *Session) Capture(net *sdn.Network, extra ...Option) (stop func() (int64, error), err error) {
 	o := s.opts.with(extra)
+	if o.err != nil {
+		return nil, o.err
+	}
 	if o.store == nil {
 		return nil, errors.New("metarepair: Capture needs WithTraceStore")
 	}

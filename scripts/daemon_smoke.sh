@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Daemon smoke: start metarepaird on a scratch dir, run Q1 through the
 # HTTP API, and assert the suggested repair matches a one-shot CLI run
-# of the same scenario at the same scale.
+# of the same scenario at the same scale. Afterwards, scrape /metrics
+# and assert the telemetry agrees with the work the smoke actually did:
+# every required family present, one succeeded job on the books.
 set -euo pipefail
 
 SCALE_FLAGS=(-switches 19 -flows 300)
@@ -56,6 +58,30 @@ if ! diff -u "$WORK/cli.accepted" "$WORK/api.accepted"; then
   exit 1
 fi
 echo "daemon smoke ok: $(wc -l < "$WORK/api.accepted") accepted repair(s) match the CLI"
+
+# Observability: the scrape must carry every layer's families, and the
+# job counters must match the one job this smoke ran.
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics.prom"
+for fam in jobs_queue_depth jobs_total jobs_run_duration_seconds \
+           jobs_queue_wait_seconds http_requests_total \
+           http_request_duration_seconds session_span_duration_seconds \
+           session_events_total ndlog_engine_ops_total tracestore_entries; do
+  grep -q "^# TYPE $fam " "$WORK/metrics.prom" || {
+    echo "/metrics is missing family $fam" >&2; exit 1; }
+done
+SUCCEEDED=$(grep '^jobs_total{state="succeeded"}' "$WORK/metrics.prom" |
+  awk '{print $2}')
+if [ "${SUCCEEDED:-0}" != 1 ]; then
+  echo "jobs_total{state=\"succeeded\"} = ${SUCCEEDED:-absent}, want 1" >&2
+  exit 1
+fi
+RUNS=$(grep '^jobs_run_duration_seconds_count{state="succeeded"}' \
+  "$WORK/metrics.prom" | awk '{print $2}')
+if [ "${RUNS:-0}" != 1 ]; then
+  echo "run-duration histogram recorded ${RUNS:-0} runs, want 1" >&2
+  exit 1
+fi
+echo "metrics smoke ok: all families present, job counters match"
 
 # Graceful drain: SIGTERM must stop the daemon cleanly.
 kill -TERM "$DPID"
