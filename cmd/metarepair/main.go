@@ -24,9 +24,23 @@
 //	  worker and fails unless every per-cell verdict matches.
 //
 //	metarepair capture -dir ./q1.trace -scenario Q1 [-format binary|jsonl]
-//	           [-segment-entries N] [-segment-bytes B]
+//	           [-segment-entries N] [-segment-bytes B] [-fault-last]
 //	  record the scenario's traffic into a segmented on-disk trace store
 //	  via the live capture hook (one §5.4 log record per packet).
+//	  -fault-last reorders the replay so healthy background traffic
+//	  streams first and the symptom-relevant packets last — the shape
+//	  watch-mode drills use to inject the fault mid-stream.
+//
+//	metarepair watch -dir ./q1.trace -scenario Q1 [-feed] [-window N]
+//	           [-hop N] [-debounce N] [-min-triggers N] [-lookback N]
+//	           [-max-repairs N] [-exit-validated] [-poll D] ...
+//	  self-healing mode: tail the store live, evaluate the scenario's
+//	  symptom over sliding windows online, and launch a first-accepted
+//	  repair scoped to each flagged window; the patch and its backtest
+//	  verdict stream as watch.* events. -feed appends the scenario's
+//	  workload (fault-last) into the store while watching, making the
+//	  command a self-contained drill; -exit-validated stops (exit 0)
+//	  once a repair validates.
 //
 //	metarepair trace ls -dir ./q1.trace
 //	  list the store's segments: entries, real bytes, time range, hosts.
@@ -59,6 +73,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -66,6 +81,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/obsv"
 	_ "repro/internal/scenarios" // register Q1–Q5 in the default registry
+	"repro/internal/sentinel"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/metarepair"
@@ -93,8 +109,10 @@ func main() {
 		runTraceLs(args[1:])
 	case "replay":
 		runReplay(args)
+	case "watch":
+		runWatch(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q (want run, suite, capture, trace ls, or replay)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown command %q (want run, suite, capture, trace ls, replay, or watch)\n", cmd)
 		os.Exit(2)
 	}
 }
@@ -323,6 +341,8 @@ func runCapture(args []string) {
 	format := sf.fs.String("format", "binary", "record codec: binary (120-byte §5.4 records) or jsonl")
 	segEntries := sf.fs.Int("segment-entries", 0, "rotate segments after this many records (0 = default)")
 	segBytes := sf.fs.Int64("segment-bytes", 0, "rotate segments after this many bytes (0 = default)")
+	faultLast := sf.fs.Bool("fault-last", false,
+		"replay healthy background traffic first and symptom-relevant packets last, so watch-mode drills see the fault arrive mid-stream")
 	sf.fs.Parse(args)
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "capture: -dir is required")
@@ -333,6 +353,14 @@ func runCapture(args []string) {
 		fail(err)
 	}
 	s := sf.scenario()
+	faultStart := 0
+	if *faultLast {
+		ordered, boundary, err := faultLastOrder(s)
+		if err != nil {
+			fail(err)
+		}
+		s.Workload, faultStart = ordered, boundary
+	}
 	st, err := tracestore.Open(*dir, tracestore.Options{
 		Codec: codec, SegmentEntries: *segEntries, SegmentBytes: *segBytes,
 	})
@@ -354,6 +382,43 @@ func runCapture(args []string) {
 		injected, s.Name, *dir, codec.Name())
 	fmt.Printf("%d segment(s), %d entries, %d bytes on disk\n",
 		stats.Segments, stats.Entries, stats.Bytes)
+	if *faultLast {
+		// The recorder's tick clock stamps entries 1..N in replay order,
+		// so the first symptomatic record sits at tick faultStart+1.
+		fmt.Printf("fault-last order: %d healthy entries, symptom traffic from tick %d\n",
+			faultStart, faultStart+1)
+	}
+}
+
+// faultLastOrder rebuilds a scenario workload for watch-mode drills:
+// time-sorted healthy background traffic first, the symptom-relevant
+// packets (those matching the trigger derived from the scenario's goal)
+// after, the whole stream restamped onto one monotonic clock. Returns
+// the reordered entries and the index of the first symptomatic one.
+func faultLastOrder(s *scenario.Scenario) ([]trace.Entry, int, error) {
+	trigger := sentinel.TriggerFromGoal(s.Goal)
+	if trigger == nil {
+		return nil, 0, fmt.Errorf(
+			"scenario %s: goal pins no packet-header fields — cannot separate symptom traffic", s.Name)
+	}
+	stream := append([]trace.Entry(nil), s.Workload...)
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time < stream[j].Time })
+	var healthy, faulty []trace.Entry
+	for _, e := range stream {
+		if trigger(e) {
+			faulty = append(faulty, e)
+		} else {
+			healthy = append(healthy, e)
+		}
+	}
+	if len(faulty) == 0 {
+		return nil, 0, fmt.Errorf("scenario %s: workload has no symptom-relevant packets", s.Name)
+	}
+	ordered := append(healthy, faulty...)
+	for i := range ordered {
+		ordered[i].Time = int64(i + 1)
+	}
+	return ordered, len(healthy), nil
 }
 
 // runTraceLs lists a store's segments from their sidecar indexes.
@@ -389,6 +454,186 @@ func runTraceLs(args []string) {
 	stats := st.Stats()
 	fmt.Printf("total: %d segment(s), %d entries, %d bytes, time [%d, %d]\n",
 		stats.Segments, stats.Entries, stats.Bytes, stats.MinTime, stats.MaxTime)
+}
+
+// runWatch runs the self-healing loop: tail a live store, detect the
+// scenario's symptom online over sliding windows, and auto-launch
+// scoped first-accepted repairs.
+func runWatch(args []string) {
+	sf := newScenarioFlags("watch")
+	dir := sf.fs.String("dir", "", "trace store directory to follow (required)")
+	format := sf.fs.String("format", "binary", "record codec of the store")
+	segEntries := sf.fs.Int("segment-entries", 0, "rotate segments after this many records (0 = default)")
+	feed := sf.fs.Bool("feed", false,
+		"append the scenario's workload (fault-last) into the store while watching — a self-contained drill")
+	window := sf.fs.Int64("window", 256, "sliding window width, in trace ticks")
+	hop := sf.fs.Int64("hop", 0, "window stride in ticks (0 = tumbling: stride = window)")
+	debounce := sf.fs.Int64("debounce", 0,
+		"suppress re-detections starting within this many ticks of the last flagged window (0 = window width, negative = none)")
+	minTriggers := sf.fs.Int64("min-triggers", 1, "symptom-relevant packets a window needs before it can flag")
+	lookback := sf.fs.Int64("lookback", -1,
+		"replay this many ticks before each flagged window in the repair (-1 = back to the stream's start)")
+	maxRepairs := sf.fs.Int("max-repairs", 1, "concurrent auto-repair bound")
+	poll := sf.fs.Duration("poll", 200*time.Millisecond, "tail fallback wake interval")
+	par := sf.fs.Int("parallelism", 0, "backtest worker-pool width for auto-repairs (0 = all cores)")
+	exitValidated := sf.fs.Bool("exit-validated", false, "stop watching after the first validated repair")
+	timeout := sf.fs.Duration("timeout", 0, "stop watching after this long (0 = until interrupted)")
+	events := sf.fs.String("events", "", "stream JSONL watch and pipeline events to this file (\"-\" = stderr)")
+	metricsDest := sf.fs.String("metrics", "",
+		"write the watch's metric families (Prometheus text, sentinel_* + session_*) to this file when done (\"-\" = stderr)")
+	sf.fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "watch: -dir is required")
+		os.Exit(2)
+	}
+	codec, err := tracestore.CodecByName(*format)
+	if err != nil {
+		fail(err)
+	}
+	s := sf.scenario()
+	st, err := tracestore.Open(*dir, tracestore.Options{Codec: codec, SegmentEntries: *segEntries})
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+
+	sink, closeSink, err := eventSink(*events)
+	if err != nil {
+		fail(err)
+	}
+	defer closeSink()
+	var met *runMetrics
+	var wm *metarepair.WatchMetrics
+	if *metricsDest != "" {
+		met = newRunMetrics()
+		wm = metarepair.NewWatchMetrics(met.reg)
+	}
+	validated := make(chan struct{}, 1)
+	var sinks multiSink
+	if sink != nil {
+		sinks = append(sinks, sink)
+	}
+	if met != nil {
+		sinks = append(sinks, met.sessions)
+	}
+	sinks = append(sinks, metarepair.SinkFunc(func(e metarepair.Event) {
+		switch e.Kind {
+		case "watch.detect":
+			fmt.Printf("detected: symptom %s held over window [%d, %d] (%d trigger packets)\n",
+				e.Symptom, e.From, e.To, e.Triggers)
+		case "watch.suppressed":
+			fmt.Printf("suppressed detection [%d, %d]: %s\n", e.From, e.To, e.Desc)
+		case "watch.repair.start":
+			fmt.Printf("repairing: first-accepted session over replay window [%d, %d]\n", e.From, e.To)
+		case "watch.repair.done":
+			if e.Accepted {
+				fmt.Printf("validated repair in %.0f ms: %s\n", e.Elapsed, e.Desc)
+				select {
+				case validated <- struct{}{}:
+				default:
+				}
+			} else {
+				fmt.Printf("repair attempt over [%d, %d] did not validate (%d candidates): %s\n",
+					e.From, e.To, e.Candidates, e.Desc)
+			}
+		}
+	}))
+
+	lb := *lookback
+	if lb < 0 {
+		lb = 1 << 40 // further back than any realistic tick clock
+	}
+	opts := append([]metarepair.Option(nil), s.Options...)
+	if *par > 0 {
+		opts = append(opts, metarepair.WithParallelism(*par))
+	}
+	w, err := metarepair.NewWatcher(metarepair.WatchConfig{
+		Scenario:      s.Name,
+		Store:         st,
+		Program:       s.Prog,
+		Symptom:       s.Symptom(),
+		BuildNet:      s.BuildNet,
+		State:         s.State,
+		Effective:     s.Effective,
+		MinTriggers:   *minTriggers,
+		Window:        *window,
+		Hop:           *hop,
+		Debounce:      *debounce,
+		Lookback:      lb,
+		MaxConcurrent: *maxRepairs,
+		Poll:          *poll,
+		Sink:          sinks,
+		Metrics:       wm,
+		Options:       opts,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := pipelineContext(*timeout)
+	defer stop()
+	fmt.Printf("watching %s for scenario %s symptoms (window %d, max %d concurrent repairs)\n",
+		*dir, s.Name, *window, *maxRepairs)
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+
+	if *feed {
+		ordered, boundary, err := faultLastOrder(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("feeding %d entries live (%d healthy, symptom traffic from tick %d)\n",
+			len(ordered), boundary, boundary+1)
+		go func() {
+			for i := 0; i < len(ordered); i += 128 {
+				end := i + 128
+				if end > len(ordered) {
+					end = len(ordered)
+				}
+				if err := st.Append(ordered[i:end]...); err != nil {
+					fmt.Fprintf(os.Stderr, "feed: %v\n", err)
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+		}()
+	}
+
+	var runErr error
+loop:
+	for {
+		select {
+		case <-validated:
+			if *exitValidated {
+				stop()
+			}
+		case runErr = <-runDone:
+			break loop
+		}
+	}
+
+	stt := w.Stats()
+	fmt.Printf("\nwatched %d entries over %d windows: %d detection(s), %d suppressed, %d repair(s) launched (%d validated, %d unvalidated, %d failed)\n",
+		stt.Entries, stt.Windows, stt.Detections, stt.Suppressed,
+		stt.Launched, stt.Validated, stt.Unvalidated, stt.Failed)
+	if met != nil {
+		if err := met.dump(*metricsDest); err != nil {
+			fail(fmt.Errorf("writing -metrics: %w", err))
+		}
+	}
+	// A validated repair is the loop's success condition, whatever ended
+	// the watch; otherwise surface how it ended.
+	if stt.Validated > 0 {
+		return
+	}
+	if runErr != nil {
+		fail(runErr)
+	}
+	fail(errors.New("watch ended with no validated repair"))
 }
 
 // runReplay is runScenario with the backtest workload streamed from a

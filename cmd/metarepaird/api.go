@@ -171,35 +171,14 @@ type timingJSON struct {
 }
 
 func reportFromOutcome(out *scenario.Outcome) *reportJSON {
-	rep := out.Report
-	r := &reportJSON{
-		Scenario: out.Scenario.Name, Scale: out.Scenario.Scale.String(),
-		Generated: rep.Generated, Filtered: rep.Filtered, Dropped: rep.Dropped,
-		Accepted: rep.Accepted, Batches: rep.Batches, Steps: rep.Steps,
-		EarlyStopped: rep.EarlyStopped, Evaluated: rep.Evaluated,
-		Suggestions: make([]suggestionJSON, 0, len(rep.Suggestions)),
-		Results:     make([]resultJSON, 0, len(rep.Results)),
-		Timing: timingJSON{
-			HistoryMS: float64(out.Timing.HistoryLookups.Microseconds()) / 1e3,
-			SolvingMS: float64(out.Timing.ConstraintSolving.Microseconds()) / 1e3,
-			PatchMS:   float64(out.Timing.PatchGeneration.Microseconds()) / 1e3,
-			ReplayMS:  float64(out.Timing.Replay.Microseconds()) / 1e3,
-			OverlapMS: float64(out.Timing.Overlap.Microseconds()) / 1e3,
-		},
-	}
-	for _, s := range rep.Suggestions {
-		r.Suggestions = append(r.Suggestions, suggestionJSON{
-			Rank: s.Rank, Index: s.Index, Batch: s.Batch,
-			Desc: s.Candidate.Describe(), Cost: s.Candidate.Cost,
-			Accepted: s.Result.Accepted, KS: s.Result.KS, P: s.Result.P,
-		})
-	}
-	for i, res := range rep.Results {
-		r.Results = append(r.Results, resultJSON{
-			Desc: res.Candidate.Describe(), Cost: res.Candidate.Cost,
-			Accepted: res.Accepted, Effective: res.Effective, KS: res.KS,
-			Evaluated: rep.IsEvaluated(i),
-		})
+	r := reportFromRepair(out.Scenario.Name, out.Scenario.Scale, out.Report)
+	// Outcome timing folds the diagnostic replay in; prefer it.
+	r.Timing = timingJSON{
+		HistoryMS: float64(out.Timing.HistoryLookups.Microseconds()) / 1e3,
+		SolvingMS: float64(out.Timing.ConstraintSolving.Microseconds()) / 1e3,
+		PatchMS:   float64(out.Timing.PatchGeneration.Microseconds()) / 1e3,
+		ReplayMS:  float64(out.Timing.Replay.Microseconds()) / 1e3,
+		OverlapMS: float64(out.Timing.Overlap.Microseconds()) / 1e3,
 	}
 	return r
 }

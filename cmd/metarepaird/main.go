@@ -19,10 +19,21 @@
 //	GET    /v1/jobs/{id}                   job status + full report
 //	DELETE /v1/jobs/{id}                   cancel (queued or running)
 //	GET    /v1/jobs/{id}/events            live SSE event stream
+//	POST   /v1/tenants/{t}/watches         register a self-healing watch:
+//	       tail the named trace live, detect the scenario's symptom over
+//	       sliding windows, auto-submit a first-accepted repair job per
+//	       flagged window
+//	GET    /v1/tenants/{t}/watches         list the tenant's watches
+//	GET    /v1/watches/{id}                watch status + loop stats
+//	DELETE /v1/watches/{id}                stop the watch loop
+//	GET    /v1/watches/{id}/events         live SSE stream of detections,
+//	       suppressions, and repair verdicts (watch.* events)
+//	GET    /scenarios                      registered scenario catalogue
 //	GET    /healthz                        engine stats
 //	GET    /metrics                        Prometheus text exposition: job
-//	       engine, per-route HTTP, session span, NDlog engine, and trace
-//	       store families (see the README's Observability section)
+//	       engine, per-route HTTP, session span, sentinel watch, NDlog
+//	       engine, and trace store families (see the README's
+//	       Observability section)
 //	GET    /debug/pprof/*                  runtime profiles (-pprof only)
 //
 // Submissions beyond the global queue cap or the tenant's queue cap are

@@ -25,6 +25,9 @@ type daemonMetrics struct {
 	// verdicts) across every job; it is attached to each job's event
 	// stream alongside the SSE log.
 	sessions *metarepair.MetricsSink
+	// watches carries the sentinel_* self-healing families, shared by
+	// every registered watch.
+	watches *metarepair.WatchMetrics
 
 	httpRequests *obsv.CounterVec   // http_requests_total{route,code}
 	httpDuration *obsv.HistogramVec // http_request_duration_seconds{route}
@@ -43,6 +46,7 @@ func newDaemonMetrics() *daemonMetrics {
 		reg:      reg,
 		jobs:     jobs.NewMetrics(reg),
 		sessions: metarepair.NewMetricsSink(reg),
+		watches:  metarepair.NewWatchMetrics(reg),
 		httpRequests: reg.CounterVec("http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "route", "code"),
 		httpDuration: reg.HistogramVec("http_request_duration_seconds",

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/jobs"
@@ -44,6 +45,11 @@ type server struct {
 	// draining closes when shutdown starts, ending live SSE streams that
 	// would otherwise hold Shutdown open forever.
 	draining chan struct{}
+
+	// watches holds the registered self-healing loops (see watch.go).
+	watchMu  sync.Mutex
+	watches  map[string]*watchRecord
+	watchSeq int
 }
 
 // newServer wires the daemon: the engine's transition observer feeds
@@ -60,6 +66,7 @@ func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg job
 		mux:      http.NewServeMux(),
 		metrics:  newDaemonMetrics(),
 		draining: make(chan struct{}),
+		watches:  make(map[string]*watchRecord),
 	}
 	cfg.OnTransition = func(j jobs.Job) {
 		env, ok := j.Meta.(*jobEnv)
@@ -83,8 +90,20 @@ func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg job
 	handle("GET /v1/jobs/{id}", s.handleGetJob)
 	handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handle("POST /v1/tenants/{tenant}/watches", s.handleCreateWatch)
+	handle("GET /v1/tenants/{tenant}/watches", s.handleListWatches)
+	handle("GET /v1/watches/{id}", s.handleGetWatch)
+	handle("DELETE /v1/watches/{id}", s.handleStopWatch)
+	handle("GET /v1/watches/{id}/events", s.handleWatchEvents)
+	handle("GET /scenarios", s.handleScenarios)
 	handle("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	metricsHandler := s.metrics.reg.Handler()
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Fan-out gauges are sampled, not event-driven: refresh them at
+		// exposition so a scrape sees current SSE backpressure.
+		s.metrics.sessions.RefreshFanouts()
+		metricsHandler.ServeHTTP(w, r)
+	})
 	if enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -97,10 +116,12 @@ func newServer(registry *scenario.Registry, tenants *tracestore.Tenants, cfg job
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// shutdown drains the daemon: live SSE streams end, the engine finishes
+// shutdown drains the daemon: watches stop first (so nothing submits
+// new repairs mid-drain), live SSE streams end, the engine finishes
 // (or, past the deadline, cancels) its jobs, and the trace stores close.
 func (s *server) shutdown(ctx context.Context) error {
 	close(s.draining)
+	s.stopWatches(ctx)
 	err := s.engine.Drain(ctx)
 	if cerr := s.tenants.CloseAll(); err == nil {
 		err = cerr

@@ -1,0 +1,295 @@
+package sentinel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ndlog"
+	"repro/internal/trace"
+)
+
+// Config shapes the sliding windows. Times are in trace-timestamp units
+// (the workload generator's ticks).
+type Config struct {
+	// Window is the width of each evaluated window (required, > 0).
+	Window int64
+	// Hop is the stride between consecutive windows; Window must be a
+	// multiple of Hop. Default: Window (tumbling windows).
+	Hop int64
+	// Debounce suppresses a re-detection of the same predicate whose
+	// window starts within this many ticks after the end of the last
+	// flagged window. Default (0): Window — overlapping windows flagged
+	// by the same burst collapse to one detection. Negative: none.
+	Debounce int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Window <= 0 {
+		return c, fmt.Errorf("sentinel: window must be positive, got %d", c.Window)
+	}
+	if c.Hop == 0 {
+		c.Hop = c.Window
+	}
+	if c.Hop <= 0 || c.Window%c.Hop != 0 {
+		return c, fmt.Errorf("sentinel: hop %d must be positive and divide window %d", c.Hop, c.Window)
+	}
+	if c.Debounce == 0 {
+		c.Debounce = c.Window
+	}
+	if c.Debounce < 0 {
+		c.Debounce = 0
+	}
+	return c, nil
+}
+
+// Detection is one flagged window.
+type Detection struct {
+	// Predicate is the flagging predicate's name.
+	Predicate string
+	// Kind is "missing" or "present".
+	Kind string
+	// From and To bound the flagged window (inclusive trace times).
+	From, To int64
+	// Triggers counts the window's symptom-relevant packets.
+	Triggers int64
+	// Present counts the goal-matching (or unwanted) tuples present in
+	// the controller when the window closed.
+	Present int64
+}
+
+// Stats summarizes a detector's work.
+type Stats struct {
+	// Entries counts stream entries observed.
+	Entries int64
+	// Windows counts predicate-windows evaluated.
+	Windows int64
+	// Detections counts flagged windows emitted.
+	Detections int64
+	// Debounced counts flagged windows suppressed by debounce.
+	Debounced int64
+}
+
+// Detector evaluates symptom predicates over sliding windows of a
+// trace stream, incrementally: each predicate keeps a ring of
+// Window/Hop per-hop trigger buckets plus a presence counter maintained
+// from tuple appear/vanish events, so advancing the stream by one hop
+// costs O(predicates · ring) — no per-window re-derivation, and no
+// dependence on stream length.
+//
+// A window [from, to] is symptomatic for a missing-tuple predicate
+// when at least MinTriggers relevant packets flowed in it and no
+// goal-matching tuple was present in the controller at its close; for a
+// present-tuple predicate, when the unwanted tuple was present at its
+// close. Presence — rather than per-window appearance counts — is what
+// makes the check sound on a healthy stream: the engine derives the
+// expected tuple once and keeps it, which must satisfy every later
+// window too.
+//
+// The stream's timestamps should be non-decreasing — a live tail's
+// are, because captures append in arrival order. A straggler (an entry
+// timestamped behind the stream clock) is counted into the current
+// bucket rather than dropped: the detector stays sound, but the
+// trigger is attributed late. A window is evaluated when the stream
+// first passes its end — the caller sees the detection on the entry
+// that proves the window complete, or at Flush for the final window.
+//
+// A Detector is not safe for concurrent use; the Monitor (or Watcher)
+// that owns it serializes access.
+type Detector struct {
+	cfg   Config
+	k     int // buckets per window = Window/Hop
+	preds []*predState
+	// missingOnly allows the silence fast-path: when every predicate is
+	// missing-kind, a window without triggers can never flag, so long
+	// idle stretches are jumped instead of walked bucket by bucket. A
+	// present-kind predicate flags on presence alone, so its windows
+	// must all be evaluated.
+	missingOnly bool
+
+	started bool
+	cur     int64 // current (incomplete) bucket index
+	stats   Stats
+}
+
+type predState struct {
+	p        Predicate
+	kind     string
+	triggers []int64 // ring: bucket b lives at slot b mod k
+	present  int64   // goal/unwanted tuples currently in the controller
+	lastTo   int64   // end of the last flagged window (debounce anchor)
+}
+
+// NewDetector builds a detector over the given predicates.
+func NewDetector(cfg Config, preds ...Predicate) (*Detector, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("sentinel: no predicates registered")
+	}
+	d := &Detector{cfg: cfg, k: int(cfg.Window / cfg.Hop), missingOnly: true}
+	for _, p := range preds {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		kind := "missing"
+		if p.Present != nil {
+			kind = "present"
+			d.missingOnly = false
+		}
+		d.preds = append(d.preds, &predState{
+			p: p, kind: kind,
+			triggers: make([]int64, d.k),
+			lastTo:   math.MinInt64,
+		})
+	}
+	return d, nil
+}
+
+// Config returns the normalized configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Stats returns counters since creation.
+func (d *Detector) Stats() Stats { return d.stats }
+
+func (d *Detector) bucketOf(t int64) int64 {
+	b := t / d.cfg.Hop
+	if t < 0 && t%d.cfg.Hop != 0 {
+		b-- // floor division for negative times
+	}
+	return b
+}
+
+func (d *Detector) slot(b int64) int {
+	s := int(b % int64(d.k))
+	if s < 0 {
+		s += d.k
+	}
+	return s
+}
+
+// Advance moves the stream clock to t, closing — and evaluating — every
+// window whose end the clock passes. Call it with each entry's
+// timestamp before counting the entry.
+func (d *Detector) Advance(t int64) []Detection {
+	target := d.bucketOf(t)
+	if !d.started {
+		d.started = true
+		d.cur = target
+		return nil
+	}
+	if target <= d.cur {
+		return nil
+	}
+	var out []Detection
+	// Beyond k hops of silence every window is trigger-empty, so with
+	// only missing-kind predicates just the k windows still covering the
+	// last data bucket can flag: evaluate those, then jump.
+	steps := target - d.cur
+	if d.missingOnly && steps > int64(d.k) {
+		steps = int64(d.k)
+	}
+	for i := int64(0); i < steps; i++ {
+		out = append(out, d.closeBucket(d.cur)...)
+		d.cur++
+		s := d.slot(d.cur)
+		for _, ps := range d.preds {
+			ps.triggers[s] = 0
+		}
+	}
+	if d.cur != target {
+		d.cur = target
+		for _, ps := range d.preds {
+			for i := range ps.triggers {
+				ps.triggers[i] = 0
+			}
+		}
+	}
+	return out
+}
+
+// closeBucket evaluates the window ending at bucket b (covering buckets
+// b-k+1..b) for every predicate.
+func (d *Detector) closeBucket(b int64) []Detection {
+	from := (b - int64(d.k) + 1) * d.cfg.Hop
+	to := (b+1)*d.cfg.Hop - 1
+	var out []Detection
+	for _, ps := range d.preds {
+		d.stats.Windows++
+		var trig int64
+		for i := 0; i < d.k; i++ {
+			trig += ps.triggers[i]
+		}
+		flag := false
+		if ps.kind == "missing" {
+			flag = trig >= ps.p.MinTriggers && ps.present == 0
+		} else {
+			flag = ps.present >= 1
+		}
+		if !flag {
+			continue
+		}
+		if ps.lastTo != math.MinInt64 && from <= ps.lastTo+d.cfg.Debounce {
+			d.stats.Debounced++
+			continue
+		}
+		ps.lastTo = to
+		d.stats.Detections++
+		out = append(out, Detection{
+			Predicate: ps.p.Name, Kind: ps.kind,
+			From: from, To: to, Triggers: trig, Present: ps.present,
+		})
+	}
+	return out
+}
+
+// CountTrigger counts one stream entry against every predicate whose
+// trigger it satisfies. Call after Advance(e.Time).
+func (d *Detector) CountTrigger(e trace.Entry) {
+	d.stats.Entries++
+	s := d.slot(d.cur)
+	for _, ps := range d.preds {
+		if ps.p.Trigger(e) {
+			ps.triggers[s]++
+		}
+	}
+}
+
+// TupleAppeared updates presence counters for a tuple that became
+// present in the controller (including during state seeding, before the
+// stream starts).
+func (d *Detector) TupleAppeared(t ndlog.Tuple) {
+	for _, ps := range d.preds {
+		if ps.matches(t) {
+			ps.present++
+		}
+	}
+}
+
+// TupleVanished updates presence counters for a tuple that left the
+// controller.
+func (d *Detector) TupleVanished(t ndlog.Tuple) {
+	for _, ps := range d.preds {
+		if ps.matches(t) {
+			ps.present--
+		}
+	}
+}
+
+func (ps *predState) matches(t ndlog.Tuple) bool {
+	if ps.kind == "missing" {
+		return matchesGoal(ps.p.Goal, t)
+	}
+	return matchesTuple(ps.p.Present, t)
+}
+
+// Flush closes the window ending at the current bucket — the stream has
+// ended, so the in-progress bucket is final. Windows ending after it
+// (which would cover only future, unseen time) are not evaluated.
+func (d *Detector) Flush() []Detection {
+	if !d.started {
+		return nil
+	}
+	return d.closeBucket(d.cur)
+}

@@ -1,0 +1,163 @@
+package sentinel_test
+
+import (
+	"testing"
+
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/sentinel"
+	"repro/internal/trace"
+)
+
+func entry(t int64, srcIP int64) trace.Entry {
+	return trace.Entry{Time: t, SrcHost: "h1", Pkt: sdn.Packet{SrcIP: srcIP, DstIP: 9, DstPort: 80}}
+}
+
+func missingPred(name string) sentinel.Predicate {
+	v := ndlog.Int(7)
+	return sentinel.Predicate{
+		Name: name,
+		Goal: metaprov.PinnedGoal("Wanted", &v),
+		Trigger: func(e trace.Entry) bool {
+			return e.Pkt.SrcIP == 7
+		},
+	}
+}
+
+func TestDetectorMissingTumbling(t *testing.T) {
+	det, err := sentinel.NewDetector(sentinel.Config{Window: 10}, missingPred("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five trigger packets in bucket [0,9], no goal tuple.
+	for i := int64(1); i <= 5; i++ {
+		if ds := det.Advance(i); len(ds) != 0 {
+			t.Fatalf("premature detection %v", ds)
+		}
+		det.CountTrigger(entry(i, 7))
+	}
+	ds := det.Advance(15) // passes the window end: [0,9] closes
+	if len(ds) != 1 {
+		t.Fatalf("got %d detections, want 1: %v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Predicate != "m" || d.Kind != "missing" || d.From != 0 || d.To != 9 || d.Triggers != 5 {
+		t.Fatalf("detection %+v", d)
+	}
+	// The goal tuple appears; later trigger-bearing windows are healthy.
+	det.TupleAppeared(ndlog.NewTuple("Wanted", ndlog.Int(7)))
+	det.CountTrigger(entry(15, 7))
+	if ds := det.Advance(40); len(ds) != 0 {
+		t.Fatalf("healthy window flagged: %v", ds)
+	}
+	// Non-trigger traffic alone never flags (no relevant packets).
+	det.CountTrigger(entry(40, 3))
+	if ds := det.Flush(); len(ds) != 0 {
+		t.Fatalf("idle window flagged: %v", ds)
+	}
+}
+
+func TestDetectorGoalPatternRespectsPins(t *testing.T) {
+	det, err := sentinel.NewDetector(sentinel.Config{Window: 10}, missingPred("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Advance(1)
+	det.CountTrigger(entry(1, 7))
+	// A tuple in the right table with the wrong pinned value does not
+	// satisfy the goal.
+	det.TupleAppeared(ndlog.NewTuple("Wanted", ndlog.Int(8)))
+	if ds := det.Flush(); len(ds) != 1 {
+		t.Fatalf("mismatched tuple satisfied the goal: %v", ds)
+	}
+}
+
+func TestDetectorDebounceCollapsesOverlap(t *testing.T) {
+	// Sliding windows (hop 5, window 10): one trigger burst flags the
+	// first completed window; the overlapping next window is debounced.
+	det, err := sentinel.NewDetector(sentinel.Config{Window: 10, Hop: 5}, missingPred("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Advance(7)
+	det.CountTrigger(entry(7, 7))
+	ds := det.Advance(60)
+	if len(ds) != 1 {
+		t.Fatalf("got %d detections, want 1 after debounce: %v", len(ds), ds)
+	}
+	if det.Stats().Debounced == 0 {
+		t.Fatal("no window was debounced")
+	}
+}
+
+func TestDetectorPresentKind(t *testing.T) {
+	bad := ndlog.NewTuple("Unwanted", ndlog.Int(1))
+	det, err := sentinel.NewDetector(sentinel.Config{Window: 10, Debounce: -1}, sentinel.Predicate{
+		Name:    "p",
+		Present: &bad,
+		Trigger: func(trace.Entry) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Advance(1)
+	det.CountTrigger(entry(1, 3))
+	if ds := det.Advance(15); len(ds) != 0 {
+		t.Fatalf("flagged before the unwanted tuple existed: %v", ds)
+	}
+	det.TupleAppeared(bad)
+	ds := det.Advance(45) // windows [10,19], [20,29], [30,39] close
+	if len(ds) != 3 {
+		t.Fatalf("got %d detections, want one per window while present: %v", len(ds), ds)
+	}
+	det.TupleVanished(bad)
+	if ds := det.Flush(); len(ds) != 0 {
+		t.Fatalf("flagged after the unwanted tuple vanished: %v", ds)
+	}
+}
+
+func TestDetectorConfigValidation(t *testing.T) {
+	if _, err := sentinel.NewDetector(sentinel.Config{}, missingPred("m")); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := sentinel.NewDetector(sentinel.Config{Window: 10, Hop: 3}, missingPred("m")); err == nil {
+		t.Fatal("non-dividing hop accepted")
+	}
+	if _, err := sentinel.NewDetector(sentinel.Config{Window: 10}); err == nil {
+		t.Fatal("no predicates accepted")
+	}
+	p := missingPred("m")
+	p.Present = &ndlog.Tuple{}
+	if _, err := sentinel.NewDetector(sentinel.Config{Window: 10}, p); err == nil {
+		t.Fatal("both Goal and Present accepted")
+	}
+}
+
+func TestTriggerFromGoalSchemas(t *testing.T) {
+	dip, dpt := ndlog.Int(201), ndlog.Int(80)
+	g6 := metaprov.PinnedGoal("FlowTable", nil, nil, &dip, nil, &dpt, nil)
+	trig := sentinel.TriggerFromGoal(g6)
+	if trig == nil {
+		t.Fatal("no trigger from 6-arg goal")
+	}
+	hit := trace.Entry{Pkt: sdn.Packet{DstIP: 201, DstPort: 80}}
+	miss := trace.Entry{Pkt: sdn.Packet{DstIP: 201, DstPort: 53}}
+	if !trig(hit) || trig(miss) {
+		t.Fatalf("6-arg trigger wrong: hit=%v miss=%v", trig(hit), trig(miss))
+	}
+	sip := ndlog.Int(241)
+	g4 := metaprov.PinnedGoal("Learned", nil, &sip, nil, nil)
+	trig4 := sentinel.TriggerFromGoal(g4)
+	if trig4 == nil {
+		t.Fatal("no trigger from 4-arg learning goal")
+	}
+	if !trig4(trace.Entry{Pkt: sdn.Packet{SrcIP: 241}}) || trig4(trace.Entry{Pkt: sdn.Packet{SrcIP: 7}}) {
+		t.Fatal("4-arg trigger wrong")
+	}
+	// Unmappable pins (switch number only) yield no trigger.
+	swi := ndlog.Int(3)
+	if sentinel.TriggerFromGoal(metaprov.PinnedGoal("FlowTable", &swi, nil, nil, nil, nil, nil)) != nil {
+		t.Fatal("switch-only pin should not derive a trigger")
+	}
+}

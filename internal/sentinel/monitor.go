@@ -1,0 +1,72 @@
+package sentinel
+
+import (
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+// Monitor binds a Detector to a live controller: it runs the (possibly
+// buggy) program in its own NDlog engine over its own copy of the
+// topology, injects each stream entry, and feeds the detector trigger
+// counts and tuple presence events. It carries no provenance recorder —
+// the monitor only watches; when a window flags, the launcher scopes a
+// fresh diagnosis session to that window.
+//
+// A Monitor is single-threaded by design: one goroutine (the tail
+// follower) calls Feed.
+type Monitor struct {
+	det *Detector
+	net *sdn.Network
+	ctl *sdn.NDlogController
+}
+
+// presenceListener forwards tuple appearance to the detector.
+type presenceListener struct {
+	ndlog.BaseListener
+	det *Detector
+}
+
+func (l presenceListener) OnAppear(_ int64, t ndlog.Tuple)    { l.det.TupleAppeared(t) }
+func (l presenceListener) OnDisappear(_ int64, t ndlog.Tuple) { l.det.TupleVanished(t) }
+
+// NewMonitor wires a detector to a fresh engine running prog on net,
+// seeding the controller state first (presence events fired during
+// seeding do count — a policy table satisfying a present-tuple
+// predicate is a symptom from the first window).
+func NewMonitor(prog *ndlog.Program, net *sdn.Network, state []ndlog.Tuple, det *Detector) (*Monitor, error) {
+	eng, err := ndlog.NewEngine(prog)
+	if err != nil {
+		return nil, err
+	}
+	eng.Listen(presenceListener{det: det})
+	ctl := sdn.NewNDlogController(eng)
+	net.Ctrl = ctl
+	for _, st := range state {
+		ctl.InsertState(net, st)
+	}
+	return &Monitor{det: det, net: net, ctl: ctl}, nil
+}
+
+// Detector returns the wrapped detector (stats, config).
+func (m *Monitor) Detector() *Detector { return m.det }
+
+// Engine exposes the monitor's engine for instrumentation sampling.
+func (m *Monitor) Engine() *ndlog.Engine { return m.ctl.Engine }
+
+// Feed advances the detector clock to the entry's time (closing any
+// completed windows), counts the entry's triggers, and injects it into
+// the monitored network — tuple derivations surface as presence events
+// before the next entry. It returns the detections the entry's arrival
+// proved complete.
+func (m *Monitor) Feed(e trace.Entry) []Detection {
+	out := m.det.Advance(e.Time)
+	m.det.CountTrigger(e)
+	p := e.Pkt
+	p.Tags = 1
+	m.net.Inject(e.SrcHost, p)
+	return out
+}
+
+// Flush closes the final window once the stream has ended.
+func (m *Monitor) Flush() []Detection { return m.det.Flush() }

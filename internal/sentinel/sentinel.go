@@ -1,0 +1,143 @@
+// Package sentinel closes the paper's loop: instead of an operator
+// noticing a symptom and running explore→backtest offline, sentinel
+// watches a live trace stream, evaluates registered symptom predicates
+// over sliding windows incrementally (per-bucket counters, not a
+// re-derivation per window), and reports the offending window so a
+// repair session can be scoped to exactly the traffic that exhibited
+// the bug.
+//
+// The package is deliberately split from the repair pipeline: a
+// Detector is pure windowing arithmetic over trigger/match counts; a
+// Monitor binds a detector to a real NDlog engine and network so the
+// counts come from live derivations; the repair launcher lives in the
+// public metarepair package (Watcher), which also owns debounce across
+// repairs, concurrency bounds, and sink events.
+package sentinel
+
+import (
+	"fmt"
+
+	"repro/internal/metaprov"
+	"repro/internal/ndlog"
+	"repro/internal/trace"
+)
+
+// Predicate is one registered symptom to watch for. Exactly one of Goal
+// (missing-tuple: the window is symptomatic when relevant traffic
+// flowed but no tuple matching the goal pattern appeared) or Present
+// (present-tuple: the window is symptomatic when the unwanted tuple
+// appeared) must be set.
+type Predicate struct {
+	// Name keys the predicate — by convention the scenario name.
+	Name string
+	// Goal is the missing-tuple pattern: pinned args must match, free
+	// args match anything (same shape as the diagnostic query).
+	Goal metaprov.Goal
+	// Present is the unwanted tuple for positive symptoms.
+	Present *ndlog.Tuple
+	// Trigger marks stream entries as symptom-relevant traffic: a
+	// missing-tuple window only flags when at least MinTriggers relevant
+	// packets flowed (otherwise an idle window would count as broken).
+	// nil derives a trigger from the goal's pinned header fields.
+	Trigger func(trace.Entry) bool
+	// MinTriggers is the relevant-traffic threshold (default 1).
+	MinTriggers int64
+}
+
+// validate normalizes the predicate and resolves its trigger.
+func (p *Predicate) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("sentinel: predicate needs a name")
+	}
+	hasGoal := p.Goal.Table != ""
+	if hasGoal == (p.Present != nil) {
+		return fmt.Errorf("sentinel: predicate %s: exactly one of Goal or Present must be set", p.Name)
+	}
+	if p.MinTriggers <= 0 {
+		p.MinTriggers = 1
+	}
+	if p.Trigger == nil {
+		if hasGoal {
+			p.Trigger = TriggerFromGoal(p.Goal)
+		}
+		if p.Trigger == nil {
+			return fmt.Errorf("sentinel: predicate %s: no trigger derivable; set Trigger explicitly", p.Name)
+		}
+	}
+	return nil
+}
+
+// TriggerFromGoal derives a packet trigger from a goal's pinned
+// arguments, using the controller schemas the five case studies share:
+// 6-argument event tables are (Swi, Sip, Dip, Spt, Dpt, ...) — pins on
+// positions 1–4 become header equalities — and 4-argument learning
+// tables are (C, Sip, Swi, InPrt) — a pin on position 1 matches the
+// source address. Returns nil when no pinned argument maps to a header
+// field (the caller must then supply an explicit trigger).
+func TriggerFromGoal(g metaprov.Goal) func(trace.Entry) bool {
+	type fieldPin struct {
+		field func(trace.Entry) int64
+		want  int64
+	}
+	pos := map[int]func(trace.Entry) int64{}
+	switch {
+	case len(g.Args) >= 6:
+		pos[1] = func(e trace.Entry) int64 { return e.Pkt.SrcIP }
+		pos[2] = func(e trace.Entry) int64 { return e.Pkt.DstIP }
+		pos[3] = func(e trace.Entry) int64 { return e.Pkt.SrcPort }
+		pos[4] = func(e trace.Entry) int64 { return e.Pkt.DstPort }
+	case len(g.Args) == 4:
+		pos[1] = func(e trace.Entry) int64 { return e.Pkt.SrcIP }
+	}
+	var pins []fieldPin
+	for i, a := range g.Args {
+		if a.Var != "" || a.Val.Kind != ndlog.KindInt {
+			continue
+		}
+		if f, ok := pos[i]; ok {
+			pins = append(pins, fieldPin{field: f, want: a.Val.Int})
+		}
+	}
+	if len(pins) == 0 {
+		return nil
+	}
+	return func(e trace.Entry) bool {
+		for _, p := range pins {
+			if p.field(e) != p.want {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// matchesGoal reports whether a concrete tuple satisfies the goal
+// pattern: same table, same arity, every pinned argument equal.
+func matchesGoal(g metaprov.Goal, t ndlog.Tuple) bool {
+	if t.Table != g.Table || len(t.Args) != len(g.Args) {
+		return false
+	}
+	for i, a := range g.Args {
+		if a.Var != "" {
+			continue
+		}
+		if !t.Args[i].Equal(a.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesTuple reports table+args equality (tags ignored: the live
+// monitor runs the unmodified program, so every tuple carries tag 1).
+func matchesTuple(want *ndlog.Tuple, t ndlog.Tuple) bool {
+	if t.Table != want.Table || len(t.Args) != len(want.Args) {
+		return false
+	}
+	for i := range want.Args {
+		if !t.Args[i].Equal(want.Args[i]) {
+			return false
+		}
+	}
+	return true
+}

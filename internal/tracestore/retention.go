@@ -75,6 +75,9 @@ func (s *Store) Retain(p RetentionPolicy) ([]SegmentInfo, error) {
 		removed = append(removed, si)
 	}
 	s.sealed = kept
+	if len(removed) > 0 {
+		s.notifyLocked()
+	}
 	return removed, nil
 }
 
@@ -126,6 +129,9 @@ func (s *Store) Compact() (int, error) {
 		i = j
 	}
 	s.sealed = out
+	if merged > 0 {
+		s.notifyLocked()
+	}
 	return merged, nil
 }
 

@@ -59,6 +59,10 @@ type Store struct {
 	// segments recovered from disk, so it is the metric that tracks live
 	// rotation activity.
 	rotations int64
+	// watch is the edge-triggered change broadcast backing follow-mode
+	// readers: closed (and replaced lazily) whenever the readable extent
+	// of the log changes. nil until someone asks.
+	watch chan struct{}
 }
 
 var segmentRe = regexp.MustCompile(`^seg-(\d{8})\.(bin|jsonl)$`)
@@ -149,7 +153,32 @@ func (s *Store) Append(entries ...trace.Entry) error {
 			}
 		}
 	}
+	if len(entries) > 0 {
+		s.notifyLocked()
+	}
 	return nil
+}
+
+// changes returns a channel closed on the next mutation of the readable
+// extent (append, seal, retention, compaction, close). Follow-mode
+// readers grab the channel before scanning, so a mutation racing the
+// scan still wakes the subsequent wait.
+func (s *Store) changes() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watch == nil {
+		s.watch = make(chan struct{})
+	}
+	return s.watch
+}
+
+// notifyLocked wakes every waiter registered via changes; callers hold
+// s.mu.
+func (s *Store) notifyLocked() {
+	if s.watch != nil {
+		close(s.watch)
+		s.watch = nil
+	}
 }
 
 // sealActiveLocked seals the active segment; callers hold s.mu.
@@ -189,7 +218,16 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	defer s.notifyLocked()
 	return s.sealActiveLocked()
+}
+
+// Closed reports whether Close has been called. Follow-mode readers use
+// it to distinguish "caught up, wait for more" from "the log has ended".
+func (s *Store) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Segments returns a snapshot of all segment metadata, sealed first then

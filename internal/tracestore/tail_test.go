@@ -1,0 +1,236 @@
+package tracestore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// follow runs t.Follow on a goroutine and returns a receive channel of
+// delivered entries plus a done channel carrying Follow's result.
+func follow(ctx context.Context, tl *Tail) (<-chan trace.Entry, <-chan error) {
+	out := make(chan trace.Entry, 1024)
+	done := make(chan error, 1)
+	go func() {
+		defer close(out)
+		done <- tl.Follow(ctx, func(e trace.Entry) error {
+			select {
+			case out <- e:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+	return out, done
+}
+
+// TestTailFollowsLiveAppends: a tail started on an empty store sees
+// every record appended afterwards, in order, across rotations, and
+// Follow returns nil once the store closes.
+func TestTailFollowsLiveAppends(t *testing.T) {
+	for _, codec := range []Codec{Binary, JSONL} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			st, err := Open(t.TempDir(), Options{Codec: codec, SegmentEntries: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tl := st.Tail(TailOptions{})
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			out, done := follow(ctx, tl)
+
+			want := testEntries(100, 1)
+			for i := 0; i < len(want); i += 9 {
+				end := min(i+9, len(want))
+				if err := st.Append(want[i:end]...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var got []trace.Entry
+			for len(got) < len(want) {
+				select {
+				case e := <-out:
+					got = append(got, e)
+				case <-ctx.Done():
+					t.Fatalf("timed out with %d/%d entries", len(got), len(want))
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("Follow: %v", err)
+			}
+			for i := range want {
+				if got[i].Time != want[i].Time || got[i].SrcHost != want[i].SrcHost {
+					t.Fatalf("entry %d: got %+v want %+v", i, got[i], want[i])
+				}
+			}
+			if tl.Skipped() != 0 {
+				t.Fatalf("skipped = %d on an unretained store", tl.Skipped())
+			}
+		})
+	}
+}
+
+// TestTailStartsAtOldestRetained: records retained away before the tail
+// starts are not a skip — the zero position means "oldest retained".
+func TestTailStartsAtOldestRetained(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{SegmentEntries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testEntries(20, 1)...); err != nil { // segments 0..3
+		t.Fatal(err)
+	}
+	if _, err := st.Retain(RetentionPolicy{MaxSegments: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tl := st.Tail(TailOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, done := follow(ctx, tl)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Entry
+	for e := range out {
+		got = append(got, e)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if len(got) != 10 || got[0].Time != 11 {
+		t.Fatalf("got %d entries starting at %d, want 10 starting at 11", len(got), got[0].Time)
+	}
+	if tl.Skipped() != 0 {
+		t.Fatalf("skipped = %d, want 0 (zero position = oldest retained)", tl.Skipped())
+	}
+}
+
+// TestTailSkipsForwardPastRetention: a tail positioned mid-segment when
+// retention deletes that segment skips forward cleanly to the oldest
+// survivor and counts the hop.
+func TestTailSkipsForwardPastRetention(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{SegmentEntries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testEntries(20, 1)...); err != nil { // segments 0..3
+		t.Fatal(err)
+	}
+	tl := st.Tail(TailOptions{})
+	// Deliver exactly 3 records (mid-segment 0), then stop.
+	stop := errors.New("pause")
+	n := 0
+	err = tl.Follow(context.Background(), func(trace.Entry) error {
+		n++
+		if n == 3 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop || n != 3 {
+		t.Fatalf("paused follow: n=%d err=%v", n, err)
+	}
+	if _, err := st.Retain(RetentionPolicy{MaxSegments: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Entry
+	if err := tl.Follow(context.Background(), func(e trace.Entry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("Follow after retention: %v", err)
+	}
+	if len(got) != 5 || got[0].Time != 16 {
+		t.Fatalf("got %d entries starting at %v, want segment 3's 5 entries from 16",
+			len(got), got)
+	}
+	if tl.Skipped() == 0 {
+		t.Fatal("skip past retained segments not counted")
+	}
+}
+
+// TestTailRaceRotationRetention is the satellite race check: one
+// goroutine appends (rotating every few records), one applies retention
+// continuously, and a tail follows throughout. The tail must never
+// error, must deliver records in order, and must reach the end of the
+// log once the writer closes the store.
+func TestTailRaceRotationRetention(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{SegmentEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	want := testEntries(total, 1)
+
+	tl := st.Tail(TailOptions{Poll: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	retDone := make(chan struct{})
+	go func() {
+		defer close(retDone)
+		for ctx.Err() == nil {
+			if _, err := st.Retain(RetentionPolicy{MaxSegments: 3}); err != nil {
+				t.Errorf("retain: %v", err)
+				return
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	out, done := follow(ctx, tl)
+
+	writeDone := make(chan struct{})
+	go func() {
+		defer close(writeDone)
+		for i := 0; i < total; i += 5 {
+			end := min(i+5, total)
+			if err := st.Append(want[i:end]...); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Drain deliveries until the tail reaches the final record. The last
+	// segments always survive retention (the active segment is never
+	// dropped and MaxSegments keeps the newest sealed ones), so the tail
+	// is guaranteed to get there.
+	var got []trace.Entry
+	for len(got) == 0 || got[len(got)-1].Time != want[total-1].Time {
+		select {
+		case e := <-out:
+			got = append(got, e)
+		case <-ctx.Done():
+			t.Fatalf("timed out: %d entries delivered, skipped %d", len(got), tl.Skipped())
+		}
+	}
+	<-writeDone
+	cancel() // stop the retention loop
+	<-retDone
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil && err != context.Canceled {
+		t.Fatalf("Follow: %v", err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time <= got[i-1].Time {
+			t.Fatalf("out-of-order delivery at %d: %d after %d", i, got[i].Time, got[i-1].Time)
+		}
+	}
+	t.Logf("delivered %d/%d entries, skipped %d segment hops", len(got), total, tl.Skipped())
+}

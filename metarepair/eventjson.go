@@ -47,6 +47,8 @@ func (e *Event) AppendJSON(dst []byte) []byte {
 	dst = appendJSONStringField(dst, `,"scale":`, e.Scale)
 	dst = appendJSONStringField(dst, `,"span":`, e.Span)
 	dst = appendJSONStringField(dst, `,"parent":`, e.Parent)
+	dst = appendJSONStringField(dst, `,"watch":`, e.Watch)
+	dst = appendJSONIntField(dst, `,"triggers":`, e.Triggers)
 	return append(dst, '}')
 }
 

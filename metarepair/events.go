@@ -43,6 +43,20 @@ import (
 //	cell.start          Scenario, Scale
 //	cell.done           Scenario, Scale, Candidates, Passed, Accepted, Elapsed
 //	suite.done          Candidates (cells), Passed (ok cells), Elapsed
+//
+// Watch mode (the self-healing loop) emits through the same envelope,
+// stamping Watch with the watcher's label:
+//
+//	watch.start         Watch, Scenario, Symptom, Size (window), Dir
+//	watch.detect        Watch, Scenario, Symptom, From, To, Triggers
+//	watch.suppressed    Watch, Scenario, From, To, Desc (reason:
+//	                    "in-flight", "concurrency", "debounce")
+//	watch.repair.start  Watch, Scenario, From, To
+//	watch.repair.done   Watch, Scenario, From, To, Candidates, Passed,
+//	                    Accepted (a validated repair), Desc (the first
+//	                    accepted repair), Elapsed (detection → verdict:
+//	                    the time-to-validated-repair)
+//	watch.stop          Watch, Entries, Candidates (detections)
 type Event struct {
 	Time        time.Time `json:"time"`
 	Kind        string    `json:"kind"`
@@ -80,6 +94,10 @@ type Event struct {
 	// (run, explore, backtest, batch, verdict).
 	Span   string `json:"span,omitempty"`
 	Parent string `json:"parent,omitempty"`
+	// Watch labels events from a watch-mode loop; Triggers counts the
+	// symptom-relevant packets in a flagged window.
+	Watch    string `json:"watch,omitempty"`
+	Triggers int64  `json:"triggers,omitempty"`
 }
 
 // EventSink receives pipeline progress events. Implementations must be

@@ -23,6 +23,28 @@ type FanoutSink struct {
 	subs   map[*Subscription]struct{}
 	closed bool
 	wg     sync.WaitGroup // attached drainer goroutines
+
+	// dropped accumulates overflow drops across all subscribers, past
+	// and present — the backpressure signal FanoutStats exposes.
+	dropped atomic.Uint64
+}
+
+// FanoutStats is a point-in-time backpressure summary of a FanoutSink.
+type FanoutStats struct {
+	// Subscribers is the current live subscription count.
+	Subscribers int
+	// Dropped is the cumulative events lost to subscriber buffer
+	// overflow, including subscribers that have since cancelled.
+	Dropped uint64
+}
+
+// Stats reports the sink's current subscriber count and cumulative
+// dropped-event total, so SSE backpressure is observable (see
+// MetricsSink.TrackFanout).
+func (f *FanoutSink) Stats() FanoutStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FanoutStats{Subscribers: len(f.subs), Dropped: f.dropped.Load()}
 }
 
 // NewFanoutSink returns an empty fan-out; events emitted before the first
@@ -122,6 +144,9 @@ func (s *Subscription) push(e Event) {
 	if s.bound > 0 && len(s.buf)-s.head >= s.bound {
 		s.head++
 		s.dropped.Add(1)
+		if s.f != nil {
+			s.f.dropped.Add(1)
+		}
 	}
 	// Reclaim the consumed prefix before it dominates the backing array.
 	if s.head > 0 && (s.head == len(s.buf) || s.head > cap(s.buf)/2) {

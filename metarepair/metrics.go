@@ -1,6 +1,8 @@
 package metarepair
 
 import (
+	"sync"
+
 	"repro/internal/obsv"
 )
 
@@ -19,6 +21,11 @@ type MetricsSink struct {
 	spans       *obsv.HistogramVec
 	events      *obsv.CounterVec
 	suggestions *obsv.CounterVec
+
+	fanoutSubs    *obsv.GaugeVec
+	fanoutDropped *obsv.GaugeVec
+	mu            sync.Mutex
+	fanouts       map[string]*FanoutSink
 }
 
 // NewMetricsSink registers the session_* families on reg and returns the
@@ -35,6 +42,45 @@ func NewMetricsSink(reg *obsv.Registry) *MetricsSink {
 			"Pipeline events observed, by kind.", "kind"),
 		suggestions: reg.CounterVec("session_suggestions_total",
 			"Backtested suggestions, by verdict.", "verdict"),
+		fanoutSubs: reg.GaugeVec("session_fanout_subscribers",
+			"Live subscribers on tracked event fan-outs (SSE streams, drainers).", "sink"),
+		fanoutDropped: reg.GaugeVec("session_fanout_dropped_events",
+			"Cumulative events lost to subscriber buffer overflow on tracked fan-outs.", "sink"),
+		fanouts: make(map[string]*FanoutSink),
+	}
+}
+
+// TrackFanout registers a fan-out under a label; RefreshFanouts samples
+// its subscriber count and cumulative dropped events into the
+// session_fanout_* gauges. Labels must come from a bounded vocabulary
+// (the daemon tracks one aggregate per stream class, not per client).
+// Tracking a new fan-out under an existing label replaces the old one —
+// the gauges then describe the replacement.
+func (m *MetricsSink) TrackFanout(label string, f *FanoutSink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fanouts[label] = f
+}
+
+// UntrackFanout stops sampling a label, zeroing its gauges (a closed
+// fan-out no longer has subscribers; the drop total ends with it).
+func (m *MetricsSink) UntrackFanout(label string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.fanouts, label)
+	m.fanoutSubs.With(label).Set(0)
+	m.fanoutDropped.With(label).Set(0)
+}
+
+// RefreshFanouts samples every tracked fan-out into the gauges. Call it
+// before exposition (the daemon's /metrics handler does).
+func (m *MetricsSink) RefreshFanouts() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for label, f := range m.fanouts {
+		st := f.Stats()
+		m.fanoutSubs.With(label).Set(float64(st.Subscribers))
+		m.fanoutDropped.With(label).Set(float64(st.Dropped))
 	}
 }
 

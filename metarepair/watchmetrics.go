@@ -1,0 +1,56 @@
+package metarepair
+
+import (
+	"repro/internal/obsv"
+)
+
+// WatchMetrics aggregates self-healing loop telemetry into an
+// obsv.Registry: the sentinel_* families. Label vocabularies are
+// bounded — scenario names from the registry, a fixed suppression-
+// reason set, a fixed outcome set — so cardinality is independent of
+// stream length and watch count.
+//
+// The headline series is sentinel_time_to_validated_repair_seconds:
+// wall-clock from online detection to a backtest-validated repair
+// suggestion, the loop's SLO.
+type WatchMetrics struct {
+	// Entries counts stream entries fed through watch monitors.
+	Entries *obsv.Counter
+	// Windows counts predicate-windows evaluated.
+	Windows *obsv.Counter
+	// Detections counts flagged windows, by scenario.
+	Detections *obsv.CounterVec
+	// Suppressed counts detections not acted on, by reason
+	// ("in-flight", "concurrency", "launch").
+	Suppressed *obsv.CounterVec
+	// Repairs counts completed auto-repair attempts, by outcome
+	// ("validated", "unvalidated", "failed", "cancelled").
+	Repairs *obsv.CounterVec
+	// TimeToValidated is the detection→validated-repair latency
+	// histogram (seconds).
+	TimeToValidated *obsv.Histogram
+	// Watches gauges currently-running watch loops (daemon-maintained).
+	Watches *obsv.Gauge
+}
+
+// NewWatchMetrics registers the sentinel_* families on reg. Like
+// NewMetricsSink, register once per registry and share across watches.
+func NewWatchMetrics(reg *obsv.Registry) *WatchMetrics {
+	return &WatchMetrics{
+		Entries: reg.Counter("sentinel_entries_total",
+			"Stream entries fed through watch-mode monitors."),
+		Windows: reg.Counter("sentinel_windows_total",
+			"Sliding windows evaluated by watch-mode detectors."),
+		Detections: reg.CounterVec("sentinel_detections_total",
+			"Symptomatic windows flagged online, by scenario.", "scenario"),
+		Suppressed: reg.CounterVec("sentinel_suppressed_total",
+			"Detections not acted on, by reason.", "reason"),
+		Repairs: reg.CounterVec("sentinel_repairs_total",
+			"Auto-repair attempts completed, by outcome.", "outcome"),
+		TimeToValidated: reg.Histogram("sentinel_time_to_validated_repair_seconds",
+			"Wall-clock from online detection to a backtest-validated repair suggestion.",
+			nil),
+		Watches: reg.Gauge("sentinel_watches",
+			"Watch loops currently running."),
+	}
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Watch smoke: the self-healing loop end to end through the daemon.
+# Capture Q1 in fault-last order (healthy background traffic first,
+# symptom packets after), boot metarepaird, ingest the healthy prefix,
+# register a watch on the live trace, then inject the fault mid-stream
+# — and require the watch to detect the symptom, auto-launch a repair
+# job, and report a validated patch within the deadline. Afterwards,
+# scrape /metrics and assert the sentinel_* families recorded the loop,
+# then drain cleanly on SIGTERM.
+set -euo pipefail
+
+SCALE_FLAGS=(-switches 19 -flows 300)
+ADDR=127.0.0.1:18092
+REC=120 # fixed §5.4 binary record size
+WORK=$(mktemp -d)
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/metarepair" ./cmd/metarepair
+go build -o "$WORK/metarepaird" ./cmd/metarepaird
+
+# Fault-last capture: the recorder restamps ticks 1..N in replay order,
+# so the printed boundary is also the record offset of the first
+# symptomatic entry.
+"$WORK/metarepair" capture -scenario Q1 "${SCALE_FLAGS[@]}" \
+  -dir "$WORK/cap" -fault-last | tee "$WORK/capture.out"
+HEALTHY=$(sed -n 's/^fault-last order: \([0-9]*\) healthy entries.*/\1/p' \
+  "$WORK/capture.out")
+[ -n "$HEALTHY" ] || { echo "capture printed no fault boundary" >&2; exit 1; }
+
+# Segments are plain record concatenations; split the stream at the
+# healthy/faulty boundary.
+cat "$WORK/cap"/seg-*.bin > "$WORK/stream.bin"
+head -c $((HEALTHY * REC)) "$WORK/stream.bin" > "$WORK/healthy.bin"
+tail -c +$((HEALTHY * REC + 1)) "$WORK/stream.bin" > "$WORK/fault.bin"
+[ -s "$WORK/fault.bin" ] || { echo "no symptomatic records captured" >&2; exit 1; }
+
+"$WORK/metarepaird" -addr "$ADDR" -data "$WORK/data" &
+DPID=$!
+for _ in $(seq 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+# The catalogue must list the scenario the watch is about to reference.
+curl -sf "http://$ADDR/scenarios" | python3 -c '
+import json, sys
+names = [s["name"] for s in json.load(sys.stdin)["scenarios"]]
+assert "Q1" in names, names
+'
+
+# Healthy background traffic flows first...
+curl -sf -X POST --data-binary "@$WORK/healthy.bin" \
+  "http://$ADDR/v1/tenants/smoke/traces/live?format=binary" >/dev/null
+
+# ...then the watch goes live on the stream...
+WATCH=$(curl -sf -X POST "http://$ADDR/v1/tenants/smoke/watches" \
+  -d '{"scenario":"Q1","switches":19,"flows":300,"trace":"live","window":64,"label":"q1 self-heal"}' |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "watch $WATCH registered"
+
+# ...and the fault arrives mid-stream.
+curl -sf -X POST --data-binary "@$WORK/fault.bin" \
+  "http://$ADDR/v1/tenants/smoke/traces/live?format=binary" >/dev/null
+
+# The watch must detect the symptom and drive an auto-launched repair
+# to a validated verdict within the deadline.
+VALIDATED=0
+for _ in $(seq 300); do
+  VALIDATED=$(curl -sf "http://$ADDR/v1/watches/$WATCH" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["stats"]["validated"])')
+  [ "$VALIDATED" -ge 1 ] && break
+  sleep 0.2
+done
+if [ "$VALIDATED" -lt 1 ]; then
+  echo "watch produced no validated repair" >&2
+  curl -sf "http://$ADDR/v1/watches/$WATCH" >&2 || true
+  exit 1
+fi
+curl -sf "http://$ADDR/v1/watches/$WATCH" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)["stats"]
+assert st["detections"] >= 1, st
+assert st["launched"] >= 1, st
+assert st["skipped_segments"] == 0, st
+print("watch smoke ok: %d detection(s), %d validated repair(s)"
+      % (st["detections"], st["validated"]))
+'
+
+# The auto-repair ran as a job with an accepted patch.
+curl -sf "http://$ADDR/v1/tenants/smoke/jobs" | python3 -c '
+import json, sys
+jobs = json.load(sys.stdin)["jobs"]
+auto = [j for j in jobs if j.get("label", "").startswith("auto-repair Q1")]
+assert auto, jobs
+done = [j for j in auto if j["state"] == "succeeded"]
+assert done, auto
+assert done[0]["report"]["accepted"] >= 1, done[0]["report"]
+print("auto-repair job %s succeeded with an accepted patch" % done[0]["id"])
+'
+
+# Observability: the scrape must carry the sentinel families with the
+# loop's work on the books, including the time-to-validated-repair SLO
+# histogram.
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics.prom"
+for fam in sentinel_entries_total sentinel_windows_total \
+           sentinel_detections_total sentinel_suppressed_total \
+           sentinel_repairs_total sentinel_time_to_validated_repair_seconds \
+           sentinel_watches; do
+  grep -q "^# TYPE $fam " "$WORK/metrics.prom" || {
+    echo "/metrics is missing family $fam" >&2; exit 1; }
+done
+TTVR=$(grep '^sentinel_time_to_validated_repair_seconds_count' \
+  "$WORK/metrics.prom" | awk '{print $2}')
+if [ "${TTVR:-0}" -lt 1 ]; then
+  echo "time-to-validated-repair histogram recorded ${TTVR:-0} repairs, want >=1" >&2
+  exit 1
+fi
+VALIDATED_METRIC=$(grep '^sentinel_repairs_total{outcome="validated"}' \
+  "$WORK/metrics.prom" | awk '{print $2}')
+if [ "${VALIDATED_METRIC:-0}" -lt 1 ]; then
+  echo "sentinel_repairs_total{outcome=\"validated\"} = ${VALIDATED_METRIC:-absent}, want >=1" >&2
+  exit 1
+fi
+echo "metrics smoke ok: sentinel families present, $TTVR validated repair(s) timed"
+
+# Graceful drain: SIGTERM must stop the watch loop and the daemon.
+kill -TERM "$DPID"
+wait "$DPID"
