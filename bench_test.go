@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/backtest"
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metaprov"
@@ -139,6 +140,34 @@ func BenchmarkFigure9b_Backtesting(b *testing.B) {
 			evaluate(b, metarepair.StrategySerial)
 		}
 	})
+
+	// The incremental-backtesting headline: one shared run filled to the
+	// 63-tag ceiling, full fixpoint per run versus the delta path that
+	// runs the base fixpoint once and replays every candidate as a tagged
+	// delta against it. Delta/Full is the speedup EXPERIMENTS.md records.
+	wsess, wide, wbt, err := experiments.WideCandidates(ctx, scenarios.Scale{Switches: 19, Flows: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(wide) > backtest.MaxSharedCandidates {
+		wide = wide[:backtest.MaxSharedCandidates]
+	}
+	shared := func(b *testing.B, eval metarepair.EvalMode) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run, err := wsess.Evaluate(ctx, wide, wbt,
+				metarepair.WithStrategy(metarepair.StrategySerial),
+				metarepair.WithEvalMode(eval))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := run.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Shared63/Full", func(b *testing.B) { shared(b, metarepair.EvalFull) })
+	b.Run("Shared63/Delta", func(b *testing.B) { shared(b, metarepair.EvalDelta) })
 }
 
 // BenchmarkBatchedBacktest measures the batched-parallel evaluation of a

@@ -148,6 +148,22 @@ func (sf scenarioFlags) scenario() *scenario.Scenario {
 	return s
 }
 
+// evalFlag registers the shared -eval flag; the returned resolver maps
+// the value to a session option after Parse, exiting with usage status 2
+// on an unknown mode.
+func evalFlag(fs *flag.FlagSet) func() metarepair.EvalMode {
+	v := fs.String("eval", "delta",
+		"shared-run evaluation mode: delta (incremental, default) or full (the reference path)")
+	return func() metarepair.EvalMode {
+		m, err := metarepair.ParseEvalMode(*v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(2)
+		}
+		return m
+	}
+}
+
 // fail reports a fatal error with conventional exit codes — 130 for an
 // interrupted pipeline (SIGINT), 124 for an exceeded -timeout, 1 for
 // everything else — so scripts and CI can tell a cancelled run from a
@@ -258,6 +274,7 @@ func runSuite(args []string) {
 	check := fs.Bool("check-sequential", false, "rerun the matrix on one worker and fail unless all verdicts match")
 	timeout := fs.Duration("timeout", 0, "cancel the suite after this long (0 = no limit)")
 	events := fs.String("events", "", "stream JSONL progress events to this file (\"-\" = stderr)")
+	evalMode := evalFlag(fs)
 	fs.Parse(args)
 
 	ctx, stop := pipelineContext(*timeout)
@@ -277,6 +294,7 @@ func runSuite(args []string) {
 		Scales:    scales,
 		Parallel:  *par,
 		Sink:      sink,
+		Options:   []metarepair.Option{metarepair.WithEvalMode(evalMode())},
 	}
 	start := time.Now()
 	m, err := suite.Run(ctx)
@@ -290,7 +308,8 @@ func runSuite(args []string) {
 	}
 
 	if *check {
-		seq := &scenario.Suite{Scenarios: suite.Scenarios, Scales: scales, Parallel: 1}
+		seq := &scenario.Suite{Scenarios: suite.Scenarios, Scales: scales, Parallel: 1,
+			Options: suite.Options}
 		sm, err := seq.Run(ctx)
 		if err != nil {
 			fail(err)
@@ -481,6 +500,7 @@ func runWatch(args []string) {
 	events := sf.fs.String("events", "", "stream JSONL watch and pipeline events to this file (\"-\" = stderr)")
 	metricsDest := sf.fs.String("metrics", "",
 		"write the watch's metric families (Prometheus text, sentinel_* + session_*) to this file when done (\"-\" = stderr)")
+	evalMode := evalFlag(sf.fs)
 	sf.fs.Parse(args)
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "watch: -dir is required")
@@ -544,6 +564,7 @@ func runWatch(args []string) {
 		lb = 1 << 40 // further back than any realistic tick clock
 	}
 	opts := append([]metarepair.Option(nil), s.Options...)
+	opts = append(opts, metarepair.WithEvalMode(evalMode()))
 	if *par > 0 {
 		opts = append(opts, metarepair.WithParallelism(*par))
 	}
@@ -659,6 +680,7 @@ func runPipeline(cmd string, args []string) {
 	metricsDest := sf.fs.String("metrics", "",
 		"write the run's metric families (Prometheus text) to this file when done (\"-\" = stderr)")
 	verbose := sf.fs.Bool("v", false, "print the candidate meta-provenance tree of the best repair")
+	evalMode := evalFlag(sf.fs)
 	var dir, format *string
 	var from, to *int64
 	if cmd == "replay" {
@@ -680,7 +702,7 @@ func runPipeline(cmd string, args []string) {
 		os.Exit(2)
 	}
 
-	var opts []metarepair.Option
+	opts := []metarepair.Option{metarepair.WithEvalMode(evalMode())}
 	if *par > 0 {
 		opts = append(opts, metarepair.WithParallelism(*par))
 	}
@@ -800,6 +822,7 @@ func runPipeline(cmd string, args []string) {
 
 	if met != nil {
 		met.recordEngine(out.Session.EngineStats())
+		met.recordDelta(out.Report.Engine)
 		if err := met.dump(*metricsDest); err != nil {
 			fail(fmt.Errorf("writing -metrics: %w", err))
 		}
@@ -824,6 +847,13 @@ type runMetrics struct {
 	reg       *obsv.Registry
 	sessions  *metarepair.MetricsSink
 	engineOps *obsv.CounterVec
+
+	// The ndlog_delta_* families mirror the daemon's: incremental-
+	// evaluation work done by the run's shared backtests (Report.Engine).
+	deltaInserts     *obsv.Counter
+	deltaRetractions *obsv.Counter
+	deltaRecounted   *obsv.Counter
+	deltaGroupJoins  *obsv.Counter
 }
 
 func newRunMetrics() *runMetrics {
@@ -833,6 +863,31 @@ func newRunMetrics() *runMetrics {
 		sessions: metarepair.NewMetricsSink(reg),
 		engineOps: reg.CounterVec("ndlog_engine_ops_total",
 			"NDlog engine work performed by the run, by operation.", "op"),
+		deltaInserts: reg.Counter("ndlog_delta_inserts_total",
+			"Tuples derived while asserting candidate rules as deltas in shared backtest runs."),
+		deltaRetractions: reg.Counter("ndlog_delta_retractions_total",
+			"Derivations retracted (directly or by cascade) while removing candidate rules as deltas."),
+		deltaRecounted: reg.Counter("ndlog_delta_recounted_tuples_total",
+			"Tuples whose support count was adjusted without changing visibility during delta edits."),
+		deltaGroupJoins: reg.Counter("ndlog_delta_group_joins_total",
+			"Shared joins performed by delta-grouped evaluation; each serves a whole trigger group."),
+	}
+}
+
+// recordDelta folds the run's shared-backtest delta counters into the
+// ndlog_delta_* totals.
+func (m *runMetrics) recordDelta(st ndlog.EngineStats) {
+	if st.DeltaInserts > 0 {
+		m.deltaInserts.Add(st.DeltaInserts)
+	}
+	if st.DeltaRetractions > 0 {
+		m.deltaRetractions.Add(st.DeltaRetractions)
+	}
+	if st.RecountedTuples > 0 {
+		m.deltaRecounted.Add(st.RecountedTuples)
+	}
+	if st.GroupJoins > 0 {
+		m.deltaGroupJoins.Add(st.GroupJoins)
 	}
 }
 

@@ -34,6 +34,14 @@ type daemonMetrics struct {
 
 	engineOps *obsv.CounterVec // ndlog_engine_ops_total{op}
 
+	// The ndlog_delta_* families count the incremental-evaluation work of
+	// finished jobs' shared backtest runs (Report.Engine): rule edits
+	// applied as deltas instead of fresh fixpoints.
+	deltaInserts     *obsv.Counter // ndlog_delta_inserts_total
+	deltaRetractions *obsv.Counter // ndlog_delta_retractions_total
+	deltaRecounted   *obsv.Counter // ndlog_delta_recounted_tuples_total
+	deltaGroupJoins  *obsv.Counter // ndlog_delta_group_joins_total
+
 	storeEntries   *obsv.GaugeVec // tracestore_entries{tenant,trace}
 	storeBytes     *obsv.GaugeVec
 	storeSegments  *obsv.GaugeVec
@@ -53,6 +61,14 @@ func newDaemonMetrics() *daemonMetrics {
 			"HTTP request latency, by route pattern.", nil, "route"),
 		engineOps: reg.CounterVec("ndlog_engine_ops_total",
 			"NDlog engine work performed by finished jobs, by operation.", "op"),
+		deltaInserts: reg.Counter("ndlog_delta_inserts_total",
+			"Tuples derived while asserting candidate rules as deltas in shared backtest runs."),
+		deltaRetractions: reg.Counter("ndlog_delta_retractions_total",
+			"Derivations retracted (directly or by cascade) while removing candidate rules as deltas."),
+		deltaRecounted: reg.Counter("ndlog_delta_recounted_tuples_total",
+			"Tuples whose support count was adjusted without changing visibility during delta edits."),
+		deltaGroupJoins: reg.Counter("ndlog_delta_group_joins_total",
+			"Shared joins performed by delta-grouped evaluation; each serves a whole trigger group."),
 		storeEntries: reg.GaugeVec("tracestore_entries",
 			"Records in a tenant's trace store.", "tenant", "trace"),
 		storeBytes: reg.GaugeVec("tracestore_bytes",
@@ -80,6 +96,24 @@ func (m *daemonMetrics) recordEngine(st ndlog.EngineStats) {
 		if c.n > 0 {
 			m.engineOps.With(c.op).Add(c.n)
 		}
+	}
+}
+
+// recordDelta folds one finished job's shared-run delta counters
+// (Report.Engine, aggregated across the job's backtest batches) into the
+// ndlog_delta_* totals.
+func (m *daemonMetrics) recordDelta(st ndlog.EngineStats) {
+	if st.DeltaInserts > 0 {
+		m.deltaInserts.Add(st.DeltaInserts)
+	}
+	if st.DeltaRetractions > 0 {
+		m.deltaRetractions.Add(st.DeltaRetractions)
+	}
+	if st.RecountedTuples > 0 {
+		m.deltaRecounted.Add(st.RecountedTuples)
+	}
+	if st.GroupJoins > 0 {
+		m.deltaGroupJoins.Add(st.GroupJoins)
 	}
 }
 

@@ -70,23 +70,27 @@ func TestMetricsReconcile(t *testing.T) {
 	// Every layer's families must be present and correctly typed, even
 	// the ones with no samples yet (tracestore gauges before any ingest).
 	wantTypes := map[string]string{
-		"jobs_queue_depth":              "gauge",
-		"jobs_tenant_queued":            "gauge",
-		"jobs_tenant_running":           "gauge",
-		"jobs_queue_wait_seconds":       "histogram",
-		"jobs_run_duration_seconds":     "histogram",
-		"jobs_total":                    "counter",
-		"jobs_quota_rejections_total":   "counter",
-		"http_requests_total":           "counter",
-		"http_request_duration_seconds": "histogram",
-		"session_span_duration_seconds": "histogram",
-		"session_events_total":          "counter",
-		"session_suggestions_total":     "counter",
-		"ndlog_engine_ops_total":        "counter",
-		"tracestore_entries":            "gauge",
-		"tracestore_bytes":              "gauge",
-		"tracestore_segments":           "gauge",
-		"tracestore_rotations":          "gauge",
+		"jobs_queue_depth":                   "gauge",
+		"jobs_tenant_queued":                 "gauge",
+		"jobs_tenant_running":                "gauge",
+		"jobs_queue_wait_seconds":            "histogram",
+		"jobs_run_duration_seconds":          "histogram",
+		"jobs_total":                         "counter",
+		"jobs_quota_rejections_total":        "counter",
+		"http_requests_total":                "counter",
+		"http_request_duration_seconds":      "histogram",
+		"session_span_duration_seconds":      "histogram",
+		"session_events_total":               "counter",
+		"session_suggestions_total":          "counter",
+		"ndlog_engine_ops_total":             "counter",
+		"ndlog_delta_inserts_total":          "counter",
+		"ndlog_delta_retractions_total":      "counter",
+		"ndlog_delta_recounted_tuples_total": "counter",
+		"ndlog_delta_group_joins_total":      "counter",
+		"tracestore_entries":                 "gauge",
+		"tracestore_bytes":                   "gauge",
+		"tracestore_segments":                "gauge",
+		"tracestore_rotations":               "gauge",
 	}
 	for name, typ := range wantTypes {
 		if got := sc.Types[name]; got != typ {
@@ -161,6 +165,11 @@ func TestMetricsReconcile(t *testing.T) {
 	// work, and suggestion verdicts flow through the session sink.
 	if got, _ := sc.Value("ndlog_engine_ops_total", map[string]string{"op": "firings"}); got <= 0 {
 		t.Errorf("ndlog_engine_ops_total{op=firings} = %v, want > 0", got)
+	}
+	// Jobs default to delta evaluation, so the shared backtest runs must
+	// have performed grouped joins.
+	if got, _ := sc.Value("ndlog_delta_group_joins_total", nil); got <= 0 {
+		t.Errorf("ndlog_delta_group_joins_total = %v, want > 0", got)
 	}
 	if got := sc.Sum("session_suggestions_total", nil); got <= 0 {
 		t.Errorf("session_suggestions_total sums to %v, want > 0", got)

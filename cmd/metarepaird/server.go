@@ -297,9 +297,12 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		// Sample the job's NDlog engine work and — when it replayed from a
-		// stored trace — the store's current shape into the registry.
+		// Sample the job's NDlog engine work — the session engine's
+		// counters plus the shared backtest runs' delta-evaluation work —
+		// and, when it replayed from a stored trace, the store's current
+		// shape into the registry.
 		s.metrics.recordEngine(out.Session.EngineStats())
+		s.metrics.recordDelta(out.Report.Engine)
 		if store != nil {
 			s.metrics.recordStore(tenant, req.Trace, store.Stats())
 		}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,6 +64,14 @@ type Job struct {
 	// shared runs (the §4.4 static-analysis optimization); on by default
 	// via NewJob-style zero handling — set SkipCoalesce to disable.
 	SkipCoalesce bool
+	// Eval selects the engine evaluation mode for shared runs:
+	// ndlog.EvalDelta switches the controller engine to delta-grouped
+	// trigger evaluation and the replay network to indexed flow-table
+	// matching, evaluating each candidate as a delta over the shared
+	// baseline computation. The zero value (ndlog.EvalFull) keeps the
+	// reference path; verdicts are identical either way (the delta
+	// differential tests are the oracle).
+	Eval ndlog.EvalMode
 }
 
 // Result is the verdict for one candidate.
@@ -180,13 +189,43 @@ func (j *Job) RunSequentialContext(ctx context.Context) ([]Result, error) {
 // bit i+1. Rules untouched by a candidate keep its tag bit, so shared
 // computation happens once.
 func (j *Job) RunShared() ([]Result, error) {
+	out, _, err := j.runShared(context.Background())
+	return out, err
+}
+
+// RunSharedContext is RunShared with cooperative cancellation between
+// replayed workload entries, plus a snapshot of the shared-run engine's
+// work counters (the delta accounting surfaced on /metrics).
+func (j *Job) RunSharedContext(ctx context.Context) ([]Result, ndlog.EngineStats, error) {
+	return j.runShared(ctx)
+}
+
+// cancelSource wraps a workload source with a per-entry context check so a
+// first-accepted early stop aborts an in-flight shared replay instead of
+// letting it finish silently.
+type cancelSource struct {
+	ctx context.Context
+	src trace.Source
+}
+
+func (c *cancelSource) Scan(fn func(trace.Entry) error) error {
+	return c.src.Scan(func(e trace.Entry) error {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		return fn(e)
+	})
+}
+
+func (j *Job) runShared(ctx context.Context) ([]Result, ndlog.EngineStats, error) {
+	var zero ndlog.EngineStats
 	if len(j.Candidates) > MaxSharedCandidates {
-		return nil, fmt.Errorf("backtest: %d candidates exceed the %d-tag limit (use RunBatched)",
+		return nil, zero, fmt.Errorf("backtest: %d candidates exceed the %d-tag limit (use RunBatched)",
 			len(j.Candidates), MaxSharedCandidates)
 	}
 	shared, inserts, deletes, err := BuildSharedProgram(j.Prog, j.Candidates, !j.SkipCoalesce)
 	if err != nil {
-		return nil, err
+		return nil, zero, err
 	}
 	fullMask := uint64(1)<<(len(j.Candidates)+1) - 1
 
@@ -194,6 +233,10 @@ func (j *Job) RunShared() ([]Result, error) {
 	eng := ndlog.MustNewEngine(shared)
 	ctl := sdn.NewNDlogController(eng)
 	net.Ctrl = ctl
+	if j.Eval == ndlog.EvalDelta {
+		eng.SetEvalMode(ndlog.EvalDelta)
+		net.EnableFlowIndex()
+	}
 
 	// Seed controller state: a tuple deleted by candidate i is inserted
 	// with i's tag bit cleared. The key is computed on the clone so the
@@ -212,8 +255,12 @@ func (j *Job) RunShared() ([]Result, error) {
 			ctl.InsertState(net, t2)
 		}
 	}
-	if _, err := trace.ReplaySource(net, j.workloadSource(), fullMask); err != nil {
-		return nil, fmt.Errorf("backtest: replaying workload: %w", err)
+	src := j.workloadSource()
+	if ctx != nil && ctx.Done() != nil {
+		src = &cancelSource{ctx: ctx, src: src}
+	}
+	if _, err := trace.ReplaySource(net, src, fullMask); err != nil {
+		return nil, eng.Stats, fmt.Errorf("backtest: replaying workload: %w", err)
 	}
 
 	baseline := net.Distribution(0)
@@ -223,7 +270,7 @@ func (j *Job) RunShared() ([]Result, error) {
 		tag := i + 1
 		out = append(out, j.judge(c, baseline, net.Distribution(tag), net, ctl, tag, basePI, net.PacketInsByTag[tag]))
 	}
-	return out, nil
+	return out, eng.Stats, nil
 }
 
 // Batch is one ≤63-candidate slice of a larger batched run.
@@ -238,6 +285,9 @@ type Batch struct {
 	// so observers can reconstruct per-batch spans without re-timing.
 	Began time.Time
 	Ended time.Time
+	// Stats snapshots the batch's shared-run engine counters, including
+	// the delta-evaluation families; per-job reports accumulate them.
+	Stats ndlog.EngineStats
 }
 
 // RunBatched removes the 63-candidate cliff: the candidate set is split
@@ -305,11 +355,13 @@ func (j *Job) RunBatched(ctx context.Context, parallelism, batchSize int, onBatc
 				sub := *j
 				sub.Candidates = cands[sp.start:sp.end]
 				began := time.Now()
-				res, err := sub.RunShared()
+				res, st, err := sub.runShared(runCtx)
 				ended := time.Now()
 				mu.Lock()
 				if err != nil {
-					if firstErr == nil {
+					// A replay aborted by cancellation is a drain, not a
+					// batch failure: the caller asked the pool to stop.
+					if firstErr == nil && runCtx.Err() == nil {
 						firstErr = fmt.Errorf("backtest: batch %d: %w", sp.idx, err)
 						cancel()
 					}
@@ -318,7 +370,7 @@ func (j *Job) RunBatched(ctx context.Context, parallelism, batchSize int, onBatc
 				}
 				copy(results[sp.start:sp.end], res)
 				if onBatch != nil {
-					onBatch(Batch{Index: sp.idx, Start: sp.start, Results: res, Began: began, Ended: ended})
+					onBatch(Batch{Index: sp.idx, Start: sp.start, Results: res, Began: began, Ended: ended, Stats: st})
 				}
 				mu.Unlock()
 			}
@@ -378,6 +430,30 @@ func BuildSharedProgram(prog *ndlog.Program, cands []metaprov.Candidate, coalesc
 	inserts := make(map[int][]ndlog.Tuple)
 	deletes := make(map[string]uint64)
 
+	origByID := make(map[string]*ndlog.Rule, len(prog.Rules))
+	rulePos := make(map[string]int, len(prog.Rules))
+	for i, r := range prog.Rules {
+		origByID[r.ID] = r
+		rulePos[r.ID] = i
+	}
+	origStr := make(map[string]string, len(prog.Rules)) // lazy render cache
+
+	// differs reports whether a patched rule diverged from the base
+	// program's rule of the same ID (or is new), rendering the original at
+	// most once across all candidates.
+	differs := func(r *ndlog.Rule) (exists, changed bool) {
+		orig, ok := origByID[r.ID]
+		if !ok {
+			return false, true
+		}
+		os, cached := origStr[r.ID]
+		if !cached {
+			os = orig.String()
+			origStr[r.ID] = os
+		}
+		return true, os != r.String()
+	}
+
 	for i, c := range cands {
 		bit := uint64(1) << uint(i+1)
 		patch, err := c.Apply(prog)
@@ -392,17 +468,7 @@ func BuildSharedProgram(prog *ndlog.Program, cands []metaprov.Candidate, coalesc
 		for _, del := range patch.Deletes {
 			deletes[del.Key()] |= bit
 		}
-		origByID := make(map[string]*ndlog.Rule)
-		for _, r := range prog.Rules {
-			origByID[r.ID] = r
-		}
-		seen := make(map[string]bool)
-		for _, r := range patch.Prog.Rules {
-			seen[r.ID] = true
-			orig, exists := origByID[r.ID]
-			if exists && orig.String() == r.String() {
-				continue // untouched rule: shared copy serves this tag
-			}
+		addVariant := func(r *ndlog.Rule, exists bool) {
 			touched[r.ID] |= bit
 			cp := r.Clone()
 			cp.ID = fmt.Sprintf("%s~c%d", r.ID, i+1)
@@ -411,6 +477,41 @@ func BuildSharedProgram(prog *ndlog.Program, cands []metaprov.Candidate, coalesc
 				origID = r.ID
 			}
 			variants = append(variants, variant{rule: cp, bits: bit, origID: origID})
+		}
+		// Every Change names the one rule it can create, modify, or delete,
+		// so only those rules need the rendered comparison; the full
+		// program sweep remains as the fallback for unknown change kinds.
+		// IDs are visited in program order (added rules last, in change
+		// order) to keep the variant sequence identical to the sweep's.
+		if ids, exact := changedRuleIDs(c.Changes); exact {
+			sort.SliceStable(ids, func(a, b int) bool {
+				pa, oka := rulePos[ids[a]]
+				pb, okb := rulePos[ids[b]]
+				if oka && okb {
+					return pa < pb
+				}
+				return oka && !okb
+			})
+			for _, id := range ids {
+				r := patch.Prog.Rule(id)
+				if r == nil {
+					if _, orig := origByID[id]; orig {
+						touched[id] |= bit // rule deleted by this candidate
+					}
+					continue
+				}
+				if exists, changed := differs(r); changed {
+					addVariant(r, exists)
+				}
+			}
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, r := range patch.Prog.Rules {
+			seen[r.ID] = true
+			if exists, changed := differs(r); changed {
+				addVariant(r, exists)
+			}
 		}
 		for id := range origByID {
 			if !seen[id] {
@@ -462,6 +563,46 @@ func BuildSharedProgram(prog *ndlog.Program, cands []metaprov.Candidate, coalesc
 	}
 	shared.Rules = rules
 	return shared, inserts, deletes, nil
+}
+
+// changedRuleIDs lists the rule IDs a change list can create, modify, or
+// delete, deduplicated in first-mention order. exact is false when the list
+// contains a change kind this function does not recognize, in which case
+// the caller must fall back to comparing every rule.
+func changedRuleIDs(changes []meta.Change) (ids []string, exact bool) {
+	add := func(id string) {
+		for _, have := range ids {
+			if have == id {
+				return
+			}
+		}
+		ids = append(ids, id)
+	}
+	for _, ch := range changes {
+		switch c := ch.(type) {
+		case meta.SetConst:
+			add(c.RuleID)
+		case meta.SetOper:
+			add(c.RuleID)
+		case meta.SetExpr:
+			add(c.RuleID)
+		case meta.DropSel:
+			add(c.RuleID)
+		case meta.DropBodyPred:
+			add(c.RuleID)
+		case meta.DropRule:
+			add(c.RuleID)
+		case meta.SetHeadTable:
+			add(c.RuleID)
+		case meta.AddRule:
+			add(c.Rule.ID)
+		case meta.InsertTuple, meta.DeleteTuple:
+			// Base-tuple edits touch no rule.
+		default:
+			return nil, false
+		}
+	}
+	return ids, true
 }
 
 // ruleBodyKey canonicalizes a rule for coalescing: everything except its ID.

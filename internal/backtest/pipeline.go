@@ -124,11 +124,14 @@ func (p *Pipeline) Run(ctx context.Context, cands <-chan metaprov.Candidate) (*P
 				sub := *p.Job
 				sub.Candidates = sp.cands
 				began := time.Now()
-				out, err := sub.RunShared()
+				// The run's replay watches runCtx, so a FirstAccepted stop
+				// (or a failure elsewhere) aborts in-flight batches mid-replay
+				// instead of letting them finish silently.
+				out, st, err := sub.runShared(runCtx)
 				ended := time.Now()
 				mu.Lock()
 				if err != nil {
-					if firstErr == nil {
+					if firstErr == nil && runCtx.Err() == nil {
 						firstErr = fmt.Errorf("backtest: batch %d: %w", sp.idx, err)
 						stopSearch()
 						cancel()
@@ -142,7 +145,7 @@ func (p *Pipeline) Run(ctx context.Context, cands <-chan metaprov.Candidate) (*P
 				}
 				res.Batches++
 				if p.OnBatch != nil {
-					p.OnBatch(Batch{Index: sp.idx, Start: sp.start, Results: out, Began: began, Ended: ended})
+					p.OnBatch(Batch{Index: sp.idx, Start: sp.start, Results: out, Began: began, Ended: ended, Stats: st})
 				}
 				if p.FirstAccepted && !res.EarlyStopped {
 					for _, r := range out {

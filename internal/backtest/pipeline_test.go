@@ -10,6 +10,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/metaprov"
 	"repro/internal/ndlog"
+	"repro/internal/trace"
 )
 
 // pipelineJob builds the Q1-mini job plus a candidate list for pipeline
@@ -170,6 +171,114 @@ func TestPipelineFirstAccepted(t *testing.T) {
 		// All candidates may evaluate if the accept lands in the last
 		// batch; with the intuitive fix cheap and first, it must not.
 		t.Fatalf("early stop evaluated everything: %d candidates", res.EvaluatedCount())
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// gateSource yields its base workload, then idles at the tail emitting
+// harmless probe entries (unknown source host: Inject is a no-op) until it
+// receives a completion token — or until the run's cancelSource aborts the
+// scan. It lets a test hold a shared replay in-flight indefinitely.
+type gateSource struct {
+	base    []trace.Entry
+	started chan struct{}
+	tokens  chan struct{}
+}
+
+func (g *gateSource) Scan(fn func(trace.Entry) error) error {
+	g.started <- struct{}{}
+	for _, e := range g.base {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	probe := trace.Entry{SrcHost: "gate-probe-no-such-host"}
+	for {
+		select {
+		case <-g.tokens:
+			return nil
+		default:
+		}
+		if err := fn(probe); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPipelineFirstAcceptedAbortsInflight: when one batch accepts, a shared
+// run still replaying on another worker must be cancelled mid-replay — not
+// allowed to finish silently — and no goroutine may leak.
+func TestPipelineFirstAcceptedAbortsInflight(t *testing.T) {
+	job, cands := pipelineJob(t, 12)
+
+	// Find an accepted candidate so every batch below contains one.
+	ref := *job
+	ref.Candidates = cands
+	refOut, err := ref.RunShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := -1
+	for i, r := range refOut {
+		if r.Accepted {
+			accepted = i
+			break
+		}
+	}
+	if accepted < 0 {
+		t.Fatal("no accepted candidate in the reference run")
+	}
+
+	before := runtime.NumGoroutine()
+	gate := &gateSource{
+		base:    job.Workload,
+		started: make(chan struct{}, 4),
+		tokens:  make(chan struct{}, 1),
+	}
+	sub := *job
+	sub.Source = gate
+	sub.Workload = nil
+
+	// Two batches of two copies of the accepting candidate: both replays
+	// park at the gate, one token releases exactly one of them, its accept
+	// must abort the other mid-replay.
+	stream := []metaprov.Candidate{cands[accepted], cands[accepted], cands[accepted], cands[accepted]}
+	p := &Pipeline{Job: &sub, BatchSize: 2, Parallelism: 2, FirstAccepted: true}
+	done := make(chan struct{})
+	var res *PipelineResult
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = p.Run(context.Background(), feed(stream))
+	}()
+	<-gate.started
+	<-gate.started // both batches are now in-flight
+	gate.tokens <- struct{}{}
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pipeline did not return: the in-flight batch was not cancelled")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !res.EarlyStopped {
+		t.Fatal("pipeline did not stop early")
+	}
+	if res.Batches != 1 {
+		t.Fatalf("batches completed = %d, want 1 (the other must be aborted mid-replay)", res.Batches)
+	}
+	if res.EvaluatedCount() != 2 {
+		t.Fatalf("evaluated %d candidates, want the released batch's 2", res.EvaluatedCount())
 	}
 
 	deadline := time.Now().Add(5 * time.Second)

@@ -360,6 +360,7 @@ type OverheadReport struct {
 	ThroughputReduction float64
 	On, Off             bench.StressResult
 	Join                bench.StressResult // 3-way-join stress: index vs scan counters
+	Delta               bench.StressResult // rule-edit stress: DRed retract/assert counters
 	StorageRate         float64            // bytes per second per switch
 }
 
@@ -397,35 +398,48 @@ func Overhead(sc scenarios.Scale, events int) (OverheadReport, error) {
 	if err != nil {
 		return OverheadReport{}, err
 	}
+	edits := events / 200
+	if edits < 10 {
+		edits = 10
+	}
+	delta, err := bench.DeltaStress(300, edits)
+	if err != nil {
+		return OverheadReport{}, err
+	}
 	return OverheadReport{
 		LatencyIncrease:     latInc,
 		ThroughputReduction: thrRed,
 		On:                  on,
 		Off:                 off,
 		Join:                join,
+		Delta:               delta,
 		StorageRate:         rate,
 	}, nil
 }
 
 // FormatOverhead renders the §5.4 numbers plus the evaluation-core work
 // counters: the controller run's firings (Q1's reactive rules are
-// single-atom, so it extends no joins) and the 3-way-join stress showing
+// single-atom, so it extends no joins), the 3-way-join stress showing
 // how many extensions the compile-time planner answered from hash indexes
-// versus full table scans.
+// versus full table scans, and the rule-edit stress showing the counted-
+// derivation bookkeeping behind incremental backtesting (tuples seeded,
+// derivations retracted, support recounts that avoided re-derivation).
 func FormatOverhead(r OverheadReport) string {
-	on, jn := r.On.Eval, r.Join.Eval
+	on, jn, dl := r.On.Eval, r.Join.Eval, r.Delta.Eval
 	return fmt.Sprintf(
 		"Runtime overhead (§5.4):\n"+
 			"  latency increase with provenance:   %+.1f%% (%v -> %v per event)\n"+
 			"  throughput reduction:               %.1f%% (%.0f -> %.0f events/s)\n"+
 			"  storage rate:                       %.1f KB/s per switch (measured from trace-store segments)\n"+
 			"  controller evaluation:              %d firings, %d derivations, %d index lookups, %d scans\n"+
-			"  3-way-join stress (%d probes):      %v/event; %d index lookups (%d rows) vs %d scans (%d rows)\n",
+			"  3-way-join stress (%d probes):      %v/event; %d index lookups (%d rows) vs %d scans (%d rows)\n"+
+			"  rule-edit stress (%d edit rounds):  %v/round; %d delta inserts, %d delta retractions, %d recounted tuples\n",
 		100*r.LatencyIncrease, r.Off.MeanLat, r.On.MeanLat,
 		100*r.ThroughputReduction, r.Off.Throughput, r.On.Throughput,
 		r.StorageRate/1024,
 		on.Firings, on.Derivations, on.IndexLookups, on.Scans,
-		r.Join.Events, r.Join.MeanLat, jn.IndexLookups, jn.IndexRows, jn.Scans, jn.ScanRows)
+		r.Join.Events, r.Join.MeanLat, jn.IndexLookups, jn.IndexRows, jn.Scans, jn.ScanRows,
+		r.Delta.Events, r.Delta.MeanLat, dl.DeltaInserts, dl.DeltaRetractions, dl.RecountedTuples)
 }
 
 // AblationCostOrder compares cost-ordered exploration against naive FIFO
@@ -535,6 +549,24 @@ func QuickCandidates(ctx context.Context, sc scenarios.Scale) (*metarepair.Sessi
 		return nil, nil, metarepair.Backtest{}, err
 	}
 	expl, err := sess.Explore(ctx, s.Symptom())
+	if err != nil {
+		return nil, nil, metarepair.Backtest{}, err
+	}
+	return sess, expl.Candidates, s.Backtest(), nil
+}
+
+// WideCandidates is QuickCandidates under the widened search budget
+// (64 candidates, cost cutoff 4.6) — the regime that fills one shared
+// run's 63-tag space, used by the delta-vs-full backtest benchmarks.
+func WideCandidates(ctx context.Context, sc scenarios.Scale) (*metarepair.Session, []metaprov.Candidate, metarepair.Backtest, error) {
+	s := scenarios.Q1(sc)
+	sess, _, err := s.Diagnose()
+	if err != nil {
+		return nil, nil, metarepair.Backtest{}, err
+	}
+	expl, err := sess.Explore(ctx, s.Symptom(),
+		metarepair.WithMaxCandidates(64),
+		metarepair.WithBudget(metarepair.Budget{CostCutoff: 4.6, MaxPerStructure: 3}))
 	if err != nil {
 		return nil, nil, metarepair.Backtest{}, err
 	}

@@ -89,6 +89,38 @@ type EngineStats struct {
 	// those scans visited.
 	Scans    int64
 	ScanRows int64
+	// DeltaInserts counts tuples that appeared while seeding an AssertRule
+	// edit, and DeltaRetractions the derivations killed by a RetractRule
+	// edit (directly or by cascade). RecountedTuples counts support
+	// decrements that left the tuple alive — the counted-derivation
+	// bookkeeping that replaces re-derivation.
+	DeltaInserts     int64
+	DeltaRetractions int64
+	RecountedTuples  int64
+	// GroupJoins counts shared joins performed by delta-grouped
+	// evaluation; each one serves every member of its trigger group, so
+	// 1 - GroupJoins/Firings is the delta hit rate — the fraction of rule
+	// firings answered from an already-computed binding set instead of a
+	// fresh join.
+	GroupJoins int64
+}
+
+// Add accumulates counters from another snapshot; the backtest layer uses
+// it to roll per-batch engine stats into a per-job report.
+func (s *EngineStats) Add(o EngineStats) {
+	s.Firings += o.Firings
+	s.Derivations += o.Derivations
+	s.Inserts += o.Inserts
+	s.Deletes += o.Deletes
+	s.Sends += o.Sends
+	s.IndexLookups += o.IndexLookups
+	s.IndexRows += o.IndexRows
+	s.Scans += o.Scans
+	s.ScanRows += o.ScanRows
+	s.DeltaInserts += o.DeltaInserts
+	s.DeltaRetractions += o.DeltaRetractions
+	s.RecountedTuples += o.RecountedTuples
+	s.GroupJoins += o.GroupJoins
 }
 
 // aggState holds per-rule aggregation state: distinct aggregated values per
@@ -113,12 +145,32 @@ type Engine struct {
 	Funcs    map[string]Func
 
 	strategy  JoinStrategy
+	mode      EvalMode
 	listeners []Listener
 	fresh     int64
 	now       int64
 
 	keyBuf   []byte // scratch for join-step index keys
 	groupBuf []byte // scratch for aggregate group keys
+	boundBuf []*Row // scratch for delta binding collection
+
+	// Delta-evaluation caches (see delta.go): contiguous same-body trigger
+	// groups per table, precompiled guard schedules per rule, and the
+	// reusable retraction worklist. retracting attributes cascade
+	// underivations to Stats.DeltaRetractions during RetractRule.
+	groups     map[string][]*triggerGroup
+	guardPlans map[*Rule]*guardPlan
+	retractBuf []*derivation
+	retracting bool
+
+	// workBuf backs run's fixpoint queue between calls; running guards the
+	// reuse against re-entrant runs (a listener inserting tuples). fireBuf
+	// backs fireDelta's output, copied into the queue before the next fire;
+	// seedBuf is Insert's one-item work list.
+	workBuf []workItem
+	fireBuf []workItem
+	seedBuf [1]workItem
+	running bool
 
 	// Stats counts engine work for the evaluation experiments.
 	Stats EngineStats
@@ -138,7 +190,9 @@ func NewEngine(prog *Program) (*Engine, error) {
 		aggs:     make(map[string]*aggState),
 		Funcs:    make(map[string]Func),
 		strategy: DefaultJoinStrategy(),
+		mode:     DefaultEvalMode(),
 	}
+	e.guardPlans = make(map[*Rule]*guardPlan)
 	RegisterBuiltins(e)
 	for _, d := range prog.Decls {
 		if _, dup := e.decls[d.Name]; dup {
@@ -259,7 +313,13 @@ type workItem struct {
 // Insert inserts a base tuple (event or state) and runs the fixpoint,
 // returning every tuple that appeared during this round (including the
 // inserted one and all derived heads, events included).
-func (e *Engine) Insert(t Tuple) []Tuple {
+func (e *Engine) Insert(t Tuple) []Tuple { return e.InsertInto(t, nil) }
+
+// InsertInto is Insert appending the appearances to buf, so a caller in a
+// tight loop (the controller's PacketIn path) can reuse one buffer. The
+// returned slice is valid until the caller's next InsertInto with the same
+// buffer.
+func (e *Engine) InsertInto(t Tuple, buf []Tuple) []Tuple {
 	e.Tick()
 	e.Stats.Inserts++
 	if t.Tags == 0 {
@@ -271,7 +331,12 @@ func (e *Engine) Insert(t Tuple) []Tuple {
 			l.OnInsert(e.now, t)
 		}
 	}
-	return e.run([]workItem{{tuple: t, base: true}})
+	if e.running {
+		// Re-entrant insert (a listener): don't touch the seed scratch.
+		return e.run([]workItem{{tuple: t, base: true}}, buf)
+	}
+	e.seedBuf[0] = workItem{tuple: t, base: true}
+	return e.run(e.seedBuf[:], buf)
 }
 
 // InsertAll inserts a batch of base tuples under a single logical timestamp
@@ -308,6 +373,7 @@ func (e *Engine) Delete(t Tuple) {
 func (e *Engine) unsupport(row *Row) {
 	row.Support--
 	if row.Support > 0 {
+		e.Stats.RecountedTuples++
 		return
 	}
 	if tbl := e.tables[row.Tuple.Table]; tbl != nil {
@@ -321,6 +387,9 @@ func (e *Engine) unsupport(row *Row) {
 			continue
 		}
 		d.dead = true
+		if e.retracting {
+			e.Stats.DeltaRetractions++
+		}
 		body := make([]Tuple, len(d.body))
 		for i, b := range d.body {
 			body[i] = b.Tuple
@@ -334,11 +403,18 @@ func (e *Engine) unsupport(row *Row) {
 }
 
 // run drives the semi-naive fixpoint over the work list.
-func (e *Engine) run(work []workItem) []Tuple {
-	var appeared []Tuple
-	for len(work) > 0 {
-		item := work[0]
-		work = work[1:]
+func (e *Engine) run(work []workItem, appeared []Tuple) []Tuple {
+	// The queue is drained by index rather than re-slicing so the backing
+	// array keeps its full capacity; it is retained on the engine between
+	// runs, which removes the dominant steady-state allocation of replay.
+	q := work
+	reuse := !e.running
+	if reuse {
+		e.running = true
+		q = append(e.workBuf[:0], work...)
+	}
+	for head := 0; head < len(q); head++ {
+		item := q[head]
 		t := item.tuple
 
 		var row *Row
@@ -402,7 +478,11 @@ func (e *Engine) run(work []workItem) []Tuple {
 				appeared = append(appeared, t)
 			}
 		}
-		work = append(work, e.fire(row, fireTags)...)
+		q = append(q, e.fire(row, fireTags)...)
+	}
+	if reuse {
+		e.workBuf = q[:0]
+		e.running = false
 	}
 	return appeared
 }
@@ -429,6 +509,9 @@ func (e *Engine) storeNew(tbl *table, t Tuple, item workItem) *Row {
 // fire evaluates every rule triggered by the new row, restricted to tags.
 // bound is positional: bound[i] is the row matched to body atom i.
 func (e *Engine) fire(row *Row, tags uint64) []workItem {
+	if e.mode == EvalDelta && e.strategy != JoinLegacySorted {
+		return e.fireDelta(row, tags)
+	}
 	var out []workItem
 	for _, p := range e.triggers[row.Tuple.Table] {
 		rtags := tags & p.rule.TagMask
@@ -556,18 +639,29 @@ func (e *Engine) emit(r *Rule, pred int, env Env, tags uint64, bound []*Row) []w
 	if err != nil || !ok {
 		return nil
 	}
+	it, derived := e.derive(r, pred, env, tags, bound)
+	if !derived {
+		return nil
+	}
+	return []workItem{it}
+}
+
+// derive produces the head for a firing whose guards already passed; the
+// delta path calls it directly after its precompiled guard schedule.
+func (e *Engine) derive(r *Rule, pred int, env Env, tags uint64, bound []*Row) (workItem, bool) {
 	var head Tuple
 	if agg := e.aggs[r.ID]; agg != nil {
+		var ok bool
 		head, ok = e.aggregate(r, agg, env)
 		if !ok {
-			return nil
+			return workItem{}, false
 		}
 	} else {
-		head = Tuple{Table: r.Head.Table}
+		head = Tuple{Table: r.Head.Table, Args: make([]Value, 0, len(r.Head.Args))}
 		for _, a := range r.Head.Args {
 			v, err := e.Eval(env, a)
 			if err != nil {
-				return nil
+				return workItem{}, false
 			}
 			head.Args = append(head.Args, v)
 		}
@@ -608,7 +702,7 @@ func (e *Engine) emit(r *Rule, pred int, env Env, tags uint64, bound []*Row) []w
 		}
 	}
 	d := &derivation{rule: r, body: ordered}
-	return []workItem{{tuple: head, via: d}}
+	return workItem{tuple: head, via: d}, true
 }
 
 // aggregate updates the rule's aggregation state and produces the head with

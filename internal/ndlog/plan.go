@@ -33,6 +33,7 @@ type rulePlan struct {
 	rule  *Rule
 	pred  int
 	steps []joinStep
+	sig   string // lazily-computed body signature for delta trigger grouping
 }
 
 // planRule compiles the (rule, trigger) join order and registers the

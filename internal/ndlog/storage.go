@@ -41,7 +41,9 @@ func newTable(name string, keyCols []int) *table {
 }
 
 // ensureIndex returns the table's index over cols, creating it if needed.
-// Indexes are only ever created at plan time, before any row is stored.
+// Indexes created at plan time precede any row; AssertRule compiles plans
+// against a populated store, so a new index backfills from the live rows
+// (t.rows is already in sequence order, which is the order buckets keep).
 func (t *table) ensureIndex(cols []int) *index {
 	for _, x := range t.indexes {
 		if sameCols(x.cols, cols) {
@@ -49,6 +51,12 @@ func (t *table) ensureIndex(cols []int) *index {
 		}
 	}
 	x := &index{cols: cols, buckets: make(map[string][]*Row)}
+	var buf []byte
+	for _, r := range t.rows {
+		if !r.gone {
+			buf = x.add(buf, r)
+		}
+	}
 	t.indexes = append(t.indexes, x)
 	return x
 }

@@ -24,6 +24,13 @@
 //   - histograms use BucketsLatency unless the measured range genuinely
 //     differs; consistent buckets keep p99s comparable across families.
 //
+// The ndlog_* layer has two shapes: ndlog_engine_ops_total{op=...} for
+// the labeled bulk counters, and the plain ndlog_delta_* families
+// (inserts, retractions, recounted tuples, group joins) that account
+// for incremental backtest evaluation — they are recorded from
+// Report.Engine when a job or one-shot run finishes, so a zero there
+// under delta mode means the incremental path did not run.
+//
 // Hot-path cost: Counter.Add and Gauge.Set are one atomic op;
 // Histogram.Observe is two atomic adds plus a branchless-ish bucket walk
 // over a small fixed array. Vec lookups take an RLock plus a map probe;

@@ -1,0 +1,175 @@
+package sdn
+
+// Tuple-space-search flow-table index (the delta-backtesting fast path).
+//
+// A shared 63-candidate run installs an entry set roughly proportional to
+// the number of diverging candidates, and matchGroups' linear scan over it
+// runs once per hop per packet — one of the two dominant costs in the
+// Figure 9b profile. The index partitions entries by wildcard signature
+// (which of the six match fields are concrete); within a signature every
+// entry is an exact match over its concrete fields, so one hash probe per
+// signature yields the packet's candidate entries. Lookup then k-way
+// merges the per-signature buckets by (priority desc, install seq asc),
+// reproducing the linear scan's order exactly: the flat table is kept
+// sorted by priority with ties in installation order, which is exactly
+// install-seq order, and bucket membership is equivalent to Match.Matches
+// (concrete fields equal the packet's, wildcards match anything).
+//
+// The index is opt-in (Network.EnableFlowIndex, set by delta-mode
+// backtests); the flat table remains authoritative for Table(),
+// diagnostics, and the full-mode oracle path.
+
+// idxEntry is one indexed flow entry plus its global installation sequence
+// (the linear scan's tie-break among equal priorities).
+type idxEntry struct {
+	e   FlowEntry
+	seq int
+}
+
+// maskGroup holds all entries sharing one wildcard signature, bucketed by
+// their concrete field values; each bucket is kept in (priority desc,
+// seq asc) order.
+type maskGroup struct {
+	sig     uint8
+	buckets map[[6]int64][]idxEntry
+}
+
+// flowIndex is the per-switch tuple-space index.
+type flowIndex struct {
+	groups []*maskGroup
+	bySig  map[uint8]*maskGroup
+	seq    int
+}
+
+func newFlowIndex() *flowIndex {
+	return &flowIndex{bySig: make(map[uint8]*maskGroup)}
+}
+
+// maskSig computes an entry's wildcard signature (bit i set = field i
+// concrete) and its bucket key. Field order: InPort, SrcIP, DstIP,
+// SrcPort, DstPort, Proto.
+func maskSig(m Match) (sig uint8, key [6]int64) {
+	fields := [6]*int64{m.InPort, m.SrcIP, m.DstIP, m.SrcPort, m.DstPort, m.Proto}
+	for i, f := range fields {
+		if f != nil {
+			sig |= 1 << uint(i)
+			key[i] = *f
+		}
+	}
+	return sig, key
+}
+
+// packetKey projects the packet's header onto a signature's concrete
+// fields; unset fields stay zero, matching maskSig's encoding.
+func packetKey(sig uint8, inPort int64, p Packet) (key [6]int64) {
+	vals := [6]int64{inPort, p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto}
+	for i := 0; i < 6; i++ {
+		if sig&(1<<uint(i)) != 0 {
+			key[i] = vals[i]
+		}
+	}
+	return key
+}
+
+// install adds an entry, reporting false when an identical earlier entry
+// already covers its tag set (the flat table's idempotent re-install).
+// The covered-duplicate check only needs this entry's own bucket:
+// Match.Equal implies equal signature and key.
+func (fi *flowIndex) install(e FlowEntry) bool {
+	sig, key := maskSig(e.Match)
+	g := fi.bySig[sig]
+	if g == nil {
+		g = &maskGroup{sig: sig, buckets: make(map[[6]int64][]idxEntry)}
+		fi.bySig[sig] = g
+		fi.groups = append(fi.groups, g)
+	}
+	bucket := g.buckets[key]
+	for i := range bucket {
+		t := &bucket[i].e
+		if t.Priority == e.Priority && t.Action == e.Action && e.Tags&^t.Tags == 0 {
+			return false
+		}
+	}
+	fi.seq++
+	pos := len(bucket)
+	for i := range bucket {
+		if bucket[i].e.Priority < e.Priority {
+			pos = i
+			break
+		}
+	}
+	bucket = append(bucket, idxEntry{})
+	copy(bucket[pos+1:], bucket[pos:])
+	bucket[pos] = idxEntry{e: e, seq: fi.seq}
+	g.buckets[key] = bucket
+	return true
+}
+
+// idxCursor walks one bucket during the lookup merge.
+type idxCursor struct {
+	bucket []idxEntry
+	i      int
+}
+
+// matchActionsIndexed is matchActions answered from the index: one bucket
+// probe per signature, then a k-way merge in (priority desc, seq asc)
+// order — the flat scan's order. Bucket membership already guarantees the
+// match, so no Matches call is needed.
+func (s *Switch) matchActionsIndexed(inPort int64, p Packet, acts []actionGroup) ([]actionGroup, uint64) {
+	remaining := p.Tags
+	cursors := s.mcur[:0]
+	for _, g := range s.idx.groups {
+		if b := g.buckets[packetKey(g.sig, inPort, p)]; len(b) > 0 {
+			cursors = append(cursors, idxCursor{bucket: b})
+		}
+	}
+	for remaining != 0 {
+		best := -1
+		for ci := range cursors {
+			c := &cursors[ci]
+			if c.i >= len(c.bucket) {
+				continue
+			}
+			if best == -1 {
+				best = ci
+				continue
+			}
+			be := &cursors[best].bucket[cursors[best].i]
+			ce := &c.bucket[c.i]
+			if ce.e.Priority > be.e.Priority ||
+				(ce.e.Priority == be.e.Priority && ce.seq < be.seq) {
+				best = ci
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ent := &cursors[best].bucket[cursors[best].i]
+		cursors[best].i++
+		hit := remaining & ent.e.Tags
+		if hit == 0 {
+			continue
+		}
+		acts = addAction(acts, ent.e.Action, hit)
+		remaining &^= hit
+	}
+	s.mcur = cursors
+	return acts, remaining
+}
+
+// EnableFlowIndex routes the switch's matching through the tuple-space
+// index. The index is maintained from construction (it answers duplicate
+// detection on every install), with sequence numbers in installation
+// order — exactly the tie-break the sorted flat table's scan applies
+// among equal priorities — so the merge reproduces the scan's order.
+func (s *Switch) EnableFlowIndex() { s.indexed = true }
+
+// EnableFlowIndex switches every current and future switch of the network
+// to indexed flow-table matching (see Switch.EnableFlowIndex). Delta-mode
+// backtests enable it; behavior is identical to the linear-scan path.
+func (n *Network) EnableFlowIndex() {
+	n.flowIndexed = true
+	for _, s := range n.Switches {
+		s.EnableFlowIndex()
+	}
+}

@@ -32,6 +32,12 @@ type NDlogController struct {
 
 	// PacketIns counts control-plane events, for the overhead experiments.
 	PacketIns int64
+
+	// appBuf backs the appearance list between PacketIns; inPI guards it
+	// against re-entrant PacketIns (a derived PacketOut whose forwarding
+	// misses on a downstream switch).
+	appBuf []ndlog.Tuple
+	inPI   bool
 }
 
 // FlowTableDecl is the declaration scenario programs use for FlowTable.
@@ -59,9 +65,19 @@ func (c *NDlogController) PacketIn(net *Network, sw *Switch, inPort int64, pkt P
 		},
 		Tags: pkt.Tags,
 	}
-	for _, tp := range c.Engine.Insert(ev) {
+	if c.inPI {
+		for _, tp := range c.Engine.Insert(ev) {
+			c.applyDerived(net, sw, pkt, tp)
+		}
+		return
+	}
+	c.inPI = true
+	appeared := c.Engine.InsertInto(ev, c.appBuf[:0])
+	for _, tp := range appeared {
 		c.applyDerived(net, sw, pkt, tp)
 	}
+	c.appBuf = appeared[:0]
+	c.inPI = false
 }
 
 // InsertState seeds controller state (e.g. policy tables) before traffic.
@@ -132,14 +148,7 @@ func wildZero(v ndlog.Value) int64 {
 	return v.Int
 }
 
-func findSwitch(net *Network, num int64) *Switch {
-	for _, s := range net.Switches {
-		if s.Num == num {
-			return s
-		}
-	}
-	return nil
-}
+func findSwitch(net *Network, num int64) *Switch { return net.SwitchByNum(num) }
 
 // StaticController installs no reactive state; it is used for purely
 // proactive networks and as a null controller in overhead baselines.

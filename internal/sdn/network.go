@@ -2,32 +2,47 @@ package sdn
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
 // Switch is one forwarding element: a numbered switch with ports wired to
 // neighbours and a prioritized, tagged flow table.
 type Switch struct {
-	ID    string
-	Num   int64 // numeric ID used by controller programs (Swi)
-	ports map[int]string
-	table []FlowEntry
+	ID     string
+	Num    int64 // numeric ID used by controller programs (Swi)
+	ports  map[int]string
+	portOf map[string]int // reverse of ports: neighbour -> port
+	table  []FlowEntry
+
+	// idx answers duplicate detection on every install (one bucket probe
+	// instead of a whole-table scan) and, when indexed is set, matching
+	// too (see flowindex.go). The flat table stays authoritative for
+	// Table(), diagnostics, and scan matching; while indexed it is kept in
+	// raw installation order and sorted on demand.
+	idx     *flowIndex
+	indexed bool
+	mcur    []idxCursor // reusable merge cursors for indexed lookups
 }
 
 // NewSwitch creates a switch.
 func NewSwitch(id string, num int64) *Switch {
-	return &Switch{ID: id, Num: num, ports: make(map[int]string)}
+	return &Switch{ID: id, Num: num, ports: make(map[int]string), portOf: make(map[string]int), idx: newFlowIndex()}
 }
 
 // Wire connects a port to a neighbour node (switch or host) by ID.
-func (s *Switch) Wire(port int, neighbour string) { s.ports[port] = neighbour }
+func (s *Switch) Wire(port int, neighbour string) {
+	if old, ok := s.ports[port]; ok {
+		delete(s.portOf, old)
+	}
+	s.ports[port] = neighbour
+	s.portOf[neighbour] = port
+}
 
 // PortTo returns the port leading to a neighbour, or -1.
 func (s *Switch) PortTo(neighbour string) int {
-	for p, n := range s.ports {
-		if n == neighbour {
-			return p
-		}
+	if p, ok := s.portOf[neighbour]; ok {
+		return p
 	}
 	return -1
 }
@@ -52,12 +67,16 @@ func (s *Switch) Ports() []int {
 // sequential run. (Merging tag sets into earlier entries would silently
 // promote a later derivation ahead of the entry that should win the tie.)
 func (s *Switch) Install(e FlowEntry) {
-	for i := range s.table {
-		t := &s.table[i]
-		if t.Priority == e.Priority && t.Action == e.Action && t.Match.Equal(e.Match) &&
-			e.Tags&^t.Tags == 0 {
-			return // fully covered: idempotent re-install
-		}
+	// The index probes only the entry's own bucket for the covered
+	// duplicate (Match.Equal implies the same bucket).
+	if !s.idx.install(e) {
+		return
+	}
+	if s.indexed {
+		// Matching reads the index, so the flat table is only the
+		// Table() snapshot: append in install order, sort on demand.
+		s.table = append(s.table, e)
+		return
 	}
 	// Insert after every entry of >= priority: identical order to the
 	// seed's append + stable sort, without re-sorting the whole table.
@@ -68,17 +87,50 @@ func (s *Switch) Install(e FlowEntry) {
 }
 
 // ClearTable removes all flow entries.
-func (s *Switch) ClearTable() { s.table = nil }
+func (s *Switch) ClearTable() {
+	s.table = nil
+	s.idx = newFlowIndex()
+}
 
-// Table returns a copy of the flow table.
-func (s *Switch) Table() []FlowEntry { return append([]FlowEntry(nil), s.table...) }
+// Table returns a copy of the flow table, highest priority first with
+// equal-priority ties in installation order.
+func (s *Switch) Table() []FlowEntry {
+	out := append([]FlowEntry(nil), s.table...)
+	if s.indexed {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	}
+	return out
+}
 
-// matchGroups partitions the packet's tag set by the highest-priority
-// matching entry per tag. The remainder mask (tags with no matching entry)
-// is returned separately — those tags miss and go to the controller.
-func (s *Switch) matchGroups(inPort int64, p Packet) (groups map[Action]uint64, miss uint64) {
-	groups = make(map[Action]uint64)
+// actionGroup is one action and the tag set it won during matching.
+type actionGroup struct {
+	act  Action
+	tags uint64
+}
+
+// addAction ORs tags into the action's group, appending a new group when
+// the action is new; the distinct-action count per packet is tiny, so a
+// linear probe beats a map (and its per-hop allocation).
+func addAction(acts []actionGroup, a Action, tags uint64) []actionGroup {
+	for i := range acts {
+		if acts[i].act == a {
+			acts[i].tags |= tags
+			return acts
+		}
+	}
+	return append(acts, actionGroup{act: a, tags: tags})
+}
+
+// matchActions partitions the packet's tag set by the highest-priority
+// matching entry per tag, appending per-action groups to acts (callers
+// pass a stack buffer). The remainder mask (tags with no matching entry)
+// misses to the controller. The indexed and scan paths enumerate entries
+// in the same (priority desc, install order asc) order.
+func (s *Switch) matchActions(inPort int64, p Packet, acts []actionGroup) ([]actionGroup, uint64) {
 	remaining := p.Tags
+	if s.indexed {
+		return s.matchActionsIndexed(inPort, p, acts)
+	}
 	for _, e := range s.table {
 		if remaining == 0 {
 			break
@@ -87,10 +139,21 @@ func (s *Switch) matchGroups(inPort int64, p Packet) (groups map[Action]uint64, 
 		if hit == 0 || !e.Match.Matches(inPort, p) {
 			continue
 		}
-		groups[e.Action] |= hit
+		acts = addAction(acts, e.Action, hit)
 		remaining &^= hit
 	}
-	return groups, remaining
+	return acts, remaining
+}
+
+// matchGroups is the map-shaped view of matchActions, kept for tests and
+// diagnostics.
+func (s *Switch) matchGroups(inPort int64, p Packet) (groups map[Action]uint64, miss uint64) {
+	acts, miss := s.matchActions(inPort, p, nil)
+	groups = make(map[Action]uint64, len(acts))
+	for _, g := range acts {
+		groups[g.act] |= g.tags
+	}
+	return groups, miss
 }
 
 // Host is an end host with an IP; it counts the packets it receives per
@@ -131,12 +194,11 @@ func (h *Host) deliver(p Packet) {
 		ps = &[64]int64{}
 		h.BySrc[p.SrcIP] = ps
 	}
-	for b := 0; b < 64; b++ {
-		if p.Tags&(1<<uint(b)) != 0 {
-			h.Received[b]++
-			pp[b]++
-			ps[b]++
-		}
+	for t := p.Tags; t != 0; t &= t - 1 {
+		b := bits.TrailingZeros64(t)
+		h.Received[b]++
+		pp[b]++
+		ps[b]++
 	}
 }
 
@@ -186,6 +248,16 @@ type Network struct {
 	// MaxHops bounds forwarding loops (default 64).
 	MaxHops int
 
+	// flowIndexed records that EnableFlowIndex ran, so switches added
+	// later are indexed too.
+	flowIndexed bool
+
+	// hostIDCache is the sorted host-ID list Distribution reads, rebuilt
+	// whenever the host count changes; byNum finds switches by numeric ID
+	// in constant time for the controller's derived-tuple application.
+	hostIDCache []string
+	byNum       map[int64]*Switch
+
 	// Stats.
 	Delivered int64
 	Dropped   int64
@@ -208,7 +280,31 @@ func NewNetwork() *Network {
 }
 
 // AddSwitch registers a switch.
-func (n *Network) AddSwitch(s *Switch) { n.Switches[s.ID] = s }
+func (n *Network) AddSwitch(s *Switch) {
+	n.Switches[s.ID] = s
+	if n.byNum == nil {
+		n.byNum = make(map[int64]*Switch)
+	}
+	n.byNum[s.Num] = s
+	if n.flowIndexed {
+		s.EnableFlowIndex()
+	}
+}
+
+// SwitchByNum returns the switch with the given numeric ID (the Swi value
+// controller programs use), or nil. Switches registered via AddSwitch are
+// found in constant time; direct map writes fall back to a scan.
+func (n *Network) SwitchByNum(num int64) *Switch {
+	if s, ok := n.byNum[num]; ok && n.Switches[s.ID] == s {
+		return s
+	}
+	for _, s := range n.Switches {
+		if s.Num == num {
+			return s
+		}
+	}
+	return nil
+}
 
 // AddHost registers a host and wires it to its switch's next free port.
 func (n *Network) AddHost(h *Host) int {
@@ -296,15 +392,14 @@ func (n *Network) forward(sw *Switch, inPort int64, pkt Packet, hops int) {
 		return
 	}
 	n.Hops++
-	groups, miss := sw.matchGroups(inPort, pkt)
+	var actsBuf [4]actionGroup
+	acts, miss := sw.matchActions(inPort, pkt, actsBuf[:0])
 	if miss != 0 {
 		n.Missed++
 		if n.Ctrl != nil {
 			n.PacketIns++
-			for b := 0; b < 64; b++ {
-				if miss&(1<<uint(b)) != 0 {
-					n.PacketInsByTag[b]++
-				}
+			for t := miss; t != 0; t &= t - 1 {
+				n.PacketInsByTag[bits.TrailingZeros64(t)]++
 			}
 			mp := pkt
 			mp.Tags = miss
@@ -317,29 +412,27 @@ func (n *Network) forward(sw *Switch, inPort int64, pkt Packet, hops int) {
 			// itself. Without a PacketOut, the packet copy dies (Q4).
 		}
 	}
-	// Deterministic per-action processing order.
-	type ga struct {
-		a    Action
-		tags uint64
-	}
-	var ordered []ga
-	for a, tags := range groups {
-		ordered = append(ordered, ga{a, tags})
-	}
-	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].a.Kind != ordered[j].a.Kind {
-			return ordered[i].a.Kind < ordered[j].a.Kind
+	// Deterministic per-action processing order: (kind, port) ascending.
+	// Insertion sort keeps the tiny slice on the stack (a sort.Slice
+	// closure would force it to the heap on every hop).
+	for i := 1; i < len(acts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := acts[j].act, acts[j-1].act
+			if a.Kind < b.Kind || (a.Kind == b.Kind && a.Port < b.Port) {
+				acts[j], acts[j-1] = acts[j-1], acts[j]
+				continue
+			}
+			break
 		}
-		return ordered[i].a.Port < ordered[j].a.Port
-	})
-	for _, g := range ordered {
+	}
+	for _, g := range acts {
 		fp := pkt
 		fp.Tags = g.tags
-		switch g.a.Kind {
+		switch g.act.Kind {
 		case ActionDrop:
 			n.Dropped++
 		case ActionOutput:
-			n.emit(sw, g.a.Port, fp, hops+1)
+			n.emit(sw, g.act.Port, fp, hops+1)
 		}
 	}
 }
@@ -376,18 +469,27 @@ func (n *Network) ResetCounters() {
 
 // HostIDs returns all host IDs sorted.
 func (n *Network) HostIDs() []string {
-	out := make([]string, 0, len(n.Hosts))
-	for id := range n.Hosts {
-		out = append(out, id)
+	return append([]string(nil), n.hostIDs()...)
+}
+
+// hostIDs returns the sorted-ID cache, rebuilt when hosts were added or
+// removed since the last call (callers must not retain or mutate it).
+func (n *Network) hostIDs() []string {
+	if len(n.hostIDCache) != len(n.Hosts) {
+		out := make([]string, 0, len(n.Hosts))
+		for id := range n.Hosts {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+		n.hostIDCache = out
 	}
-	sort.Strings(out)
-	return out
+	return n.hostIDCache
 }
 
 // Distribution returns the per-host delivered-packet counts under one tag,
 // ordered by host ID — the sample the KS test consumes (§5.3).
 func (n *Network) Distribution(tag int) []int64 {
-	ids := n.HostIDs()
+	ids := n.hostIDs()
 	out := make([]int64, len(ids))
 	for i, id := range ids {
 		out[i] = n.Hosts[id].ReceivedFor(tag)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/backtest"
 	"repro/internal/metaprov"
+	"repro/internal/ndlog"
 	"repro/internal/tracestore"
 )
 
@@ -34,6 +35,48 @@ func (s Strategy) String() string {
 	default:
 		return "parallel"
 	}
+}
+
+// EvalMode selects how shared-run backtests evaluate the NDlog program.
+type EvalMode int
+
+const (
+	// EvalDelta (the default) runs shared backtests on the engine's
+	// grouped delta evaluation with indexed flow-table matching:
+	// verdict-identical to EvalFull, several times faster at high
+	// candidate counts (see the ndlog package's incremental evaluation).
+	EvalDelta EvalMode = iota
+	// EvalFull fires every trigger plan independently — the reference
+	// path the differential tests treat as the oracle, kept selectable
+	// for ablations and cross-checking.
+	EvalFull
+)
+
+// String names the mode for flags and event logs.
+func (m EvalMode) String() string {
+	if m == EvalFull {
+		return "full"
+	}
+	return "delta"
+}
+
+// ndlog maps the option to the engine-level mode.
+func (m EvalMode) ndlog() ndlog.EvalMode {
+	if m == EvalFull {
+		return ndlog.EvalFull
+	}
+	return ndlog.EvalDelta
+}
+
+// ParseEvalMode resolves a flag value ("full" or "delta").
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch s {
+	case "delta", "":
+		return EvalDelta, nil
+	case "full":
+		return EvalFull, nil
+	}
+	return EvalDelta, fmt.Errorf("metarepair: unknown eval mode %q (want full or delta)", s)
 }
 
 // PipelineMode selects how exploration and backtesting are composed under
@@ -120,6 +163,7 @@ type options struct {
 	batchSize         int
 	strategy          Strategy
 	pipeline          PipelineMode
+	eval              EvalMode
 	exploreWorkers    int
 	sink              EventSink
 	filter            func(metaprov.Candidate) bool
@@ -222,6 +266,11 @@ func WithBatchSize(n int) Option {
 // WithStrategy selects the backtesting strategy (default
 // StrategyParallel).
 func WithStrategy(s Strategy) Option { return func(o *options) { o.strategy = s } }
+
+// WithEvalMode selects the shared-run evaluation mode (default EvalDelta).
+// Both modes produce identical verdicts; EvalFull is the reference path
+// for differential runs and ablations.
+func WithEvalMode(m EvalMode) Option { return func(o *options) { o.eval = m } }
 
 // WithPipelineMode selects how exploration composes with backtesting under
 // StrategyParallel (default PipelineStreaming). PipelineBarrier restores

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/backtest"
 	"repro/internal/metaprov"
+	"repro/internal/ndlog"
 	"repro/internal/provenance"
 )
 
@@ -93,6 +94,12 @@ type Report struct {
 	EarlyStopped bool
 	Evaluated    int
 	evaluated    []bool
+	// Engine aggregates the NDlog engine counters across every shared
+	// backtest run of this report — in particular the delta-evaluation
+	// families (DeltaInserts, DeltaRetractions, RecountedTuples) that the
+	// overhead report and the ndlog_delta_* metrics surface. Sequential
+	// (per-candidate) runs do not contribute.
+	Engine ndlog.EngineStats
 	// Timing is the Figure 9a turnaround breakdown (exploration plus
 	// backtest replay; the caller's diagnostic replay is not included).
 	Timing Timing

@@ -359,7 +359,11 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			Parallelism: o.parallelism, Strategy: o.strategy.String()})
 		endBacktest := tr.start(SpanBacktest, SpanRun)
 
+		// Batch callbacks are serialized by the runner, so plain
+		// accumulation of the per-shared-run engine counters is safe.
+		var engStats ndlog.EngineStats
 		stream := func(b backtest.Batch) {
+			engStats.Add(b.Stats)
 			if !b.Began.IsZero() {
 				tr.add(Span{Name: SpanBatch, Parent: SpanBacktest, Index: b.Index,
 					Start: b.Began, End: b.Ended})
@@ -396,6 +400,15 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			return
 		}
 		endBacktest()
+		// Attribute the backtest window to the evaluation mode: the delta
+		// child span covers the same bounds as its parent, so mode-aware
+		// consumers can split time without reshaping existing aggregations.
+		if o.eval == EvalDelta && o.strategy != StrategySequential {
+			if bsp, ok := tr.find(SpanBacktest); ok {
+				tr.add(Span{Name: SpanBacktestDelta, Parent: SpanBacktest,
+					Start: bsp.Start, End: bsp.End})
+			}
+		}
 
 		endVerdict := tr.start(SpanVerdict, SpanRun)
 		rep := &Report{
@@ -404,6 +417,7 @@ func (s *Session) evaluate(ctx context.Context, expl *Exploration, cands []metap
 			Generated:  len(cands),
 			Evaluated:  len(results),
 			Batches:    batches,
+			Engine:     engStats,
 			Timing:     Timing{Replay: time.Since(start)},
 		}
 		if expl != nil {
@@ -445,6 +459,7 @@ func (s *Session) backtestJob(bt Backtest, o options) *backtest.Job {
 		Alpha:             o.alpha,
 		MaxPacketInFactor: o.maxPacketInFactor,
 		SkipCoalesce:      !o.coalesce,
+		Eval:              o.eval.ndlog(),
 	}
 }
 
@@ -606,7 +621,11 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 	o.emit(Event{Kind: "backtest.start", Parallelism: o.parallelism,
 		Strategy: o.strategy.String() + "/" + o.pipeline.String()})
 	batchSize := o.clampedBatchSize()
+	// OnBatch calls are serialized by the pipeline, so plain accumulation
+	// of the per-shared-run engine counters is safe.
+	var engStats ndlog.EngineStats
 	suggest := func(b backtest.Batch) {
+		engStats.Add(b.Stats)
 		tr.add(Span{Name: SpanBatch, Parent: SpanBacktest, Index: b.Index,
 			Start: b.Began, End: b.Ended})
 		o.emit(Event{Kind: "batch.done", Batch: b.Index, Size: len(b.Results),
@@ -648,6 +667,10 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 	var overlap, replay time.Duration
 	if !pr.FirstBatchStart.IsZero() {
 		tr.add(Span{Name: SpanBacktest, Parent: SpanRun, Start: pr.FirstBatchStart, End: backtestEnd})
+		if o.eval == EvalDelta {
+			tr.add(Span{Name: SpanBacktestDelta, Parent: SpanBacktest,
+				Start: pr.FirstBatchStart, End: backtestEnd})
+		}
 		replay = backtestEnd.Sub(pr.FirstBatchStart)
 		if es, ok := tr.find(SpanExplore); ok && es.End.After(pr.FirstBatchStart) {
 			overlap = es.End.Sub(pr.FirstBatchStart)
@@ -683,6 +706,7 @@ func (s *Session) runPipeline(ctx context.Context, sym Symptom, bt Backtest, o o
 		EarlyStopped: pr.EarlyStopped,
 		Evaluated:    pr.EvaluatedCount(),
 		evaluated:    pr.Evaluated,
+		Engine:       engStats,
 		Timing: Timing{
 			HistoryLookups:    expl.historyTime,
 			ConstraintSolving: expl.solveTime,
